@@ -1,0 +1,40 @@
+"""Benchmarks E5-E7 — Figures 10, 11, 12 (A* implementation versions)."""
+
+from benchmarks.conftest import attach_result, run_once
+from repro.experiments.exp_astar_versions import (
+    _render,
+    run_cost_models,
+    run_graph_size,
+    run_path_length,
+)
+
+
+def test_bench_figure10_versions_vs_graph_size(benchmark):
+    result = run_once(benchmark, run_graph_size)
+    attach_result(benchmark, result)
+    print()
+    print(_render(result))
+    costs = result.execution_cost
+    assert costs["astar-v1"]["10x10"] < costs["astar-v2"]["10x10"]
+    assert costs["astar-v1"]["30x30"] > costs["astar-v2"]["30x30"]
+
+
+def test_bench_figure11_versions_vs_cost_model(benchmark):
+    result = run_once(benchmark, run_cost_models)
+    attach_result(benchmark, result)
+    print()
+    print(_render(result))
+    assert (
+        result.execution_cost["astar-v1"]["skewed"]
+        < result.execution_cost["astar-v2"]["skewed"]
+    )
+
+
+def test_bench_figure12_versions_vs_path_length(benchmark):
+    result = run_once(benchmark, run_path_length)
+    attach_result(benchmark, result)
+    print()
+    print(_render(result))
+    costs = result.execution_cost
+    assert costs["astar-v1"]["horizontal"] < costs["astar-v2"]["horizontal"]
+    assert costs["astar-v1"]["diagonal"] > costs["astar-v2"]["diagonal"]

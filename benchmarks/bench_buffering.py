@@ -1,0 +1,19 @@
+"""Benchmark E11 — buffer-pool capacity ablation (modernization study)."""
+
+from benchmarks.conftest import attach_result, run_once
+from repro.experiments.exp_buffering import render, run
+
+
+def test_bench_buffering_ablation(benchmark):
+    result = run_once(benchmark, run)
+    attach_result(benchmark, result)
+    print()
+    print(render(result))
+    for algorithm, series in result.execution_cost.items():
+        # More cache never costs more I/O.
+        assert series["buf=64"] <= series["buf=8"] <= series["buf=0"]
+    # The 1993 ranking on the diagonal survives full caching.
+    assert (
+        result.execution_cost["iterative"]["buf=64"]
+        < result.execution_cost["dijkstra"]["buf=64"]
+    )

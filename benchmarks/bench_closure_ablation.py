@@ -1,0 +1,44 @@
+"""Benchmarks E9 + E10 — the ablation experiments.
+
+E9 prices the paper's motivating claim (single-pair vs precomputed
+closures under dynamic costs); E10 characterizes the optimality/speed
+trade-off the paper names as future work.
+"""
+
+from benchmarks.conftest import attach_result, run_once
+from repro.experiments.exp_closure_ablation import (
+    render as render_closure,
+    run as run_closure,
+)
+from repro.experiments.exp_tradeoff import (
+    render as render_tradeoff,
+    run as run_tradeoff,
+)
+
+
+def test_bench_closure_ablation(benchmark):
+    result = run_once(benchmark, run_closure)
+    attach_result(benchmark, result)
+    print()
+    print(render_closure(result))
+    single = result.execution_cost["astar-single-pair"]
+    for architecture, series in result.execution_cost.items():
+        if architecture == "astar-single-pair":
+            continue
+        # At ATIS refresh rates (few queries per refresh) every
+        # precomputed architecture loses by orders of magnitude.
+        assert series["Q=10"] > 20 * single["Q=10"]
+
+
+def test_bench_tradeoff(benchmark):
+    result = run_once(benchmark, run_tradeoff)
+    attach_result(benchmark, result)
+    print()
+    print(render_tradeoff(result))
+    expansions = result.execution_cost
+    # The spectrum is real: heavier weights expand fewer nodes.
+    for query in result.conditions:
+        assert expansions["euclid-w3"][query] <= expansions["euclid-w1"][query]
+    # ALT focuses the search without losing admissibility.
+    mean = lambda row: sum(row.values()) / len(row)  # noqa: E731
+    assert mean(expansions["landmark-ALT"]) < mean(expansions["dijkstra"])

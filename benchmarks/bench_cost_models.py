@@ -1,0 +1,16 @@
+"""Benchmark E3 — Table 7 + Figure 7 (effect of edge-cost models)."""
+
+from benchmarks.conftest import attach_result, run_once
+from repro.experiments.exp_cost_models import render, run
+
+
+def test_bench_table7_figure7(benchmark):
+    result = run_once(benchmark, run)
+    attach_result(benchmark, result)
+    print()
+    print(render(result))
+    # Skew collapses the estimator algorithms' work.
+    assert (
+        result.iterations["astar-v3"]["skewed"]
+        < result.iterations["astar-v3"]["variance"] / 4
+    )

@@ -1,0 +1,25 @@
+"""Benchmark E1 — Table 5 + Figure 5 (effect of graph size).
+
+Regenerates the iteration table and the execution-cost series for the
+diagonal query on 10x10 / 20x20 / 30x30 variance grids, and asserts the
+headline shape so a regression in the engine fails the benchmark run,
+not just the plot.
+"""
+
+from benchmarks.conftest import attach_result, run_once
+from repro.experiments.exp_graph_size import render, run
+
+
+def test_bench_table5_figure5(benchmark):
+    result = run_once(benchmark, run)
+    attach_result(benchmark, result)
+    print()
+    print(render(result))
+    # Shape guards (Table 5's exact wave/iteration structure).
+    assert result.iterations["iterative"]["30x30"] == 59
+    assert result.iterations["dijkstra"]["30x30"] == 899
+    assert (
+        result.execution_cost["iterative"]["30x30"]
+        < result.execution_cost["astar-v3"]["30x30"]
+        < result.execution_cost["dijkstra"]["30x30"] * 1.05
+    )

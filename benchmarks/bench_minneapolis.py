@@ -1,0 +1,20 @@
+"""Benchmark E4 — Table 8 + Figure 9 (Minneapolis road map)."""
+
+from benchmarks.conftest import attach_result, run_once
+from repro.experiments.exp_minneapolis import render, run
+
+
+def test_bench_table8_figure9(benchmark):
+    result = run_once(benchmark, run)
+    attach_result(benchmark, result)
+    print()
+    print(render(result))
+    # Short queries are where the estimator algorithms win decisively.
+    assert (
+        result.execution_cost["astar-v3"]["G to D"]
+        < 0.25 * result.execution_cost["iterative"]["G to D"]
+    )
+    assert (
+        result.execution_cost["iterative"]["A to B"]
+        < result.execution_cost["dijkstra"]["A to B"]
+    )

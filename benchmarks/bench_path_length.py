@@ -1,0 +1,15 @@
+"""Benchmark E2 — Table 6 + Figure 6 (effect of path length)."""
+
+from benchmarks.conftest import attach_result, run_once
+from repro.experiments.exp_path_length import render, run
+
+
+def test_bench_table6_figure6(benchmark):
+    result = run_once(benchmark, run)
+    attach_result(benchmark, result)
+    print()
+    print(render(result))
+    # A*-v3 wins short paths; Iterative wins the diagonal.
+    costs = result.execution_cost
+    assert costs["astar-v3"]["horizontal"] < costs["iterative"]["horizontal"]
+    assert costs["iterative"]["diagonal"] < costs["astar-v3"]["diagonal"]

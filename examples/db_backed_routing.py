@@ -1,0 +1,63 @@
+"""Database-backed routing: the paper's actual experimental setup.
+
+Loads a benchmark grid into the simulated relational DBMS (edge
+relation S with a hash index, node relation R with an ISAM index), runs
+the three paper algorithms as database programs, and shows what the
+paper measured: iteration counts, block-level I/O, per-phase cost, the
+join plans the optimizer picked — plus the algebraic cost model's
+prediction for each run (Section 4's within-10% claim).
+
+Run:  python examples/db_backed_routing.py
+"""
+
+from repro.costmodel import parameters_for_grid, predict_run, prediction_error
+from repro.engine import RelationalGraph, run_relational
+from repro.graphs.grid import make_paper_grid, paper_queries
+
+
+def main() -> None:
+    k = 20
+    graph = make_paper_grid(k, "variance")
+    query = paper_queries(k)["diagonal"]
+    rgraph = RelationalGraph(graph)
+    params = parameters_for_grid(k)
+
+    print(f"Loaded {rgraph!r}")
+    print(f"Edge relation S: {rgraph.S.tuple_count} tuples in "
+          f"{rgraph.S.block_count} blocks (Bf_s = {rgraph.S.blocking_factor})")
+    print(f"Query: {query.source} -> {query.destination} (diagonal)\n")
+
+    header = (
+        f"{'algorithm':<12}{'iters':>7}{'exec cost':>11}{'init':>8}"
+        f"{'reads':>8}{'writes':>8}{'updates':>9}  {'predicted (err)':>16}"
+    )
+    print(header)
+    print("-" * len(header))
+    for algorithm in ("iterative", "dijkstra", "astar-v3"):
+        run = run_relational(
+            graph, query.source, query.destination, algorithm, rgraph=rgraph
+        )
+        prediction = predict_run(run, params)
+        error = prediction_error(prediction.total, run.execution_cost)
+        io = run.io
+        print(
+            f"{algorithm:<12}{run.iterations:>7}{run.execution_cost:>11.1f}"
+            f"{run.init_cost:>8.2f}{io.block_reads:>8}{io.block_writes:>8}"
+            f"{io.tuple_updates:>9}  {prediction.total:>9.1f} ({error:.1%})"
+        )
+
+    run = run_relational(
+        graph, query.source, query.destination, "iterative", rgraph=rgraph
+    )
+    print("\nJoin plans chosen by the optimizer across the Iterative run:")
+    for strategy, count in sorted(run.join_strategy_histogram().items()):
+        print(f"  {strategy:<14} {count} iterations")
+    print(
+        "\nSmall frontier waves probe S's hash index (primary-key join);"
+        "\nbig waves switch to scan-based joins — the F(B1,B2,B3) choice"
+        "\nof Section 4, made live per iteration."
+    )
+
+
+if __name__ == "__main__":
+    main()

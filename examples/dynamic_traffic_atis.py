@@ -1,0 +1,83 @@
+"""Dynamic traffic: the ATIS scenario the paper's introduction motivates.
+
+"An effective navigation system with static route selection, coupled
+with real-time traffic information, is crucial to eliminating
+unnecessary travel time."
+
+This example simulates that loop on the Minneapolis map:
+
+1. compute the fastest commute on the travel-time graph;
+2. an incident hits a freeway corridor — occupancies spike and the
+   affected edge costs are refreshed in place (the dynamic edge costs
+   that motivate single-pair algorithms over precomputed transitive
+   closures);
+3. replan mid-route from the vehicle's current position and compare
+   the detour against stubbornly continuing on the stale route.
+
+Run:  python examples/dynamic_traffic_atis.py
+"""
+
+from repro import RoutePlanner
+from repro.core.evaluation import (
+    admissible_time_scale,
+    travel_time_graph,
+)
+from repro.core.estimators import EuclideanEstimator
+from repro.graphs.roadmap import make_minneapolis_map, road_queries
+
+
+def main() -> None:
+    road_map = make_minneapolis_map()
+    timed = travel_time_graph(road_map)
+    source, destination = road_queries(road_map)["C to D"]
+    planner = RoutePlanner()
+    # Euclidean miles scaled by minutes-per-mile at top speed stays
+    # admissible on the travel-time graph.
+    estimator = EuclideanEstimator(cost_per_unit=admissible_time_scale(road_map))
+
+    print("ATIS commute: landmark C -> landmark D (travel-time costs)\n")
+    before = planner.plan(timed, source, destination, "astar", estimator)
+    print(f"Planned route: {before.cost:.1f} min over "
+          f"{before.path_length} segments "
+          f"({before.stats.nodes_expanded} nodes expanded)")
+
+    # --- incident: freeway row congests; travel times triple there. ---
+    incident_edges = [
+        (edge.source, edge.target)
+        for edge in timed.edges()
+        if road_map.segment_attributes(edge.source, edge.target).road_type
+        == "freeway"
+    ]
+    for u, v in incident_edges:
+        timed.update_edge_cost(u, v, timed.edge_cost(u, v) * 3.0)
+    print(f"\n!! incident: {len(incident_edges)} freeway segments slow to "
+          "a crawl (costs refreshed in place)")
+
+    # --- vehicle is one third of the way along the stale route. ---
+    progress = len(before.path) // 3
+    position = before.path[progress]
+    minutes_driven = timed.path_cost(before.path[: progress + 1])
+
+    stale_remainder = timed.path_cost(before.path[progress:])
+    replan = planner.plan(timed, position, destination, "astar", estimator)
+    print(f"\nVehicle position after {minutes_driven:.1f} min: {position}")
+    print(f"  staying on the stale route: {stale_remainder:.1f} min remaining")
+    print(f"  replanned detour:           {replan.cost:.1f} min remaining "
+          f"(recomputed in {replan.stats.nodes_expanded} node expansions)")
+    saved = stale_remainder - replan.cost
+    print(f"  time saved by replanning:   {saved:.1f} min")
+
+    detour_shared = len(set(replan.path) & set(before.path[progress:]))
+    print(f"\nThe detour shares {detour_shared} of the stale route's "
+          f"{len(before.path) - progress} remaining nodes — the rest routes "
+          "around the congested corridor.")
+    print(
+        "\nThis is why the paper studies *single-pair* computation: with"
+        "\ntravel times changing in real time, precomputing all-pairs or"
+        "\nsingle-source answers is wasted work; each query is planned"
+        "\nfresh, and the estimator keeps each replan cheap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Dijkstra as an EQUEL program — the paper's literal methodology.
+
+"First, the algorithms implemented in EQUEL were run on the graphs and
+we obtained measurements of processing time."  EQUEL is QUEL embedded
+in a host language: the host drives the control flow, the database does
+every data operation. This example writes single-pair Dijkstra exactly
+that way against the simulated INGRES — every fetch, relaxation and
+status flip is a QUEL statement executed by :class:`repro.quel.QuelSession`,
+and the I/O ledger prices the whole run in Table 4A units.
+
+Run:  python examples/equel_program.py
+"""
+
+from repro.engine.relational_graph import RelationalGraph
+from repro.graphs.grid import make_paper_grid, paper_queries
+from repro.quel import QuelSession
+
+
+def equel_dijkstra(session, source, destination, node_count):
+    """Single-pair Dijkstra with all data operations in QUEL."""
+    # C4: open the source node.
+    session.execute(
+        f'REPLACE r (status = "open", path_cost = 0) '
+        f'WHERE r.node_id = "{source!r}"'
+    )
+    iterations = 0
+    while True:
+        # C5: select the best open node — a RETRIEVE of the frontier;
+        # the host picks the minimum (EQUEL's cursor loop).
+        frontier = session.execute(
+            'RETRIEVE (r.node_id, r.path_cost) WHERE r.status = "open"'
+        )
+        if not frontier:
+            return None, iterations
+        best = min(frontier, key=lambda row: row["path_cost"])
+        if best["node_id"] == destination:
+            return best["path_cost"], iterations
+        iterations += 1
+        if iterations > 4 * node_count:
+            raise RuntimeError("EQUEL Dijkstra failed to terminate")
+        # C6: move it to the explored set.
+        session.execute(
+            f'REPLACE r (status = "closed") '
+            f'WHERE r.node_id = "{best["node_id"]!r}"'
+        )
+        # C7: fetch the adjacency list — the join with S.
+        neighbors = session.execute(
+            f'RETRIEVE (s.end, s.cost) WHERE r.node_id = s.begin '
+            f'AND r.node_id = "{best["node_id"]!r}"'
+        )
+        # C8: conditional keyed REPLACE per neighbor.
+        for edge in neighbors:
+            new_cost = best["path_cost"] + edge["cost"]
+            session.execute(
+                f'REPLACE r (status = "open", path_cost = {new_cost!r}, '
+                f'path = "{best["node_id"]!r}") '
+                f'WHERE r.node_id = "{edge["end"]!r}" '
+                f'AND r.path_cost > {new_cost!r}'
+            )
+
+
+def main() -> None:
+    k = 10
+    graph = make_paper_grid(k, "variance")
+    query = paper_queries(k)["diagonal"]
+    rgraph = RelationalGraph(graph)
+    rgraph.fresh_node_relation(populate=True)  # R1, indexed on node_id
+    rgraph.stats.reset()
+
+    session = QuelSession(rgraph.db)
+    session.execute("RANGE OF s IS S")
+    session.execute("RANGE OF r IS R1")
+
+    print(f"EQUEL Dijkstra on the {k}x{k} variance grid, diagonal query\n")
+    cost, iterations = equel_dijkstra(
+        session, query.source, query.destination, graph.node_count
+    )
+    stats = rgraph.stats
+    print(f"shortest path cost: {cost:.3f}")
+    print(f"iterations:         {iterations}")
+    print(f"I/O ledger:         {stats.block_reads} reads, "
+          f"{stats.block_writes} writes, {stats.tuple_updates} updates")
+    print(f"execution cost:     {stats.cost:.1f} Table 4A units")
+
+    # Sanity: the in-memory planner agrees.
+    from repro.core.dijkstra import dijkstra_search
+
+    reference = dijkstra_search(graph, query.source, query.destination)
+    print(f"\nin-memory Dijkstra: cost {reference.cost:.3f} over "
+          f"{reference.iterations} iterations — "
+          f"{'MATCH' if abs(reference.cost - cost) < 1e-9 else 'MISMATCH'}")
+    print(
+        "\nEvery data operation above — frontier retrieval, status"
+        "\nflips, adjacency joins, conditional relaxations — executed as"
+        "\na parsed QUEL statement against the paged storage engine,"
+        "\nexactly the architecture the paper measured in 1993."
+    )
+
+
+if __name__ == "__main__":
+    main()

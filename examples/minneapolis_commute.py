@@ -1,0 +1,63 @@
+"""An ATIS commute on the Minneapolis road map.
+
+Plans the paper's A -> B cross-town trip, then exercises all three
+route-planning facilities of Section 1.1:
+
+* route computation — Dijkstra (optimal) vs A* with the manhattan
+  estimator (fast but possibly sub-optimal on this map: the paper's
+  speed/optimality trade-off, measured here);
+* route evaluation — travel time, congestion profile, and road-type
+  breakdown of the chosen route;
+* route display — turn-by-turn itinerary and an ASCII overview map.
+
+Run:  python examples/minneapolis_commute.py
+"""
+
+from repro import RoutePlanner
+from repro.core.display import ascii_map, format_itinerary
+from repro.core.evaluation import evaluate_route
+from repro.graphs.roadmap import make_minneapolis_map, road_queries
+
+
+def main() -> None:
+    road_map = make_minneapolis_map()
+    graph = road_map.graph
+    source, destination = road_queries(road_map)["A to B"]
+    print(f"Map: {graph}")
+    print(f"Trip: landmark A {source} -> landmark B {destination}\n")
+
+    planner = RoutePlanner()
+    optimal = planner.plan(graph, source, destination, "dijkstra")
+    fast = planner.plan(graph, source, destination, "astar", "manhattan")
+
+    print("-- route computation ----------------------------------------")
+    print(f"Dijkstra (optimal):   {optimal.cost:.3f} mi, "
+          f"{optimal.stats.nodes_expanded} nodes expanded")
+    print(f"A* manhattan (fast):  {fast.cost:.3f} mi, "
+          f"{fast.stats.nodes_expanded} nodes expanded")
+    gap = (fast.cost - optimal.cost) / optimal.cost
+    print(f"Optimality gap: +{gap:.1%} for a "
+          f"{optimal.stats.nodes_expanded / fast.stats.nodes_expanded:.1f}x "
+          f"reduction in search effort\n")
+
+    print("-- route evaluation -----------------------------------------")
+    evaluation = evaluate_route(road_map, fast.path)
+    print(f"Distance:     {evaluation.total_distance_miles:.2f} mi")
+    print(f"Travel time:  {evaluation.total_time_minutes:.1f} min")
+    print(f"Avg occupancy: {evaluation.average_occupancy:.0%} "
+          f"(congested distance share {evaluation.congested_fraction:.0%})")
+    for road_type, miles in sorted(evaluation.road_type_breakdown().items()):
+        print(f"  {road_type:<10} {miles:.2f} mi")
+    print()
+
+    print("-- route display --------------------------------------------")
+    itinerary = format_itinerary(graph, fast.path)
+    lines = itinerary.splitlines()
+    preview = lines[:8] + (["    ..."] if len(lines) > 9 else []) + lines[-1:]
+    print("\n".join(preview))
+    print()
+    print(ascii_map(graph, fast.path, width=64, height=22))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: plan a route on the paper's benchmark grid.
+
+Builds the 30x30 grid with 20% edge-cost variance (the paper's standard
+workload), runs all three of the paper's algorithms plus the library's
+extensions on the diagonal query, and prints a comparison — the 60-second
+tour of the public API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RoutePlanner, make_paper_grid
+from repro.graphs.grid import paper_queries
+
+
+def main() -> None:
+    graph = make_paper_grid(30, "variance")
+    query = paper_queries(30)["diagonal"]
+    print(f"Graph: {graph}")
+    print(f"Query: {query.source} -> {query.destination} (diagonal)\n")
+
+    planner = RoutePlanner()
+    runs = [
+        ("iterative", None),
+        ("dijkstra", None),
+        ("astar", "euclidean"),
+        ("astar", "manhattan"),
+        ("bidirectional", None),
+        ("greedy", "manhattan"),
+    ]
+    header = f"{'algorithm':<24}{'path cost':>10}{'edges':>7}{'expansions':>12}"
+    print(header)
+    print("-" * len(header))
+    for algorithm, estimator in runs:
+        result = planner.plan(
+            graph, query.source, query.destination, algorithm, estimator
+        )
+        label = algorithm + (f" ({estimator})" if estimator else "")
+        print(
+            f"{label:<24}{result.cost:>10.3f}{result.path_length:>7}"
+            f"{result.stats.nodes_expanded:>12}"
+        )
+
+    print(
+        "\nNote how the estimator-guided searches expand far fewer nodes"
+        "\nthan Dijkstra on the same optimal-cost path, while greedy"
+        "\nbest-first trades optimality for raw speed — the exact design"
+        "\nspace the paper maps out for ATIS route computation."
+    )
+
+
+if __name__ == "__main__":
+    main()

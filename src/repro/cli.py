@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``route``      plan a single-pair route on a generated or loaded graph;
+``compare``    run the paper's three algorithms on one query;
+``alternatives`` list the K best (or diverse) routes;
+``experiment`` run one registered experiment (E1..E10) and print its
+               rendered tables;
+``report``     regenerate the full EXPERIMENTS.md content;
+``info``       summarize a graph (size, degree stats, diameter).
+
+Graphs are specified with ``--graph``: ``grid:K[:costmodel[:seed]]``
+(e.g. ``grid:30:variance``), ``minneapolis[:seed]``, or ``json:PATH``
+for a file written by :func:`repro.graphs.io.save_json`. Node ids on
+the command line are parsed as Python literals (``"(0, 0)"``) with a
+plain-string fallback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import List, Optional, Tuple
+
+from repro.graphs.graph import Graph, NodeId
+from repro.graphs.grid import make_paper_grid
+from repro.graphs.io import load_json
+from repro.graphs.roadmap import make_minneapolis_map
+from repro.core.kshortest import diverse_alternatives, k_shortest_paths
+from repro.core.planner import RoutePlanner
+
+
+def _parse_node(text: str) -> NodeId:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _load_graph(spec: str) -> Graph:
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind == "grid":
+        if len(parts) < 2:
+            raise SystemExit("grid graphs need a size: grid:K[:model[:seed]]")
+        k = int(parts[1])
+        model = parts[2] if len(parts) > 2 else "variance"
+        seed = int(parts[3]) if len(parts) > 3 else 1993
+        return make_paper_grid(k, model, seed=seed)
+    if kind == "minneapolis":
+        seed = int(parts[1]) if len(parts) > 1 else 1993
+        return make_minneapolis_map(seed=seed).graph
+    if kind == "json":
+        if len(parts) < 2:
+            raise SystemExit("json graphs need a path: json:PATH")
+        return load_json(":".join(parts[1:]))
+    raise SystemExit(
+        f"unknown graph spec {spec!r}; use grid:K[:model[:seed]], "
+        "minneapolis[:seed] or json:PATH"
+    )
+
+
+def _resolve_endpoints(graph: Graph, args) -> Tuple[NodeId, NodeId]:
+    source = _parse_node(args.source)
+    destination = _parse_node(args.destination)
+    if args.graph.startswith("minneapolis"):
+        # Allow landmark letters on the road map.
+        landmarks = make_minneapolis_map(
+            seed=int(args.graph.split(":")[1]) if ":" in args.graph else 1993
+        ).landmarks
+        source = landmarks.get(args.source, source)
+        destination = landmarks.get(args.destination, destination)
+    return source, destination
+
+
+def _cmd_route(args) -> int:
+    graph = _load_graph(args.graph)
+    source, destination = _resolve_endpoints(graph, args)
+    planner = RoutePlanner()
+    result = planner.plan(
+        graph, source, destination, args.algorithm, args.estimator, args.weight
+    )
+    if not result.found:
+        print(f"no route from {source!r} to {destination!r}")
+        return 1
+    print(f"cost {result.cost:.4f} over {result.path_length} edges "
+          f"({result.stats.nodes_expanded} nodes expanded)")
+    if args.show_path:
+        print(" -> ".join(repr(node) for node in result.path))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph = _load_graph(args.graph)
+    source, destination = _resolve_endpoints(graph, args)
+    planner = RoutePlanner()
+    suite = planner.plan_paper_suite(graph, source, destination)
+    header = f"{'algorithm':<12}{'iterations':>12}{'cost':>12}{'expanded':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, result in suite.items():
+        cost = f"{result.cost:.4f}" if result.found else "unreachable"
+        print(f"{name:<12}{result.iterations:>12}{cost:>12}"
+              f"{result.stats.nodes_expanded:>10}")
+    return 0
+
+
+def _cmd_alternatives(args) -> int:
+    graph = _load_graph(args.graph)
+    source, destination = _resolve_endpoints(graph, args)
+    if args.diverse:
+        routes = diverse_alternatives(
+            graph, source, destination, count=args.k,
+            max_overlap=args.max_overlap,
+        )
+    else:
+        routes = k_shortest_paths(graph, source, destination, args.k)
+    if not routes:
+        print(f"no route from {source!r} to {destination!r}")
+        return 1
+    for rank, result in enumerate(routes, start=1):
+        print(f"{rank}. cost {result.cost:.4f} over "
+              f"{result.path_length} edges")
+        if args.show_path:
+            print("   " + " -> ".join(repr(node) for node in result.path))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.spec import get_experiment
+
+    spec = get_experiment(args.experiment_id)
+    result = spec.runner()
+    print(spec.renderer(result))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    report = generate_report(verbose=not args.quiet)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.graphs.analysis import (
+        degree_statistics,
+        hop_diameter,
+        weakly_connected_components,
+    )
+
+    graph = _load_graph(args.graph)
+    stats = degree_statistics(graph)
+    components = weakly_connected_components(graph)
+    print(f"name:        {graph.name}")
+    print(f"nodes:       {graph.node_count}")
+    print(f"edges:       {graph.edge_count} (directed)")
+    print(f"degree:      min {stats.minimum} / avg {stats.average:.2f} / "
+          f"max {stats.maximum}")
+    print(f"components:  {len(components)} "
+          f"(largest {len(components[0]) if components else 0})")
+    print(f"hop diameter (sampled): {hop_diameter(graph, sample=16)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ATIS path computation (ICDE 1993 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_and_pair(sub):
+        sub.add_argument("--graph", default="grid:30:variance",
+                         help="grid:K[:model[:seed]] | minneapolis[:seed] | json:PATH")
+        sub.add_argument("source", help="source node id (or landmark letter)")
+        sub.add_argument("destination", help="destination node id")
+
+    route = commands.add_parser("route", help="plan one route")
+    add_graph_and_pair(route)
+    route.add_argument("--algorithm", default="astar")
+    route.add_argument("--estimator", default="euclidean")
+    route.add_argument("--weight", type=float, default=1.0)
+    route.add_argument("--show-path", action="store_true")
+    route.set_defaults(func=_cmd_route)
+
+    compare = commands.add_parser(
+        "compare", help="run the paper's three algorithms on one query"
+    )
+    add_graph_and_pair(compare)
+    compare.set_defaults(func=_cmd_compare)
+
+    alternatives = commands.add_parser(
+        "alternatives", help="K best (or diverse) routes"
+    )
+    add_graph_and_pair(alternatives)
+    alternatives.add_argument("-k", type=int, default=3)
+    alternatives.add_argument("--diverse", action="store_true")
+    alternatives.add_argument("--max-overlap", type=float, default=0.7)
+    alternatives.add_argument("--show-path", action="store_true")
+    alternatives.set_defaults(func=_cmd_alternatives)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one registered experiment (E1..E10)"
+    )
+    experiment.add_argument("experiment_id")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    report = commands.add_parser(
+        "report", help="regenerate the full experiment report"
+    )
+    report.add_argument("--output", "-o", default=None)
+    report.add_argument("--quiet", "-q", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    info = commands.add_parser("info", help="summarize a graph")
+    info.add_argument("--graph", default="grid:30:variance")
+    info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Transitive-closure and all-pairs algorithms — the paper's backdrop.
+
+Section 1.2 positions single-pair computation against the transitive
+closure literature: "Previous evaluation of the transitive closure
+algorithms examined the iterative, logarithmic, Warren's, Depth first
+search (DFS), hybrid, and spanning-tree-based algorithms." These are
+the algorithms ATIS would have inherited from 1980s database research —
+they answer *every* pair at once, which is exactly the "irrelevant
+computation" the paper's single-pair algorithms avoid.
+
+This subpackage implements the classic family so the reproduction can
+quantify the paper's motivating claim: for a traveller who wants one
+route on a map whose costs change constantly, computing (and
+recomputing) a closure is dramatically more work than a single-pair
+search.
+
+* :func:`seminaive_closure` — the iterative (semi-naive) fixpoint;
+* :func:`warshall_closure` — Warshall's bit-style triple loop;
+* :func:`warren_closure` — Warren's two-pass variant;
+* :func:`logarithmic_closure` — repeated squaring of the adjacency
+  relation (the "logarithmic" algorithm);
+* :func:`dfs_closure` — one DFS per source node;
+* :func:`floyd_warshall_paths` — the cost-aware all-pairs analogue
+  (shortest path weights, not just reachability).
+"""
+
+from repro.closure.reachability import (
+    dfs_closure,
+    logarithmic_closure,
+    seminaive_closure,
+    warren_closure,
+    warshall_closure,
+)
+from repro.closure.allpairs import (
+    AllPairsResult,
+    floyd_warshall_paths,
+    repeated_dijkstra_paths,
+)
+
+__all__ = [
+    "seminaive_closure",
+    "warshall_closure",
+    "warren_closure",
+    "logarithmic_closure",
+    "dfs_closure",
+    "AllPairsResult",
+    "floyd_warshall_paths",
+    "repeated_dijkstra_paths",
+]

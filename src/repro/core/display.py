@@ -1,0 +1,166 @@
+"""Route display — the third ATIS facility of Section 1.1.
+
+"The goal of route display is to effectively communicate the optimal
+route to the traveller for navigation."
+
+Two presentations are provided: turn-by-turn driving instructions
+derived from the path geometry, and a coarse ASCII map overlaying the
+route on the network (the in-dash display of 1993, faithfully low-fi).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph, NodeId
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One step of a turn-by-turn itinerary."""
+
+    action: str  # "depart", "continue", "turn left", ...
+    heading: str  # compass direction after the action
+    distance: float  # length of the leg that follows
+    node: NodeId  # where the action happens
+
+    def __str__(self) -> str:
+        return f"{self.action} heading {self.heading} for {self.distance:.2f}"
+
+
+_COMPASS = (
+    (0.0, "east"),
+    (45.0, "northeast"),
+    (90.0, "north"),
+    (135.0, "northwest"),
+    (180.0, "west"),
+    (-135.0, "southwest"),
+    (-90.0, "south"),
+    (-45.0, "southeast"),
+    (-180.0, "west"),
+)
+
+
+def _heading_name(angle_degrees: float) -> str:
+    best_name = "east"
+    best_delta = 360.0
+    for reference, name in _COMPASS:
+        delta = abs(angle_degrees - reference)
+        if delta < best_delta:
+            best_delta = delta
+            best_name = name
+    return best_name
+
+
+def _turn_action(turn_degrees: float) -> str:
+    """Classify the signed heading change into a driver instruction."""
+    if turn_degrees > 180.0:
+        turn_degrees -= 360.0
+    if turn_degrees < -180.0:
+        turn_degrees += 360.0
+    if abs(turn_degrees) < 30.0:
+        return "continue"
+    if abs(turn_degrees) > 150.0:
+        return "make a U-turn"
+    if turn_degrees > 0:
+        return "turn left" if turn_degrees > 60.0 else "bear left"
+    return "turn right" if turn_degrees < -60.0 else "bear right"
+
+
+def turn_by_turn(graph: Graph, path: Sequence[NodeId]) -> List[Instruction]:
+    """Derive driving instructions from the path geometry.
+
+    Consecutive "continue" legs along the same heading are merged, so
+    a straight ten-block run becomes one instruction.
+    """
+    path = list(path)
+    if len(path) < 2:
+        raise GraphError("a route needs at least two nodes to display")
+    if not graph.is_valid_path(path):
+        raise GraphError(f"not a valid path on {graph.name!r}")
+
+    legs = []
+    for u, v in zip(path, path[1:]):
+        (ux, uy), (vx, vy) = graph.coordinates(u), graph.coordinates(v)
+        angle = math.degrees(math.atan2(vy - uy, vx - ux))
+        legs.append((u, v, angle, graph.edge_cost(u, v)))
+
+    instructions: List[Instruction] = []
+    first_u, _v, first_angle, first_cost = legs[0]
+    instructions.append(
+        Instruction("depart", _heading_name(first_angle), first_cost, first_u)
+    )
+    previous_angle = first_angle
+    for u, _v, angle, cost in legs[1:]:
+        action = _turn_action(angle - previous_angle)
+        if action == "continue" and instructions:
+            last = instructions[-1]
+            instructions[-1] = Instruction(
+                last.action, last.heading, last.distance + cost, last.node
+            )
+        else:
+            instructions.append(
+                Instruction(action, _heading_name(angle), cost, u)
+            )
+        previous_angle = angle
+    return instructions
+
+
+def format_itinerary(
+    graph: Graph, path: Sequence[NodeId], unit: str = "mi"
+) -> str:
+    """Printable itinerary with a final arrival line."""
+    steps = turn_by_turn(graph, path)
+    lines = [
+        f"{i + 1:>2}. {step.action} heading {step.heading} "
+        f"for {step.distance:.2f} {unit}"
+        for i, step in enumerate(steps)
+    ]
+    total = sum(step.distance for step in steps)
+    lines.append(f"    arrive at {path[-1]!r} — {total:.2f} {unit} total")
+    return "\n".join(lines)
+
+
+def ascii_map(
+    graph: Graph,
+    path: Sequence[NodeId],
+    width: int = 60,
+    height: int = 24,
+    source_mark: str = "S",
+    destination_mark: str = "D",
+) -> str:
+    """Overlay the route ('#') on the network ('.') in a character grid."""
+    path = list(path)
+    if width < 2 or height < 2:
+        raise GraphError("display must be at least 2x2 characters")
+    xs = [node.x for node in graph.nodes()]
+    ys = [node.y for node in graph.nodes()]
+    if not xs:
+        raise GraphError("cannot display an empty graph")
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+
+    def cell(node_id: NodeId):
+        x, y = graph.coordinates(node_id)
+        col = int((x - min_x) / span_x * (width - 1))
+        row = int((y - min_y) / span_y * (height - 1))
+        return (height - 1 - row), col  # north at the top
+
+    canvas = [[" "] * width for _ in range(height)]
+    for node in graph.nodes():
+        r, c = cell(node.node_id)
+        canvas[r][c] = "."
+    for node_id in path:
+        r, c = cell(node_id)
+        canvas[r][c] = "#"
+    if path:
+        r, c = cell(path[0])
+        canvas[r][c] = source_mark
+        r, c = cell(path[-1])
+        canvas[r][c] = destination_mark
+    return "\n".join("".join(row) for row in canvas)

@@ -1,0 +1,246 @@
+"""Estimator functions f(u, d) for best-first search (Section 5.3.2).
+
+An estimator guesses the cost of the cheapest remaining path from a
+node ``u`` to the destination ``d``. The paper studies two concrete
+estimators:
+
+* **euclidean** — straight-line distance; "always underestimates the
+  cost of the shortest path" when edge costs are at least the distance
+  between their endpoints;
+* **manhattan** — L1 distance; "a perfect estimate of the length of the
+  shortest path between nodes in grid graphs with a uniform cost
+  model", but *not* admissible on the Minneapolis data set, where A*
+  version 3 therefore loses its optimality guarantee.
+
+We add a zero estimator (turning A* into Dijkstra, useful for tests and
+for the paper's remark that "best-first search without estimator
+functions is not very different from Dijkstra's algorithm"), a scaling
+wrapper (to study the optimality/speed trade-off named as future work),
+and a landmark (ALT) estimator as a modern extension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Protocol
+
+from repro.graphs.graph import Graph, NodeId
+
+
+class Estimator(Protocol):
+    """Protocol every estimator implements."""
+
+    name: str
+
+    def prepare(self, graph: Graph, destination: NodeId) -> None:
+        """One-time setup per query (e.g. cache destination coords)."""
+        ...
+
+    def estimate(self, graph: Graph, node: NodeId, destination: NodeId) -> float:
+        """Estimated remaining cost from ``node`` to ``destination``."""
+        ...
+
+
+class ZeroEstimator:
+    """f(u, d) = 0 — reduces A* to Dijkstra's algorithm."""
+
+    name = "zero"
+
+    def prepare(self, graph: Graph, destination: NodeId) -> None:
+        return None
+
+    def estimate(self, graph: Graph, node: NodeId, destination: NodeId) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "ZeroEstimator()"
+
+
+class EuclideanEstimator:
+    """Straight-line distance between node coordinates, scaled.
+
+    ``cost_per_unit`` converts geometric distance into edge-cost units:
+    for distance-cost road maps it is 1.0; when edge costs are travel
+    times it should be 1 / v_max (the fastest possible speed) to stay
+    admissible.
+    """
+
+    name = "euclidean"
+
+    def __init__(self, cost_per_unit: float = 1.0) -> None:
+        if cost_per_unit < 0:
+            raise ValueError("cost_per_unit must be non-negative")
+        self.cost_per_unit = cost_per_unit
+        self._dest_xy: Optional[tuple] = None
+
+    def prepare(self, graph: Graph, destination: NodeId) -> None:
+        self._dest_xy = graph.coordinates(destination)
+
+    def estimate(self, graph: Graph, node: NodeId, destination: NodeId) -> float:
+        if self._dest_xy is None:
+            self.prepare(graph, destination)
+        x, y = graph.coordinates(node)
+        dx, dy = self._dest_xy
+        return self.cost_per_unit * math.hypot(x - dx, y - dy)
+
+    def __repr__(self) -> str:
+        return f"EuclideanEstimator(cost_per_unit={self.cost_per_unit})"
+
+
+class ManhattanEstimator:
+    """L1 (city-block) distance between node coordinates, scaled.
+
+    Perfect on uniform-cost grids; *may overestimate* on general road
+    maps (the paper's Minneapolis caveat), in which case A* can return
+    sub-optimal paths — the planners surface this via the
+    ``admissible`` flag on the estimator.
+    """
+
+    name = "manhattan"
+
+    def __init__(self, cost_per_unit: float = 1.0) -> None:
+        if cost_per_unit < 0:
+            raise ValueError("cost_per_unit must be non-negative")
+        self.cost_per_unit = cost_per_unit
+        self._dest_xy: Optional[tuple] = None
+
+    def prepare(self, graph: Graph, destination: NodeId) -> None:
+        self._dest_xy = graph.coordinates(destination)
+
+    def estimate(self, graph: Graph, node: NodeId, destination: NodeId) -> float:
+        if self._dest_xy is None:
+            self.prepare(graph, destination)
+        x, y = graph.coordinates(node)
+        dx, dy = self._dest_xy
+        return self.cost_per_unit * (abs(x - dx) + abs(y - dy))
+
+    def __repr__(self) -> str:
+        return f"ManhattanEstimator(cost_per_unit={self.cost_per_unit})"
+
+
+class ScaledEstimator:
+    """Multiply another estimator by a weight (weighted A*).
+
+    A weight > 1 trades optimality for speed — the exact trade-off the
+    paper flags for future work ("the tradeoff between optimality and
+    speed may allow for sub-optimal algorithms to speed the
+    processing"). Weight 1 leaves the inner estimator unchanged; weight
+    0 yields Dijkstra.
+    """
+
+    def __init__(self, inner: Estimator, weight: float) -> None:
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        self.inner = inner
+        self.weight = weight
+        self.name = f"{inner.name}*{weight:g}"
+
+    def prepare(self, graph: Graph, destination: NodeId) -> None:
+        self.inner.prepare(graph, destination)
+
+    def estimate(self, graph: Graph, node: NodeId, destination: NodeId) -> float:
+        return self.weight * self.inner.estimate(graph, node, destination)
+
+    def __repr__(self) -> str:
+        return f"ScaledEstimator({self.inner!r}, weight={self.weight})"
+
+
+class LandmarkEstimator:
+    """ALT (A*, Landmarks, Triangle inequality) estimator — an extension.
+
+    Pre-computes exact shortest-path distances from a handful of
+    landmark nodes to every node, then lower-bounds the remaining cost
+    via the triangle inequality::
+
+        dist(u, d) >= max_L |dist(L, d) - dist(L, u)|
+
+    This is always admissible and consistent regardless of geometry, so
+    it restores A*'s optimality guarantee on road maps where manhattan
+    distance overestimates. Preprocessing runs one Dijkstra per
+    landmark on the reversed and forward graphs.
+    """
+
+    name = "landmark"
+
+    def __init__(self, landmarks: Iterable[NodeId]) -> None:
+        self.landmarks: List[NodeId] = list(landmarks)
+        if not self.landmarks:
+            raise ValueError("at least one landmark is required")
+        self._from_landmark: Dict[NodeId, Dict[NodeId, float]] = {}
+        self._to_landmark: Dict[NodeId, Dict[NodeId, float]] = {}
+        self._prepared_for: Optional[int] = None
+        self._dest_bounds: List[tuple] = []
+
+    @staticmethod
+    def _sssp(graph: Graph, source: NodeId) -> Dict[NodeId, float]:
+        """Plain single-source Dijkstra used for preprocessing."""
+        import heapq
+
+        dist: Dict[NodeId, float] = {source: 0.0}
+        heap = [(0.0, 0, source)]
+        counter = 1
+        settled = set()
+        while heap:
+            d, _, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            for v, cost in graph.neighbors(u):
+                nd = d + cost
+                if nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, counter, v))
+                    counter += 1
+        return dist
+
+    def preprocess(self, graph: Graph) -> None:
+        """Run the per-landmark Dijkstras; call once per graph."""
+        reversed_graph = graph.reversed()
+        for landmark in self.landmarks:
+            self._from_landmark[landmark] = self._sssp(graph, landmark)
+            self._to_landmark[landmark] = self._sssp(reversed_graph, landmark)
+        self._prepared_for = id(graph)
+
+    def prepare(self, graph: Graph, destination: NodeId) -> None:
+        if self._prepared_for != id(graph):
+            self.preprocess(graph)
+        self._dest_bounds = []
+        for landmark in self.landmarks:
+            d_ld = self._from_landmark[landmark].get(destination, math.inf)
+            d_dl = self._to_landmark[landmark].get(destination, math.inf)
+            self._dest_bounds.append((landmark, d_ld, d_dl))
+
+    def estimate(self, graph: Graph, node: NodeId, destination: NodeId) -> float:
+        if not self._dest_bounds:
+            self.prepare(graph, destination)
+        best = 0.0
+        for landmark, dist_l_dest, dist_dest_l in self._dest_bounds:
+            dist_l_node = self._from_landmark[landmark].get(node, math.inf)
+            dist_node_l = self._to_landmark[landmark].get(node, math.inf)
+            # dist(node, dest) >= dist(L, dest) - dist(L, node)
+            if math.isfinite(dist_l_dest) and math.isfinite(dist_l_node):
+                best = max(best, dist_l_dest - dist_l_node)
+            # dist(node, dest) >= dist(node, L) - dist(dest, L)
+            if math.isfinite(dist_node_l) and math.isfinite(dist_dest_l):
+                best = max(best, dist_node_l - dist_dest_l)
+        return max(0.0, best)
+
+    def __repr__(self) -> str:
+        return f"LandmarkEstimator(landmarks={self.landmarks!r})"
+
+
+_ESTIMATOR_FACTORIES = {
+    "zero": ZeroEstimator,
+    "euclidean": EuclideanEstimator,
+    "manhattan": ManhattanEstimator,
+}
+
+
+def make_estimator(name: str, **kwargs) -> Estimator:
+    """Factory for the named estimators used throughout the experiments."""
+    try:
+        factory = _ESTIMATOR_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_ESTIMATOR_FACTORIES))
+        raise ValueError(f"unknown estimator {name!r}; known: {known}") from None
+    return factory(**kwargs)

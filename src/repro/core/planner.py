@@ -1,0 +1,180 @@
+"""RoutePlanner facade: one entry point over all single-pair algorithms.
+
+This is the public API a downstream ATIS application uses::
+
+    from repro import RoutePlanner, make_grid
+
+    planner = RoutePlanner()
+    result = planner.plan(make_grid(30), (0, 0), (29, 29), algorithm="astar",
+                          estimator="manhattan")
+    print(result.path, result.cost, result.iterations)
+
+Algorithms are looked up in a registry so that extensions (bidirectional
+search, greedy best-first, user-supplied planners) compose with the
+experiment harness without modifying it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.exceptions import UnknownAlgorithmError
+from repro.graphs.graph import Graph, NodeId
+from repro.core.astar import astar_search, greedy_best_first_search
+from repro.core.bidirectional import bidirectional_search
+from repro.core.dijkstra import dijkstra_search
+from repro.core.estimators import (
+    Estimator,
+    EuclideanEstimator,
+    ManhattanEstimator,
+    ScaledEstimator,
+    ZeroEstimator,
+    make_estimator,
+)
+from repro.core.iterative import iterative_search
+from repro.core.result import PathResult
+
+PlannerFunc = Callable[..., PathResult]
+
+
+def _plan_iterative(
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+) -> PathResult:
+    return iterative_search(graph, source, destination)
+
+
+def _plan_dijkstra(
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+) -> PathResult:
+    return dijkstra_search(graph, source, destination)
+
+
+def _plan_astar(
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+) -> PathResult:
+    return astar_search(graph, source, destination, estimator=estimator)
+
+
+def _plan_greedy(
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+) -> PathResult:
+    return greedy_best_first_search(graph, source, destination, estimator)
+
+
+def _plan_bidirectional(
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+) -> PathResult:
+    return bidirectional_search(graph, source, destination)
+
+
+class RoutePlanner:
+    """Facade dispatching to registered single-pair path algorithms.
+
+    The three paper algorithms are pre-registered under ``iterative``,
+    ``dijkstra`` and ``astar``; the extensions under ``greedy`` and
+    ``bidirectional``. Custom algorithms can be registered with
+    :meth:`register`; they receive ``(graph, source, destination,
+    estimator)`` and must return a :class:`PathResult`.
+    """
+
+    def __init__(self) -> None:
+        self._registry: Dict[str, PlannerFunc] = {}
+        self.register("iterative", _plan_iterative)
+        self.register("dijkstra", _plan_dijkstra)
+        self.register("astar", _plan_astar)
+        self.register("greedy", _plan_greedy)
+        self.register("bidirectional", _plan_bidirectional)
+
+    def register(self, name: str, func: PlannerFunc) -> None:
+        """Add (or replace) an algorithm under ``name``."""
+        if not name or not isinstance(name, str):
+            raise ValueError("algorithm name must be a non-empty string")
+        self._registry[name] = func
+
+    def algorithms(self) -> Tuple[str, ...]:
+        """Names of all registered algorithms, sorted."""
+        return tuple(sorted(self._registry))
+
+    def _resolve_estimator(
+        self, estimator: "str | Estimator | None", weight: float
+    ) -> Estimator:
+        if estimator is None:
+            resolved: Estimator = EuclideanEstimator()
+        elif isinstance(estimator, str):
+            resolved = make_estimator(estimator)
+        else:
+            resolved = estimator
+        if weight != 1.0:
+            resolved = ScaledEstimator(resolved, weight)
+        return resolved
+
+    def plan(
+        self,
+        graph: Graph,
+        source: NodeId,
+        destination: NodeId,
+        algorithm: str = "astar",
+        estimator: "str | Estimator | None" = None,
+        weight: float = 1.0,
+    ) -> PathResult:
+        """Compute a route from ``source`` to ``destination``.
+
+        Parameters
+        ----------
+        algorithm:
+            Registered algorithm name (default ``astar``).
+        estimator:
+            Estimator name (``zero`` / ``euclidean`` / ``manhattan``) or
+            instance; ignored by algorithms that take no estimator.
+            Defaults to euclidean, the paper's always-admissible choice
+            for distance-cost maps.
+        weight:
+            Optional estimator scaling (weighted A*); 1.0 is exact.
+        """
+        try:
+            func = self._registry[algorithm]
+        except KeyError:
+            raise UnknownAlgorithmError(algorithm, self.algorithms()) from None
+        resolved = self._resolve_estimator(estimator, weight)
+        return func(graph, source, destination, resolved)
+
+    def plan_paper_suite(
+        self, graph: Graph, source: NodeId, destination: NodeId
+    ) -> Dict[str, PathResult]:
+        """Run the paper's three algorithms on one query.
+
+        Returns results keyed ``iterative`` / ``dijkstra`` /
+        ``astar-v3`` (A* with the manhattan estimator, the paper's best
+        version), the combination every comparison table uses.
+        """
+        return {
+            "iterative": self.plan(graph, source, destination, "iterative"),
+            "dijkstra": self.plan(graph, source, destination, "dijkstra"),
+            "astar-v3": self.plan(
+                graph, source, destination, "astar", estimator="manhattan"
+            ),
+        }
+
+
+_DEFAULT_PLANNER: Optional[RoutePlanner] = None
+
+
+def default_planner() -> RoutePlanner:
+    """A lazily created module-level planner for one-liner use."""
+    global _DEFAULT_PLANNER
+    if _DEFAULT_PLANNER is None:
+        _DEFAULT_PLANNER = RoutePlanner()
+    return _DEFAULT_PLANNER
+
+
+def plan_route(
+    graph: Graph,
+    source: NodeId,
+    destination: NodeId,
+    algorithm: str = "astar",
+    estimator: "str | Estimator | None" = None,
+) -> PathResult:
+    """Convenience wrapper around :meth:`RoutePlanner.plan`."""
+    return default_planner().plan(
+        graph, source, destination, algorithm=algorithm, estimator=estimator
+    )

@@ -1,0 +1,61 @@
+"""Analytical cost model — Section 4 of the paper."""
+
+from repro.costmodel.params import (
+    CostParameters,
+    PAPER_TABLE_4A,
+    parameters_for_grid,
+)
+from repro.costmodel.join_cost import (
+    STRATEGY_COSTS,
+    hash_join_cost,
+    join_cost,
+    nested_loop_cost,
+    primary_key_cost,
+    sort_merge_cost,
+)
+from repro.costmodel.iterative_model import (
+    IterativeCostBreakdown,
+    iterative_init_cost,
+    iterative_iteration_cost,
+    predict_iterative,
+)
+from repro.costmodel.dijkstra_model import (
+    BestFirstCostBreakdown,
+    best_first_cleanup_cost,
+    best_first_init_cost,
+    best_first_iteration_cost,
+    predict_best_first,
+)
+from repro.costmodel.predictor import (
+    CostPrediction,
+    predict_from_iterations,
+    predict_run,
+    prediction_error,
+    table_4b,
+)
+
+__all__ = [
+    "CostParameters",
+    "PAPER_TABLE_4A",
+    "parameters_for_grid",
+    "STRATEGY_COSTS",
+    "join_cost",
+    "nested_loop_cost",
+    "hash_join_cost",
+    "sort_merge_cost",
+    "primary_key_cost",
+    "IterativeCostBreakdown",
+    "iterative_init_cost",
+    "iterative_iteration_cost",
+    "predict_iterative",
+    "BestFirstCostBreakdown",
+    "best_first_init_cost",
+    "best_first_iteration_cost",
+    "best_first_cleanup_cost",
+    "predict_best_first",
+    "CostPrediction",
+    "predict_from_iterations",
+    "predict_run",
+    "prediction_error",
+    "table_4b",
+]

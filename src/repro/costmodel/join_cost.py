@@ -1,0 +1,122 @@
+"""Algebraic join-cost function F(B1, B2, B3) — Section 4 of the paper.
+
+Pure-arithmetic mirror of the executable strategies in
+:mod:`repro.query.joins`: given the block counts of the outer input,
+inner input and result, each formula returns the predicted cost in
+Table 4A units, and :func:`join_cost` returns the cheapest (what the
+paper's optimizer simulation picked). :func:`nested_loop_cost` is the
+instantiation Section 4.3's worked example uses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import CostModelError
+from repro.costmodel.params import CostParameters
+
+
+def _check(b1: float, b2: float, b3: float) -> None:
+    if min(b1, b2, b3) < 0:
+        raise CostModelError("block counts must be non-negative")
+
+
+def nested_loop_cost(
+    b1: float, b2: float, b3: float, params: CostParameters
+) -> float:
+    """F = B1*t_read + (B1*B2)*t_read + B3*t_write (the paper's example)."""
+    _check(b1, b2, b3)
+    return b1 * params.t_read + b1 * b2 * params.t_read + b3 * params.t_write
+
+
+def hash_join_cost(
+    b1: float, b2: float, b3: float, params: CostParameters
+) -> float:
+    """Read both inputs once, write the result."""
+    _check(b1, b2, b3)
+    return (b1 + b2) * params.t_read + b3 * params.t_write
+
+
+def sort_merge_cost(
+    b1: float, b2: float, b3: float, params: CostParameters
+) -> float:
+    """Sort both inputs (B log B updates each), then merge-read."""
+    _check(b1, b2, b3)
+
+    def sort_term(blocks: float) -> float:
+        if blocks <= 1:
+            return 0.0
+        return blocks * math.log2(blocks) * params.t_update
+
+    return (
+        sort_term(b1)
+        + sort_term(b2)
+        + (b1 + b2) * params.t_read
+        + b3 * params.t_write
+    )
+
+
+def primary_key_cost(
+    b1: float,
+    b2: float,
+    b3: float,
+    params: CostParameters,
+    outer_tuples: Optional[float] = None,
+) -> float:
+    """Probe the inner's primary index once per outer tuple.
+
+    Each probe touches the bucket page and one data page (two block
+    reads), matching the executable strategy's charge.
+    """
+    _check(b1, b2, b3)
+    if outer_tuples is None:
+        outer_tuples = b1 * params.bf_r
+    return (
+        b1 * params.t_read
+        + outer_tuples * 2 * params.t_read
+        + b3 * params.t_write
+    )
+
+
+STRATEGY_COSTS = {
+    "nested-loop": nested_loop_cost,
+    "hash": hash_join_cost,
+    "sort-merge": sort_merge_cost,
+    "primary-key": primary_key_cost,
+}
+
+
+def join_cost(
+    b1: float,
+    b2: float,
+    b3: float,
+    params: CostParameters,
+    outer_tuples: Optional[float] = None,
+    strategy: Optional[str] = None,
+) -> Tuple[float, str]:
+    """Evaluate F(B1, B2, B3); return (cost, strategy name).
+
+    With ``strategy`` given, cost that plan alone (the worked example in
+    Section 4.3 forces nested-loop); otherwise return the cheapest.
+    """
+    if strategy is not None:
+        try:
+            formula = STRATEGY_COSTS[strategy]
+        except KeyError:
+            raise CostModelError(
+                f"unknown join strategy {strategy!r}; known: "
+                f"{', '.join(sorted(STRATEGY_COSTS))}"
+            ) from None
+        if strategy == "primary-key":
+            return formula(b1, b2, b3, params, outer_tuples), strategy
+        return formula(b1, b2, b3, params), strategy
+
+    costs: Dict[str, float] = {
+        "nested-loop": nested_loop_cost(b1, b2, b3, params),
+        "hash": hash_join_cost(b1, b2, b3, params),
+        "sort-merge": sort_merge_cost(b1, b2, b3, params),
+        "primary-key": primary_key_cost(b1, b2, b3, params, outer_tuples),
+    }
+    best = min(sorted(costs), key=lambda name: costs[name])
+    return costs[best], best

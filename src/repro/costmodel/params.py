@@ -1,0 +1,128 @@
+"""Cost-model parameters — Table 4A of the paper.
+
+:class:`CostParameters` carries every symbol of Table 1 that the
+algebraic formulas need, pre-loaded with the Table 4A values for the
+30x30 grid. :meth:`CostParameters.for_graph` derives the graph-size
+dependent quantities (|S|, |R|, block counts, index level) for any
+benchmark graph, holding the hardware constants fixed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.exceptions import CostModelError
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    if denominator <= 0:
+        raise CostModelError("blocking factors must be positive")
+    return -(-numerator // denominator)
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Table 4A parameter set (defaults: the paper's 30x30 grid)."""
+
+    # Fixed charges (units).
+    create_cost: float = 0.5  # I: creating a temporary relation
+    delete_cost: float = 0.5  # D_t: deleting all tuples of a relation
+    # Unit times.
+    t_read: float = 0.035
+    t_write: float = 0.05
+    t_update: float = 0.085
+    # Index / selection characteristics.
+    index_levels: int = 3  # I_l
+    selection_cardinality: int = 1  # S_r
+    # Graph-shape parameters.
+    adjacency: float = 4.0  # |A|: average neighbors per node
+    edge_tuples: int = 3480  # |S|
+    node_tuples: int = 900  # |R|
+    # Physical layout.
+    block_size: int = 4096  # B
+    edge_tuple_size: int = 32  # T_s
+    node_tuple_size: int = 16  # T_r
+
+    # ------------------------------------------------------------------
+    # derived quantities (Table 1)
+    # ------------------------------------------------------------------
+    @property
+    def bf_s(self) -> int:
+        """Blocking factor of S: B / T_s (128 in Table 4A)."""
+        return self.block_size // self.edge_tuple_size
+
+    @property
+    def bf_r(self) -> int:
+        """Blocking factor of R: B / T_r (256 in Table 4A)."""
+        return self.block_size // self.node_tuple_size
+
+    @property
+    def bf_rs(self) -> int:
+        """Blocking factor of R x S results: B / (T_r + T_s) (85-86)."""
+        return self.block_size // (self.node_tuple_size + self.edge_tuple_size)
+
+    @property
+    def edge_blocks(self) -> int:
+        """B_s = |S| / Bf_s."""
+        return _ceil_div(self.edge_tuples, self.bf_s)
+
+    @property
+    def node_blocks(self) -> int:
+        """B_r = |R| / Bf_r."""
+        return _ceil_div(self.node_tuples, self.bf_r)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "CostParameters":
+        """Raise :class:`CostModelError` on inconsistent parameters."""
+        if min(self.t_read, self.t_write, self.t_update) < 0:
+            raise CostModelError("unit times must be non-negative")
+        if self.index_levels < 1:
+            raise CostModelError("index level I_l must be at least 1")
+        if self.edge_tuples < 0 or self.node_tuples < 0:
+            raise CostModelError("relation cardinalities must be non-negative")
+        if self.block_size < max(self.edge_tuple_size, self.node_tuple_size):
+            raise CostModelError("block size must hold at least one tuple")
+        if self.adjacency <= 0:
+            raise CostModelError("average adjacency |A| must be positive")
+        return self
+
+    def for_graph(
+        self,
+        node_count: int,
+        edge_count: int,
+        adjacency: Optional[float] = None,
+    ) -> "CostParameters":
+        """Rederive the graph-shape parameters for another graph.
+
+        Hardware constants (times, block size, tuple sizes) carry over;
+        the ISAM index level is re-estimated from the node count with
+        the Table 4A fanout implied by |R| = 900 -> I_l = 3.
+        """
+        if node_count <= 0:
+            raise CostModelError("node count must be positive")
+        fanout = 10  # 900 keys -> 90 -> 9 -> 1: three levels
+        levels = max(1, math.ceil(math.log(max(node_count, 2), fanout)))
+        return replace(
+            self,
+            node_tuples=node_count,
+            edge_tuples=edge_count,
+            adjacency=(
+                adjacency
+                if adjacency is not None
+                else edge_count / node_count
+            ),
+            index_levels=levels,
+        ).validate()
+
+
+#: The exact Table 4A instantiation (30x30 grid).
+PAPER_TABLE_4A = CostParameters().validate()
+
+
+def parameters_for_grid(k: int) -> CostParameters:
+    """Table 4A constants rederived for a k x k benchmark grid."""
+    node_count = k * k
+    edge_count = 2 * 2 * k * (k - 1)  # two directed edges per segment
+    return PAPER_TABLE_4A.for_graph(node_count, edge_count, adjacency=4.0)

@@ -1,0 +1,82 @@
+"""Relational execution engine: the paper's EQUEL programs, simulated.
+
+:func:`run_relational` is the single entry point the experiment harness
+uses; it builds the database representation of a graph and runs one of
+the paper's algorithms against it, returning iteration traces and
+block-level I/O costs in Table 4A units.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import PlannerError
+from repro.graphs.graph import Graph, NodeId
+from repro.engine.frontier import (
+    SeparateRelationFrontier,
+    StatusAttributeFrontier,
+)
+from repro.engine.rel_bestfirst import (
+    ASTAR_VERSIONS,
+    run_astar,
+    run_best_first,
+    run_dijkstra,
+)
+from repro.engine.rel_iterative import run_iterative
+from repro.engine.relational_graph import RelationalGraph
+from repro.engine.tracing import IterationRecord, RelationalRunResult
+
+#: Algorithm labels understood by :func:`run_relational`. A* versions
+#: are addressed as "astar-v1" / "astar-v2" / "astar-v3".
+RELATIONAL_ALGORITHMS = (
+    "iterative",
+    "dijkstra",
+    "astar-v1",
+    "astar-v2",
+    "astar-v3",
+)
+
+
+def run_relational(
+    graph: Graph,
+    source: NodeId,
+    destination: NodeId,
+    algorithm: str = "astar-v3",
+    rgraph: Optional[RelationalGraph] = None,
+) -> RelationalRunResult:
+    """Run one paper algorithm against the simulated DBMS.
+
+    ``rgraph`` may be supplied to reuse a loaded edge relation across
+    runs on the same graph (each run still resets the I/O ledger).
+    """
+    if rgraph is None:
+        rgraph = RelationalGraph(graph)
+    elif rgraph.graph is not graph:
+        raise PlannerError("rgraph was built for a different graph")
+
+    if algorithm == "iterative":
+        return run_iterative(rgraph, source, destination)
+    if algorithm == "dijkstra":
+        return run_dijkstra(rgraph, source, destination)
+    if algorithm.startswith("astar-"):
+        return run_astar(rgraph, source, destination, version=algorithm[6:])
+    raise PlannerError(
+        f"unknown relational algorithm {algorithm!r}; known: "
+        f"{', '.join(RELATIONAL_ALGORITHMS)}"
+    )
+
+
+__all__ = [
+    "RELATIONAL_ALGORITHMS",
+    "ASTAR_VERSIONS",
+    "RelationalGraph",
+    "RelationalRunResult",
+    "IterationRecord",
+    "StatusAttributeFrontier",
+    "SeparateRelationFrontier",
+    "run_relational",
+    "run_best_first",
+    "run_dijkstra",
+    "run_astar",
+    "run_iterative",
+]

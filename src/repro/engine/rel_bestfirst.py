@@ -1,0 +1,243 @@
+"""Relational best-first execution: Dijkstra and the A* versions.
+
+This module runs Figure 2 / Figure 3 as database programs over the
+S and R relations, following the ten cost steps of Table 3:
+
+1-3. create, populate and index R (skipped by A* version 1, which
+     builds R lazily);
+4.   open the source node;
+per iteration:
+5.   select the best open node (a scan of the frontier);
+6.   move it to the explored set;
+7.   join it with S to fetch its adjacency list (optimizer-chosen plan);
+8.   conditionally REPLACE each neighbor's label;
+9.   terminate when the destination is selected;
+10.  reconstruct the path by chasing R.path pointers, then drop the
+     temporaries.
+
+The paper's three A* versions map onto two orthogonal switches:
+
+========  ====================  ==========
+version   frontier              estimator
+========  ====================  ==========
+v1        separate relation     euclidean
+v2        status attribute      euclidean
+v3        status attribute      manhattan
+========  ====================  ==========
+
+Dijkstra is the status-attribute frontier with the zero estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.exceptions import NodeNotFoundError, PlannerError
+from repro.graphs.graph import Graph, NodeId
+from repro.core.estimators import (
+    Estimator,
+    EuclideanEstimator,
+    ManhattanEstimator,
+    ZeroEstimator,
+)
+from repro.engine.frontier import (
+    SeparateRelationFrontier,
+    StatusAttributeFrontier,
+)
+from repro.engine.relational_graph import RelationalGraph, UNLABELLED
+from repro.engine.tracing import IterationRecord, RelationalRunResult
+
+#: variant name -> (frontier kind, estimator factory)
+ASTAR_VERSIONS = {
+    "v1": ("separate-relation", EuclideanEstimator),
+    "v2": ("status-attribute", EuclideanEstimator),
+    "v3": ("status-attribute", ManhattanEstimator),
+}
+
+
+def run_best_first(
+    rgraph: RelationalGraph,
+    source: NodeId,
+    destination: NodeId,
+    estimator: Optional[Estimator] = None,
+    frontier_kind: str = "status-attribute",
+    algorithm: str = "astar",
+    variant: str = "",
+    max_iterations: Optional[int] = None,
+) -> RelationalRunResult:
+    """Execute one best-first single-pair query against the database.
+
+    The relational graph's statistics ledger is reset first, so the
+    returned costs cover exactly this run (graph loading is catalogued
+    data, not query work — the paper's cost steps likewise start at
+    "creating the resultant relation R").
+    """
+    graph = rgraph.graph
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if destination not in graph:
+        raise NodeNotFoundError(destination)
+
+    stats = rgraph.stats
+    stats.reset()
+    estimator = estimator if estimator is not None else ZeroEstimator()
+    estimator.prepare(graph, destination)
+
+    def key_of(node_tuple: dict) -> float:
+        return node_tuple["path_cost"] + estimator.estimate(
+            graph, node_tuple["node_id"], destination
+        )
+
+    # ------------------------------------------------------------ init
+    with stats.phase("init"):
+        if frontier_kind == "status-attribute":
+            R = rgraph.fresh_node_relation(populate=True)  # C1-C3
+            frontier = StatusAttributeFrontier(R, stats, key_of)
+        elif frontier_kind == "separate-relation":
+            R = rgraph.fresh_node_relation(populate=False)  # C1 only
+            frontier = SeparateRelationFrontier(
+                rgraph.db.create_relation, R, graph, stats, key_of
+            )
+        else:
+            raise PlannerError(f"unknown frontier kind {frontier_kind!r}")
+        frontier.open_node(source, 0.0, None)  # C4
+
+    result = RelationalRunResult(
+        algorithm=algorithm,
+        variant=variant or frontier_kind,
+        source=source,
+        destination=destination,
+        io=stats,
+    )
+    limit = max_iterations if max_iterations is not None else 20 * len(graph) + 100
+
+    # --------------------------------------------------------- iterate
+    found_tuple: Optional[dict] = None
+    while True:
+        with stats.phase("iterate"):
+            best = frontier.select_best()  # C5
+            if best is None:
+                break
+            if best["node_id"] == destination:
+                found_tuple = best
+                break
+            frontier.close(best)  # C6
+            result.iterations += 1
+            if result.iterations > limit:
+                raise PlannerError(
+                    f"relational best-first exceeded {limit} iterations"
+                )
+            outer = [{k: v for k, v in best.items() if k != "_rid"}]
+            joined, plan = rgraph.adjacency_join(outer)  # C7
+            updates = 0
+            for row in joined:  # C8
+                neighbor = row["end"]
+                new_cost = best["path_cost"] + row["cost"]
+                if frontier.relax(neighbor, new_cost, best["node_id"]):
+                    updates += 1
+            result.trace.append(
+                IterationRecord(
+                    index=result.iterations,
+                    expanded_nodes=1,
+                    join_result_tuples=len(joined),
+                    join_strategy=plan.strategy_name,
+                    updates_applied=updates,
+                    frontier_size_after=frontier.size(),
+                    cumulative_cost=stats.cost,
+                )
+            )
+
+    # --------------------------------------------------------- cleanup
+    with stats.phase("cleanup"):
+        if found_tuple is not None:
+            result.found = True
+            result.cost = found_tuple["path_cost"]
+            result.path = _chase_path_pointers(
+                frontier, source, destination, len(graph)
+            )
+        rgraph.drop_node_relation(R)
+        if isinstance(frontier, SeparateRelationFrontier):
+            rgraph.db.drop_relation(frontier.F.name)
+
+    result.init_cost = stats.phase_cost("init")
+    result.iteration_cost = stats.phase_cost("iterate")
+    result.cleanup_cost = stats.phase_cost("cleanup")
+    return result
+
+
+def _chase_path_pointers(
+    frontier, source: NodeId, destination: NodeId, node_count: int
+) -> list:
+    """Reconstruct the path by keyed fetches along R.path (step 10)."""
+    path = [destination]
+    current = destination
+    hops = 0
+    while current != source:
+        label = _read_label(frontier, current)
+        if label is None or label["path"] is None:
+            raise PlannerError(
+                f"path pointer chain broken at {current!r}"
+            )
+        current = label["path"]
+        path.append(current)
+        hops += 1
+        if hops > node_count + 1:
+            raise PlannerError("path pointer chain exceeds node count")
+    path.reverse()
+    return path
+
+
+def _read_label(frontier, node_id: NodeId) -> Optional[dict]:
+    if isinstance(frontier, StatusAttributeFrontier):
+        return frontier.R.fetch_by_key(node_id)
+    return frontier._read_node(node_id)
+
+
+# ----------------------------------------------------------------------
+# named entry points
+# ----------------------------------------------------------------------
+def run_dijkstra(
+    rgraph: RelationalGraph, source: NodeId, destination: NodeId
+) -> RelationalRunResult:
+    """Figure 2 over relations: zero estimator, status frontier."""
+    return run_best_first(
+        rgraph,
+        source,
+        destination,
+        estimator=ZeroEstimator(),
+        frontier_kind="status-attribute",
+        algorithm="dijkstra",
+        variant="status-attribute",
+    )
+
+
+def run_astar(
+    rgraph: RelationalGraph,
+    source: NodeId,
+    destination: NodeId,
+    version: str = "v3",
+    estimator: Optional[Estimator] = None,
+) -> RelationalRunResult:
+    """Figure 3 over relations, in one of the paper's three versions.
+
+    ``estimator`` overrides the version's default estimator (used by
+    the estimator-quality ablations); the frontier kind always follows
+    the version.
+    """
+    try:
+        frontier_kind, estimator_factory = ASTAR_VERSIONS[version]
+    except KeyError:
+        raise PlannerError(
+            f"unknown A* version {version!r}; known: "
+            f"{', '.join(sorted(ASTAR_VERSIONS))}"
+        ) from None
+    return run_best_first(
+        rgraph,
+        source,
+        destination,
+        estimator=estimator if estimator is not None else estimator_factory(),
+        frontier_kind=frontier_kind,
+        algorithm="astar",
+        variant=version,
+    )

@@ -1,0 +1,155 @@
+"""Relational representation of a graph — Section 4's S and R relations.
+
+"Directed graphs are represented as pairs of relations: edge (S) and
+node (R). The edge relation S is a read-only relation ... Its fields
+include: Begin-node, End-node, and Edge-cost. ... The relation S has a
+primary index (random hash) on the field S.Begin-node. ... The relation
+R has a primary index (ISAM) on node-id."
+
+:class:`RelationalGraph` loads a :class:`~repro.graphs.graph.Graph`
+into a simulated database once (S is read-only thereafter) and can
+mint fresh node relations R per algorithm run, since R "stores the
+internal data-structures of various routing algorithms".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.graph import Graph, NodeId
+from repro.storage.database import Database
+from repro.storage.iostats import IOStatistics
+from repro.storage.relation import Relation
+from repro.storage.schema import (
+    STATUS_NULL,
+    edge_schema,
+    node_schema,
+)
+
+#: Sentinel for "no predecessor yet" in R.path.
+NO_PATH = None
+
+#: Sentinel for "unlabelled" path cost.
+UNLABELLED = float("inf")
+
+
+class RelationalGraph:
+    """A graph resident in the simulated DBMS."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        database: Optional[Database] = None,
+        stats: Optional[IOStatistics] = None,
+    ) -> None:
+        self.graph = graph
+        if database is not None:
+            self.db = database
+        else:
+            self.db = Database(name=f"db-{graph.name}", stats=stats)
+        self.stats = self.db.stats
+        self._node_counter = 0
+        self.S = self._load_edge_relation()
+
+    # ------------------------------------------------------------------
+    def _load_edge_relation(self) -> Relation:
+        """Bulk-load S and build its primary hash index on Begin-node."""
+        S = self.db.create_relation(edge_schema(), name="S")
+        S.bulk_load(
+            {"begin": edge.source, "end": edge.target, "cost": edge.cost}
+            for edge in self.graph.edges()
+        )
+        S.create_hash_index("begin")
+        return S
+
+    # ------------------------------------------------------------------
+    @property
+    def edge_blocks(self) -> int:
+        """B_s: blocks of the edge relation."""
+        return self.S.block_count
+
+    @property
+    def average_adjacency(self) -> float:
+        """|A|: average out-degree, the model's neighbor-count parameter."""
+        return self.graph.average_degree()
+
+    def result_blocking_factor(self) -> int:
+        """Bf_rs: blocking factor of R x S join results (Table 1)."""
+        combined = edge_schema().tuple_size + node_schema().tuple_size
+        return max(1, self.db.block_size // combined)
+
+    # ------------------------------------------------------------------
+    def fresh_node_relation(
+        self, populate: bool = True, with_index: bool = True
+    ) -> Relation:
+        """Create a new R for one algorithm run.
+
+        ``populate=True`` performs the paper's initialization steps:
+        C2 (initialize R with all nodes: read S's blocks, bulk-write R)
+        and C3 (sort + build the ISAM index on node-id). The lazy
+        variant (``populate=False``) is what A* version 1 uses — it
+        "expands nodes and appends them to the resultant relation as it
+        goes along".
+        """
+        self._node_counter += 1
+        name = f"R{self._node_counter}"
+        with self.stats.phase("init"):
+            R = self.db.create_relation(node_schema(), name=name)  # C1
+            if populate:
+                # C2: the node set is derived by scanning the edge
+                # relation, so its blocks are read once.
+                self.stats.charge_read(self.S.block_count)
+                R.bulk_load(
+                    {
+                        "node_id": node.node_id,
+                        "x": node.x,
+                        "y": node.y,
+                        "status": STATUS_NULL,
+                        "path": NO_PATH,
+                        "path_cost": UNLABELLED,
+                    }
+                    for node in self.graph.nodes()
+                )
+                if with_index:
+                    R.create_isam_index("node_id")  # C3
+        return R
+
+    def drop_node_relation(self, relation: Relation) -> None:
+        """Discard a run's R (charges the fixed deletion cost D_t)."""
+        self.db.drop_relation(relation.name)
+
+    # ------------------------------------------------------------------
+    def adjacency_join(
+        self,
+        current_tuples: List[dict],
+        stats: Optional[IOStatistics] = None,
+        forced_strategy=None,
+    ):
+        """Join current node(s) with S to fetch their adjacency lists.
+
+        This is step 6 of Table 2 / step 7 of Table 3: the optimizer
+        chooses among the four join strategies with the live block
+        counts, and the result tuples carry both the current node's
+        label fields and the edge fields.
+        """
+        from repro.query.optimizer import execute_join
+
+        stats = stats or self.stats
+        expected = int(round(len(current_tuples) * max(1.0, self.average_adjacency)))
+        return execute_join(
+            outer=current_tuples,
+            outer_key="node_id",
+            outer_blocking_factor=node_schema().blocking_factor(self.db.block_size),
+            inner=self.S,
+            inner_key="begin",
+            expected_result_tuples=expected,
+            result_blocking_factor=self.result_blocking_factor(),
+            stats=stats,
+            forced_strategy=forced_strategy,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationalGraph({self.graph.name!r}, |S|={self.S.tuple_count}, "
+            f"B_s={self.edge_blocks})"
+        )

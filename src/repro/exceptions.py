@@ -1,0 +1,127 @@
+"""Exception hierarchy for the ATIS path-computation reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish graph problems from storage problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-construction and graph-query errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was referenced that is not present in the graph."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} is not in the graph")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced that is not present in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node id was added twice to a graph."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} already exists in the graph")
+        self.node_id = node_id
+
+
+class NegativeEdgeCostError(GraphError, ValueError):
+    """A negative edge cost was supplied.
+
+    The correctness lemmas of the paper (Lemmas 1-3) require non-negative
+    edge costs, so the planners refuse to run on graphs that violate it.
+    """
+
+    def __init__(self, source: object, target: object, cost: float) -> None:
+        super().__init__(
+            f"edge ({source!r} -> {target!r}) has negative cost {cost!r}; "
+            "the single-pair planners require non-negative edge costs"
+        )
+        self.source = source
+        self.target = target
+        self.cost = cost
+
+
+class PathNotFoundError(ReproError):
+    """No path exists between the requested source and destination."""
+
+    def __init__(self, source: object, destination: object) -> None:
+        super().__init__(f"no path from {source!r} to {destination!r}")
+        self.source = source
+        self.destination = destination
+
+
+class PlannerError(ReproError):
+    """A planner was configured or invoked incorrectly."""
+
+
+class UnknownAlgorithmError(PlannerError, KeyError):
+    """The planner registry has no algorithm under the requested name."""
+
+    def __init__(self, name: str, available: tuple = ()) -> None:
+        message = f"unknown algorithm {name!r}"
+        if available:
+            message += f"; available: {', '.join(sorted(available))}"
+        super().__init__(message)
+        self.name = name
+        self.available = tuple(available)
+
+
+class StorageError(ReproError):
+    """Base class for the relational storage substrate errors."""
+
+
+class SchemaError(StorageError, ValueError):
+    """A tuple did not match the relation schema."""
+
+
+class RelationNotFoundError(StorageError, KeyError):
+    """A relation name was referenced that the database catalog lacks."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"relation {name!r} does not exist")
+        self.name = name
+
+
+class DuplicateRelationError(StorageError, ValueError):
+    """A relation name was created twice in the same database."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"relation {name!r} already exists")
+        self.name = name
+
+
+class IndexError_(StorageError):
+    """An index was built or probed incorrectly.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """Base class for query-processing errors (selects and joins)."""
+
+
+class CostModelError(ReproError):
+    """The analytical cost model was given inconsistent parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification could not be run."""

@@ -1,0 +1,159 @@
+"""E5-E7 — A* implementation versions (Figures 10, 11, 12).
+
+Section 5.3 compares three A* implementations:
+
+* **v1** — frontier as a separate relation, euclidean estimator;
+* **v2** — frontier as a status attribute, euclidean estimator;
+* **v3** — frontier as a status attribute, manhattan estimator.
+
+Three sweeps, one per figure:
+
+* E5 / Figure 10 — graph size (variance, diagonal): v1 wins at 10x10
+  (no initialization cost), loses to v2 as size grows (frontier churn);
+* E6 / Figure 11 — cost models (20x20, diagonal): every version is
+  worst at 20% variance; v1 beats v2 on the skewed graph;
+* E7 / Figure 12 — path length (30x30, variance): v1 starts best on
+  the short horizontal query and falls behind on longer paths; v3's
+  cost grows ~linearly with path length.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphs.grid import (
+    PAPER_GRID_SIZES,
+    diagonal_query,
+    make_paper_grid,
+    paper_queries,
+)
+from repro.experiments.runner import (
+    ASTAR_VERSION_ALGORITHMS,
+    measure_suite,
+    pivot,
+)
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register
+from repro.experiments.tables import render_table
+
+
+def run_graph_size(
+    sizes: Sequence[int] = PAPER_GRID_SIZES,
+    seed: int = 1993,
+    cross_check: bool = True,
+) -> ExperimentResult:
+    """E5 / Figure 10: versions vs graph size."""
+    conditions = [f"{k}x{k}" for k in sizes]
+    measurements = []
+    for k in sizes:
+        graph = make_paper_grid(k, "variance", seed=seed)
+        query = diagonal_query(k)
+        measurements.extend(
+            measure_suite(
+                graph,
+                {f"{k}x{k}": (query.source, query.destination)},
+                ASTAR_VERSION_ALGORITHMS,
+                cross_check=cross_check,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="E5",
+        title="A* versions vs graph size (Figure 10): "
+        "20% variance, diagonal path",
+        conditions=conditions,
+        iterations=pivot(measurements, "iterations"),
+        execution_cost=pivot(measurements, "execution_cost"),
+    )
+
+
+def run_cost_models(
+    k: int = 20, seed: int = 1993, cross_check: bool = True
+) -> ExperimentResult:
+    """E6 / Figure 11: versions vs edge-cost model."""
+    conditions = ["uniform", "variance", "skewed"]
+    query = diagonal_query(k)
+    measurements = []
+    for model_name in conditions:
+        graph = make_paper_grid(k, model_name, seed=seed)
+        measurements.extend(
+            measure_suite(
+                graph,
+                {model_name: (query.source, query.destination)},
+                ASTAR_VERSION_ALGORITHMS,
+                cross_check=cross_check,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="E6",
+        title=f"A* versions vs edge-cost model (Figure 11): "
+        f"{k}x{k} grid, diagonal path",
+        conditions=conditions,
+        iterations=pivot(measurements, "iterations"),
+        execution_cost=pivot(measurements, "execution_cost"),
+    )
+
+
+def run_path_length(
+    k: int = 30, seed: int = 1993, cross_check: bool = True
+) -> ExperimentResult:
+    """E7 / Figure 12: versions vs path length."""
+    graph = make_paper_grid(k, "variance", seed=seed)
+    queries = {
+        name: (query.source, query.destination)
+        for name, query in paper_queries(k).items()
+    }
+    measurements = measure_suite(
+        graph, queries, ASTAR_VERSION_ALGORITHMS, cross_check=cross_check
+    )
+    return ExperimentResult(
+        experiment_id="E7",
+        title=f"A* versions vs path length (Figure 12): "
+        f"{k}x{k} grid, 20% variance",
+        conditions=["horizontal", "semi-diagonal", "diagonal"],
+        iterations=pivot(measurements, "iterations"),
+        execution_cost=pivot(measurements, "execution_cost"),
+    )
+
+
+def _render(result: ExperimentResult) -> str:
+    iterations = render_table(
+        "Iterations",
+        result.iterations,
+        result.conditions,
+        row_order=list(ASTAR_VERSION_ALGORITHMS),
+    )
+    costs = render_table(
+        "Execution cost, Table 4A units (the figure's y-axis)",
+        result.execution_cost,
+        result.conditions,
+        row_order=list(ASTAR_VERSION_ALGORITHMS),
+    )
+    return f"{result.title}\n\n{iterations}\n\n{costs}"
+
+
+SPEC_E5 = register(
+    ExperimentSpec(
+        experiment_id="E5",
+        paper_artifacts=("Figure 10",),
+        title="A* versions vs graph size",
+        runner=run_graph_size,
+        renderer=_render,
+    )
+)
+SPEC_E6 = register(
+    ExperimentSpec(
+        experiment_id="E6",
+        paper_artifacts=("Figure 11",),
+        title="A* versions vs edge-cost model",
+        runner=run_cost_models,
+        renderer=_render,
+    )
+)
+SPEC_E7 = register(
+    ExperimentSpec(
+        experiment_id="E7",
+        paper_artifacts=("Figure 12",),
+        title="A* versions vs path length",
+        runner=run_path_length,
+        renderer=_render,
+    )
+)

@@ -1,0 +1,77 @@
+"""E3 — effect of edge-cost models (Table 7 + Figure 7).
+
+Diagonal query on the 20x20 grid under the three cost models. Findings
+to reproduce:
+
+* skewed costs collapse Dijkstra's and A*-v3's iteration counts (the
+  cheap corridor eliminates backtracking — the paper's best case);
+* A*-v3 does no worse under uniform costs than under 20% variance
+  (variance induces backtracking);
+* the Iterative algorithm's cost depends on the model too — the skewed
+  model *increases* its wave count via reopening, even though it never
+  reads the costs to drive its search.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.grid import diagonal_query, make_paper_grid
+from repro.experiments.paper_data import TABLE_7
+from repro.experiments.runner import PAPER_ALGORITHMS, measure_suite, pivot
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register
+from repro.experiments.tables import render_table
+
+COST_MODEL_CONDITIONS = ("uniform", "variance", "skewed")
+
+
+def run(
+    k: int = 20, seed: int = 1993, cross_check: bool = True
+) -> ExperimentResult:
+    query = diagonal_query(k)
+    measurements = []
+    for model_name in COST_MODEL_CONDITIONS:
+        graph = make_paper_grid(k, model_name, seed=seed)
+        measurements.extend(
+            measure_suite(
+                graph,
+                {model_name: (query.source, query.destination)},
+                PAPER_ALGORITHMS,
+                cross_check=cross_check,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="E3",
+        title=f"Effect of edge-cost models (Table 7 / Figure 7): "
+        f"{k}x{k} grid, diagonal path",
+        conditions=list(COST_MODEL_CONDITIONS),
+        iterations=pivot(measurements, "iterations"),
+        execution_cost=pivot(measurements, "execution_cost"),
+        paper_iterations=TABLE_7 if k == 20 else None,
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    iterations = render_table(
+        "Iterations (paper's Table 7 in parentheses)",
+        result.iterations,
+        result.conditions,
+        row_order=list(PAPER_ALGORITHMS),
+        paper=result.paper_iterations,
+    )
+    costs = render_table(
+        "Execution cost, Table 4A units (Figure 7's y-axis)",
+        result.execution_cost,
+        result.conditions,
+        row_order=list(PAPER_ALGORITHMS),
+    )
+    return f"{result.title}\n\n{iterations}\n\n{costs}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        experiment_id="E3",
+        paper_artifacts=("Table 7", "Figure 7"),
+        title="Effect of edge-cost models",
+        runner=run,
+        renderer=render,
+    )
+)

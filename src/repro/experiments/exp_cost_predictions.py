@@ -1,0 +1,112 @@
+"""E8 — analytical cost predictions (Table 4B) and model validation.
+
+Two parts, mirroring Section 4.3 and Section 5's validation claim:
+
+1. **Table 4B**: feed the paper's own Table 6 iteration counts into the
+   algebraic cost model (nested-loop join forced, Table 4A parameters)
+   and print the estimated costs beside the published ones;
+2. **Model-vs-engine validation**: run the relational engine on the
+   30x30 variance grid, predict each run's cost from its iteration
+   trace, and report the relative error — the paper claims "we were
+   able to predict actual execution time within ten percent".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.costmodel import (
+    parameters_for_grid,
+    predict_run,
+    prediction_error,
+    table_4b,
+)
+from repro.graphs.grid import make_paper_grid, paper_queries
+from repro.engine import RelationalGraph, run_relational
+from repro.experiments.paper_data import TABLE_4B, TABLE_6
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register
+from repro.experiments.tables import render_table
+
+PATH_CONDITIONS = ("horizontal", "semi-diagonal", "diagonal")
+#: Edge counts of the three canonical 30x30 queries (uniform costs).
+PATH_LENGTHS = {"horizontal": 29, "semi-diagonal": 44, "diagonal": 58}
+_ALGORITHM_ORDER = ("iterative", "astar-v3", "dijkstra")
+#: The cost model addresses A*-v3 as plain "astar".
+_MODEL_NAMES = {"astar-v3": "astar"}
+
+
+def run(k: int = 30, seed: int = 1993, cross_check: bool = True) -> ExperimentResult:
+    params = parameters_for_grid(k)
+
+    # Part 1: Table 4B from the paper's published iteration counts.
+    published_iterations = {
+        _MODEL_NAMES.get(algorithm, algorithm): dict(by_path)
+        for algorithm, by_path in TABLE_6.items()
+    }
+    estimates = table_4b(params, published_iterations, PATH_LENGTHS)
+    estimated_costs = {
+        algorithm: estimates[_MODEL_NAMES.get(algorithm, algorithm)]
+        for algorithm in _ALGORITHM_ORDER
+    }
+
+    # Part 2: predict live engine runs and record the error.
+    graph = make_paper_grid(k, "variance", seed=seed)
+    rgraph = RelationalGraph(graph)
+    errors: Dict[str, Dict[str, float]] = {}
+    measured: Dict[str, Dict[str, float]] = {}
+    for path_name, query in paper_queries(k).items():
+        for algorithm in _ALGORITHM_ORDER:
+            run_result = run_relational(
+                graph, query.source, query.destination, algorithm, rgraph=rgraph
+            )
+            prediction = predict_run(run_result, params)
+            measured.setdefault(algorithm, {})[path_name] = (
+                run_result.execution_cost
+            )
+            errors.setdefault(algorithm, {})[path_name] = prediction_error(
+                prediction.total, run_result.execution_cost
+            )
+
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="Analytical cost model (Table 4B) and prediction accuracy",
+        conditions=list(PATH_CONDITIONS),
+        execution_cost=estimated_costs,
+        paper_costs=TABLE_4B,
+    )
+    worst = max(max(row.values()) for row in errors.values())
+    lines = [
+        "Model-vs-engine relative error per run "
+        f"(worst {worst:.1%}; paper claims <=10% for its simulation):"
+    ]
+    for algorithm in _ALGORITHM_ORDER:
+        cells = ", ".join(
+            f"{path}: {errors[algorithm][path]:.1%}"
+            for path in PATH_CONDITIONS
+        )
+        lines.append(f"  {algorithm}: {cells}")
+    result.notes = "\n".join(lines)
+    result.iterations = {}  # this experiment reports costs, not counts
+    return result
+
+
+def render(result: ExperimentResult) -> str:
+    table = render_table(
+        "Estimated cost, Table 4A units (paper's Table 4B in parentheses)",
+        result.execution_cost,
+        result.conditions,
+        row_order=list(_ALGORITHM_ORDER),
+        paper=result.paper_costs,
+    )
+    return f"{result.title}\n\n{table}\n\n{result.notes}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        experiment_id="E8",
+        paper_artifacts=("Table 4B",),
+        title="Analytical cost predictions",
+        runner=run,
+        renderer=render,
+    )
+)

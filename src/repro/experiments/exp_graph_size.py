@@ -1,0 +1,81 @@
+"""E1 — effect of graph size (Table 5 + Figure 5).
+
+Diagonal path on 10x10 / 20x20 / 30x30 grids with 20% edge-cost
+variance. The paper's findings this experiment must reproduce:
+
+* Dijkstra and A*-v3 iterations and execution time grow ~linearly with
+  the number of nodes (Dijkstra approaches n - 1 iterations);
+* the Iterative algorithm's wave count is 2k - 1 and its execution
+  time grows sublinearly in n, making it the cheapest on the diagonal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphs.grid import PAPER_GRID_SIZES, diagonal_query, make_paper_grid
+from repro.experiments.paper_data import TABLE_5
+from repro.experiments.runner import PAPER_ALGORITHMS, measure_suite, pivot
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register
+from repro.experiments.tables import render_table
+
+
+def run(
+    sizes: Sequence[int] = PAPER_GRID_SIZES,
+    seed: int = 1993,
+    cross_check: bool = True,
+) -> ExperimentResult:
+    """Run the graph-size sweep; conditions are '10x10' etc."""
+    conditions = [f"{k}x{k}" for k in sizes]
+    measurements = []
+    for k in sizes:
+        graph = make_paper_grid(k, "variance", seed=seed)
+        query = diagonal_query(k)
+        suite = measure_suite(
+            graph,
+            {f"{k}x{k}": (query.source, query.destination)},
+            PAPER_ALGORITHMS,
+            cross_check=cross_check,
+        )
+        measurements.extend(suite)
+    paper = {
+        algorithm: {f"{k}x{k}": count for k, count in by_size.items()}
+        for algorithm, by_size in TABLE_5.items()
+    }
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Effect of graph size (Table 5 / Figure 5): "
+        "20% variance, diagonal path",
+        conditions=conditions,
+        iterations=pivot(measurements, "iterations"),
+        execution_cost=pivot(measurements, "execution_cost"),
+        paper_iterations=paper,
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    iterations = render_table(
+        "Iterations (paper's Table 5 in parentheses)",
+        result.iterations,
+        result.conditions,
+        row_order=list(PAPER_ALGORITHMS),
+        paper=result.paper_iterations,
+    )
+    costs = render_table(
+        "Execution cost, Table 4A units (Figure 5's y-axis)",
+        result.execution_cost,
+        result.conditions,
+        row_order=list(PAPER_ALGORITHMS),
+    )
+    return f"{result.title}\n\n{iterations}\n\n{costs}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        experiment_id="E1",
+        paper_artifacts=("Table 5", "Figure 5"),
+        title="Effect of graph size",
+        runner=run,
+        renderer=render,
+    )
+)

@@ -1,0 +1,91 @@
+"""E4 — the Minneapolis road map (Table 8 + Figure 9).
+
+The paper's four queries on the (synthetic) Minneapolis map: two long
+diagonals (A->B dearer than C->D) and two short paths where the
+estimator-based algorithms win decisively ("the path from D to G
+required only 17 iterations for the optimal A* algorithm, resulting in
+a cost that is 95% smaller than that of the iterative algorithm").
+
+Because the manhattan estimator is not admissible on this map (edge
+costs are euclidean distances), A*-v3's route may be sub-optimal; the
+result records the optimality gap per query — the speed/optimality
+trade-off the paper's conclusion highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graphs.roadmap import make_minneapolis_map, road_queries
+from repro.core.planner import RoutePlanner
+from repro.experiments.paper_data import TABLE_8
+from repro.experiments.runner import PAPER_ALGORITHMS, measure_suite, pivot
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register
+from repro.experiments.tables import render_table
+
+QUERY_CONDITIONS = ("A to B", "C to D", "G to D", "E to F")
+
+
+def run(seed: int = 1993, cross_check: bool = True) -> ExperimentResult:
+    road_map = make_minneapolis_map(seed=seed)
+    queries = road_queries(road_map)
+    measurements = measure_suite(
+        road_map.graph, queries, PAPER_ALGORITHMS, cross_check=cross_check
+    )
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Minneapolis road map (Table 8 / Figure 9): "
+        f"{road_map.graph.node_count} nodes, "
+        f"{road_map.graph.edge_count} directed edges",
+        conditions=list(QUERY_CONDITIONS),
+        iterations=pivot(measurements, "iterations"),
+        execution_cost=pivot(measurements, "execution_cost"),
+        paper_iterations=TABLE_8,
+    )
+    result.notes = _optimality_gaps(road_map, queries)
+    return result
+
+
+def _optimality_gaps(road_map, queries: Dict) -> str:
+    """Report A*-v3's sub-optimality per query (manhattan caveat)."""
+    planner = RoutePlanner()
+    lines = ["A*-v3 optimality gap (manhattan is inadmissible here):"]
+    for label, (source, destination) in queries.items():
+        optimal = planner.plan(road_map.graph, source, destination, "dijkstra")
+        fast = planner.plan(
+            road_map.graph, source, destination, "astar", estimator="manhattan"
+        )
+        gap = (fast.cost - optimal.cost) / optimal.cost if optimal.cost else 0.0
+        lines.append(
+            f"  {label}: A* {fast.cost:.3f} vs optimal {optimal.cost:.3f} "
+            f"(+{gap:.1%})"
+        )
+    return "\n".join(lines)
+
+
+def render(result: ExperimentResult) -> str:
+    iterations = render_table(
+        "Iterations (paper's Table 8 in parentheses)",
+        result.iterations,
+        result.conditions,
+        row_order=list(PAPER_ALGORITHMS),
+        paper=result.paper_iterations,
+    )
+    costs = render_table(
+        "Execution cost, Table 4A units (Figure 9's y-axis)",
+        result.execution_cost,
+        result.conditions,
+        row_order=list(PAPER_ALGORITHMS),
+    )
+    return f"{result.title}\n\n{iterations}\n\n{costs}\n\n{result.notes}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        experiment_id="E4",
+        paper_artifacts=("Table 8", "Figure 9"),
+        title="Minneapolis road map",
+        runner=run,
+        renderer=render,
+    )
+)

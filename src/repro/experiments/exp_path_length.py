@@ -1,0 +1,72 @@
+"""E2 — effect of path length (Table 6 + Figure 6).
+
+Horizontal, semi-diagonal and diagonal queries on the 30x30 grid with
+20% edge-cost variance. Findings to reproduce:
+
+* A*-v3 beats both other algorithms on horizontal (short relative to
+  the diameter) paths by an order of magnitude;
+* the Iterative algorithm's iteration count is identical across the
+  three queries and it wins on the two longer paths;
+* Dijkstra's iterations grow with path length toward n - 1.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.grid import make_paper_grid, paper_queries
+from repro.experiments.paper_data import TABLE_6
+from repro.experiments.runner import PAPER_ALGORITHMS, measure_suite, pivot
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, register
+from repro.experiments.tables import render_table
+
+#: Condition order matches the paper's column order.
+PATH_CONDITIONS = ("horizontal", "semi-diagonal", "diagonal")
+
+
+def run(
+    k: int = 30, seed: int = 1993, cross_check: bool = True
+) -> ExperimentResult:
+    graph = make_paper_grid(k, "variance", seed=seed)
+    queries = {
+        name: (query.source, query.destination)
+        for name, query in paper_queries(k).items()
+    }
+    measurements = measure_suite(
+        graph, queries, PAPER_ALGORITHMS, cross_check=cross_check
+    )
+    return ExperimentResult(
+        experiment_id="E2",
+        title=f"Effect of path length (Table 6 / Figure 6): "
+        f"{k}x{k} grid, 20% variance",
+        conditions=list(PATH_CONDITIONS),
+        iterations=pivot(measurements, "iterations"),
+        execution_cost=pivot(measurements, "execution_cost"),
+        paper_iterations=TABLE_6 if k == 30 else None,
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    iterations = render_table(
+        "Iterations (paper's Table 6 in parentheses)",
+        result.iterations,
+        result.conditions,
+        row_order=list(PAPER_ALGORITHMS),
+        paper=result.paper_iterations,
+    )
+    costs = render_table(
+        "Execution cost, Table 4A units (Figure 6's y-axis)",
+        result.execution_cost,
+        result.conditions,
+        row_order=list(PAPER_ALGORITHMS),
+    )
+    return f"{result.title}\n\n{iterations}\n\n{costs}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        experiment_id="E2",
+        paper_artifacts=("Table 6", "Figure 6"),
+        title="Effect of path length",
+        runner=run,
+        renderer=render,
+    )
+)

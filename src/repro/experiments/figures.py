@@ -1,0 +1,114 @@
+"""ASCII figure rendering for the experiment reports.
+
+The paper's Figures 5-12 are line charts of execution time against a
+swept condition. This module renders the same data as monospace
+charts so the reproduction's reports are self-contained text — no
+plotting dependency, versionable diffs, reviewable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+#: Marker characters assigned to series in declaration order.
+_MARKERS = "o*x+#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Mapping[str, float]],
+    conditions: Sequence[str],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "cost",
+) -> str:
+    """Render ``{series: {condition: value}}`` as an ASCII line chart.
+
+    Conditions are evenly spaced along the x axis in the order given;
+    the y axis is linear from 0 to the maximum value. Each series gets
+    a marker character; collisions print the later series' marker.
+    """
+    if width < 16 or height < 5:
+        raise ValueError("chart must be at least 16x5 characters")
+    if not conditions:
+        raise ValueError("at least one condition is required")
+    values: List[float] = [
+        float(points.get(condition, 0.0))
+        for points in series.values()
+        for condition in conditions
+        if condition in points
+    ]
+    peak = max(values) if values else 1.0
+    peak = peak if peak > 0 else 1.0
+
+    plot_width = width - 10  # room for the y-axis labels
+    plot_height = height - 2  # room for the x-axis line + labels
+    canvas = [[" "] * plot_width for _ in range(plot_height)]
+
+    def x_position(index: int) -> int:
+        if len(conditions) == 1:
+            return plot_width // 2
+        return round(index * (plot_width - 1) / (len(conditions) - 1))
+
+    def y_position(value: float) -> int:
+        row = round((value / peak) * (plot_height - 1))
+        return (plot_height - 1) - min(max(row, 0), plot_height - 1)
+
+    legend = []
+    for marker, (name, points) in zip(_MARKERS, series.items()):
+        legend.append(f"{marker}={name}")
+        previous = None
+        for index, condition in enumerate(conditions):
+            if condition not in points:
+                previous = None
+                continue
+            col = x_position(index)
+            row = y_position(float(points[condition]))
+            canvas[row][col] = marker
+            if previous is not None:
+                # Sparse interpolation: midpoint dot to suggest the line.
+                prev_col, prev_row = previous
+                mid_col = (prev_col + col) // 2
+                mid_row = (prev_row + row) // 2
+                if canvas[mid_row][mid_col] == " ":
+                    canvas[mid_row][mid_col] = "."
+            previous = (col, row)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = f"{peak:8.4g}"
+        elif row_index == plot_height - 1:
+            label = f"{0:8d}"
+        else:
+            label = " " * 8
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * plot_width)
+    # Condition labels, left/right anchored.
+    axis = [" "] * plot_width
+    for index, condition in enumerate(conditions):
+        col = x_position(index)
+        text = str(condition)
+        start = min(max(0, col - len(text) // 2), plot_width - len(text))
+        for offset, char in enumerate(text):
+            axis[start + offset] = char
+    lines.append(" " * 10 + "".join(axis))
+    lines.append(" " * 10 + "  ".join(legend) + f"   [y: {y_label}]")
+    return "\n".join(lines)
+
+
+def chart_for_result(result, width: int = 64, height: int = 14) -> str:
+    """Chart an :class:`~repro.experiments.spec.ExperimentResult`'s
+    execution-cost grid (the paper figure's y axis)."""
+    if not result.execution_cost:
+        return ""
+    return ascii_chart(
+        result.execution_cost,
+        result.conditions,
+        title=f"{result.experiment_id}: execution cost",
+        width=width,
+        height=height,
+        y_label="Table 4A units",
+    )

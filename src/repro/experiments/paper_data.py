@@ -1,0 +1,88 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+Every table the paper prints is recorded here verbatim so the
+experiment reports can show paper-vs-measured columns. Figures 5-12
+have no printed values (they are plots); for those the report compares
+*shapes* — orderings and growth rates — which are asserted in the
+integration tests as well.
+"""
+
+from __future__ import annotations
+
+#: Table 4B: estimated costs, 30x30 grid, 20% variance (cost units).
+TABLE_4B = {
+    "dijkstra": {"horizontal": 1055.6, "semi-diagonal": 1656.8, "diagonal": 1941.2},
+    "astar-v3": {"horizontal": 66.7, "semi-diagonal": 881.2, "diagonal": 1809.8},
+    "iterative": {"horizontal": 176.9, "semi-diagonal": 176.9, "diagonal": 176.9},
+}
+
+#: Table 5: iterations vs graph size (20% variance, diagonal path).
+TABLE_5 = {
+    "dijkstra": {10: 99, 20: 399, 30: 899},
+    "astar-v3": {10: 85, 20: 360, 30: 838},
+    "iterative": {10: 19, 20: 39, 30: 59},
+}
+
+#: Table 6: iterations vs path length (20% variance, 30x30 grid).
+TABLE_6 = {
+    "dijkstra": {"horizontal": 488, "semi-diagonal": 767, "diagonal": 899},
+    "astar-v3": {"horizontal": 29, "semi-diagonal": 407, "diagonal": 838},
+    "iterative": {"horizontal": 59, "semi-diagonal": 59, "diagonal": 59},
+}
+
+#: Table 7: iterations vs edge-cost model (20x20 grid, diagonal path).
+TABLE_7 = {
+    "dijkstra": {"uniform": 399, "variance": 399, "skewed": 48},
+    "astar-v3": {"uniform": 189, "variance": 360, "skewed": 38},
+    "iterative": {"uniform": 39, "variance": 39, "skewed": 56},
+}
+
+#: Table 8: iterations on the Minneapolis map, four query pairs.
+TABLE_8 = {
+    "iterative": {"A to B": 55, "C to D": 51, "G to D": 55, "E to F": 41},
+    "astar-v3": {"A to B": 453, "C to D": 266, "G to D": 17, "E to F": 64},
+    "dijkstra": {"A to B": 1058, "C to D": 1006, "G to D": 105, "E to F": 307},
+}
+
+#: Table 4A parameter values (duplicated from repro.costmodel.params for
+#: report rendering; the authoritative copy lives there).
+TABLE_4A = {
+    "I": 0.5,
+    "I_l": 3,
+    "S_r": 1,
+    "A": 4,
+    "|S|": 3480,
+    "|R|": 900,
+    "D_t": 0.5,
+    "B": 4096,
+    "T_s": 32,
+    "T_r": 16,
+    "Bf_s": 128,
+    "Bf_r": 256,
+    "Bf_rs": 86,
+    "t_read": 0.035,
+    "t_write": 0.05,
+    "t_update": 0.085,
+}
+
+#: The figures and the qualitative claims each one makes (used by the
+#: report generator to state what was checked).
+FIGURE_CLAIMS = {
+    "figure-5": "Execution time vs graph size (variance, diagonal): "
+    "Dijkstra and A*-v3 grow ~linearly in n; Iterative grows sublinearly "
+    "and is cheapest.",
+    "figure-6": "Execution time vs path length (30x30, variance): A*-v3 "
+    "wins horizontal paths; Iterative wins semi-diagonal and diagonal.",
+    "figure-7": "Execution time vs cost model (20x20, diagonal): skewed "
+    "costs collapse Dijkstra/A* cost; variance is worst for A*-v3.",
+    "figure-9": "Minneapolis: Iterative beats estimator algorithms on the "
+    "long diagonals; A*-v3 beats Iterative by a wide margin on G->D and "
+    "E->F.",
+    "figure-10": "A* versions vs graph size: v1 wins at 10x10, loses to "
+    "v2 as size grows; v3 <= v2 everywhere.",
+    "figure-11": "A* versions vs cost model (20x20): every version is "
+    "worst at 20% variance; v1 beats v2 on the skewed graph.",
+    "figure-12": "A* versions vs path length (30x30): v1 starts best and "
+    "falls behind v2 on longer paths; v3 grows ~linearly with path "
+    "length.",
+}

@@ -1,0 +1,148 @@
+"""Shared experiment runner: one call per (graph, query, algorithm).
+
+The harness runs every measurement through the *relational engine*
+(that is what the paper measured: EQUEL programs on INGRES) and
+cross-checks the found path cost against the in-memory planner tier,
+so a disagreement between tiers fails loudly rather than skewing a
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.graphs.graph import Graph, NodeId
+from repro.core.planner import RoutePlanner
+from repro.engine import RelationalGraph, RelationalRunResult, run_relational
+
+#: The paper's three headline algorithms, in table order.
+PAPER_ALGORITHMS = ("iterative", "astar-v3", "dijkstra")
+#: The three A* versions of Section 5.3.
+ASTAR_VERSION_ALGORITHMS = ("astar-v1", "astar-v2", "astar-v3")
+
+_CORE_EQUIVALENTS = {
+    "iterative": ("iterative", "zero"),
+    "dijkstra": ("dijkstra", "zero"),
+    "astar-v1": ("astar", "euclidean"),
+    "astar-v2": ("astar", "euclidean"),
+    "astar-v3": ("astar", "manhattan"),
+}
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One cell of a results table."""
+
+    algorithm: str
+    query: str
+    iterations: int
+    execution_cost: float
+    path_cost: float
+    path_length: int
+    init_cost: float
+    found: bool
+
+
+def measure(
+    graph: Graph,
+    source: NodeId,
+    destination: NodeId,
+    algorithm: str,
+    query_label: str = "",
+    rgraph: Optional[RelationalGraph] = None,
+    cross_check: bool = True,
+) -> Measurement:
+    """Run one algorithm on one query through the relational engine."""
+    run = run_relational(graph, source, destination, algorithm, rgraph=rgraph)
+    if cross_check:
+        _cross_check(graph, source, destination, algorithm, run)
+    return Measurement(
+        algorithm=algorithm,
+        query=query_label or f"{source}->{destination}",
+        iterations=run.iterations,
+        execution_cost=run.execution_cost,
+        path_cost=run.cost,
+        path_length=run.path_length,
+        init_cost=run.init_cost,
+        found=run.found,
+    )
+
+
+def _cross_check(
+    graph: Graph,
+    source: NodeId,
+    destination: NodeId,
+    algorithm: str,
+    run: RelationalRunResult,
+) -> None:
+    """Verify the engine's path cost against the in-memory planner.
+
+    Optimal algorithms (iterative, dijkstra, A* with an admissible
+    estimator) must agree exactly; A* versions whose estimator may be
+    inadmissible on the given graph are allowed to return a costlier
+    (but never cheaper) path than the optimum.
+    """
+    core_algorithm, estimator = _CORE_EQUIVALENTS[algorithm]
+    planner = RoutePlanner()
+    reference = planner.plan(graph, source, destination, "dijkstra")
+    if run.found != reference.found:
+        raise ExperimentError(
+            f"{algorithm}: engine found={run.found} but reference "
+            f"found={reference.found} on {graph.name}"
+        )
+    if not run.found:
+        return
+    tolerance = 1e-9 * max(1.0, abs(reference.cost))
+    if run.cost < reference.cost - tolerance:
+        raise ExperimentError(
+            f"{algorithm}: engine path cost {run.cost} is below the "
+            f"optimum {reference.cost} on {graph.name} — impossible"
+        )
+    exact = core_algorithm != "astar" or estimator != "manhattan"
+    if algorithm in ("astar-v1", "astar-v2"):
+        exact = False  # euclidean may be inadmissible off-grid too
+    if exact and abs(run.cost - reference.cost) > tolerance:
+        raise ExperimentError(
+            f"{algorithm}: engine path cost {run.cost} != optimal "
+            f"{reference.cost} on {graph.name}"
+        )
+
+
+def measure_suite(
+    graph: Graph,
+    queries: Dict[str, Tuple[NodeId, NodeId]],
+    algorithms: Iterable[str] = PAPER_ALGORITHMS,
+    cross_check: bool = True,
+) -> List[Measurement]:
+    """Run a set of algorithms over a set of named queries.
+
+    The edge relation is loaded once per graph and shared across runs.
+    """
+    rgraph = RelationalGraph(graph)
+    measurements: List[Measurement] = []
+    for query_label, (source, destination) in queries.items():
+        for algorithm in algorithms:
+            measurements.append(
+                measure(
+                    graph,
+                    source,
+                    destination,
+                    algorithm,
+                    query_label=query_label,
+                    rgraph=rgraph,
+                    cross_check=cross_check,
+                )
+            )
+    return measurements
+
+
+def pivot(
+    measurements: Iterable[Measurement], value: str = "iterations"
+) -> Dict[str, Dict[str, float]]:
+    """Reshape measurements into {algorithm: {query: value}}."""
+    table: Dict[str, Dict[str, float]] = {}
+    for m in measurements:
+        table.setdefault(m.algorithm, {})[m.query] = getattr(m, value)
+    return table

@@ -1,0 +1,95 @@
+"""Experiment specification and registry.
+
+Every paper artifact (table or figure) maps to one registered
+experiment; :data:`EXPERIMENTS` is the authoritative index DESIGN.md
+documents, and the benchmark harness iterates it so that no artifact
+can silently drop out of the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output every experiment produces.
+
+    ``iterations`` and ``execution_cost`` are algorithm -> condition
+    grids; ``conditions`` fixes the column order; ``paper_iterations``
+    holds the published counts when the artifact is a table.
+    """
+
+    experiment_id: str
+    title: str
+    conditions: List[str]
+    iterations: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    execution_cost: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    paper_iterations: Optional[Dict[str, Dict[str, int]]] = None
+    paper_costs: Optional[Dict[str, Dict[str, float]]] = None
+    notes: str = ""
+
+    def algorithms(self) -> List[str]:
+        return list(self.iterations or self.execution_cost)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    experiment_id: str
+    paper_artifacts: Sequence[str]  # e.g. ("Table 5", "Figure 5")
+    title: str
+    runner: Callable[..., ExperimentResult]
+    renderer: Callable[[ExperimentResult], str]
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add an experiment to the registry (id must be unique)."""
+    if spec.experiment_id in _REGISTRY:
+        raise ValueError(f"duplicate experiment id {spec.experiment_id!r}")
+    _REGISTRY[spec.experiment_id] = spec
+    return spec
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def _numeric_id(experiment_id: str) -> tuple:
+    digits = "".join(ch for ch in experiment_id if ch.isdigit())
+    return (int(digits) if digits else 0, experiment_id)
+
+
+def all_experiments() -> List[ExperimentSpec]:
+    """All registered experiments in natural id order (E1, E2, ... E10)."""
+    _ensure_loaded()
+    return [
+        _REGISTRY[key] for key in sorted(_REGISTRY, key=_numeric_id)
+    ]
+
+
+def _ensure_loaded() -> None:
+    """Import the experiment modules so their register() calls run."""
+    from repro.experiments import (  # noqa: F401
+        exp_astar_versions,
+        exp_buffering,
+        exp_closure_ablation,
+        exp_cost_models,
+        exp_cost_predictions,
+        exp_graph_size,
+        exp_minneapolis,
+        exp_path_length,
+        exp_tradeoff,
+    )

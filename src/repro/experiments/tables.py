@@ -1,0 +1,105 @@
+"""Plain-text table rendering in the paper's layout.
+
+Every experiment prints its results as an algorithm-by-condition grid,
+optionally with the paper's published value beside each measured one
+(``measured (paper X)``), which is the format EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, object]],
+    columns: Sequence[str],
+    row_order: Optional[Sequence[str]] = None,
+    paper: Optional[Mapping[str, Mapping[str, object]]] = None,
+    row_header: str = "Algorithm",
+) -> str:
+    """Render {row: {column: value}} as an aligned text table.
+
+    ``paper`` optionally supplies the published values, shown in
+    parentheses after each measured cell.
+    """
+    row_names = list(row_order) if row_order else list(rows)
+    cells: List[List[str]] = []
+    for row_name in row_names:
+        row_cells = [row_name]
+        for column in columns:
+            value = rows.get(row_name, {}).get(column, "")
+            text = _format_value(value)
+            if paper is not None:
+                published = paper.get(row_name, {}).get(column)
+                if published is not None:
+                    text = f"{text} ({_format_value(published)})"
+            row_cells.append(text)
+        cells.append(row_cells)
+
+    header = [row_header] + [str(c) for c in columns]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in cells)) if cells else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def line(parts: Sequence[str]) -> str:
+        return " | ".join(part.ljust(width) for part, width in zip(parts, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(line(row) for row in cells)
+    return f"{title}\n{line(header)}\n{separator}\n{body}"
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render {series: {x: y}} line data as text (the 'figure' form)."""
+    xs: List[object] = []
+    for points in series.values():
+        for x in points:
+            if x not in xs:
+                xs.append(x)
+    rows = {
+        name: {str(x): points.get(x, "") for x in xs}
+        for name, points in series.items()
+    }
+    return render_table(
+        f"{title}  [{y_label} by {x_label}]",
+        rows,
+        [str(x) for x in xs],
+        row_header="Series",
+    )
+
+
+def markdown_table(
+    rows: Mapping[str, Mapping[str, object]],
+    columns: Sequence[str],
+    row_header: str = "Algorithm",
+    paper: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> str:
+    """GitHub-flavored markdown version for EXPERIMENTS.md."""
+    lines = [
+        "| " + " | ".join([row_header] + [str(c) for c in columns]) + " |",
+        "|" + "---|" * (len(columns) + 1),
+    ]
+    for row_name, row in rows.items():
+        cells = []
+        for column in columns:
+            text = _format_value(row.get(column, ""))
+            if paper is not None:
+                published = paper.get(row_name, {}).get(column)
+                if published is not None:
+                    text = f"{text} ({_format_value(published)})"
+            cells.append(text)
+        lines.append("| " + " | ".join([row_name] + cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Graph substrate: directed graphs, generators and cost models."""
+
+from repro.graphs.graph import Edge, Graph, Node, graph_from_edges
+from repro.graphs.costmodels import (
+    CostModel,
+    PAPER_COST_MODELS,
+    SkewedCostModel,
+    UniformCostModel,
+    VarianceCostModel,
+    make_cost_model,
+)
+from repro.graphs.grid import (
+    GridQuery,
+    PAPER_GRID_SIZES,
+    diagonal_query,
+    horizontal_query,
+    make_grid,
+    make_paper_grid,
+    paper_queries,
+    semi_diagonal_query,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "Node",
+    "graph_from_edges",
+    "CostModel",
+    "PAPER_COST_MODELS",
+    "SkewedCostModel",
+    "UniformCostModel",
+    "VarianceCostModel",
+    "make_cost_model",
+    "GridQuery",
+    "PAPER_GRID_SIZES",
+    "diagonal_query",
+    "horizontal_query",
+    "make_grid",
+    "make_paper_grid",
+    "paper_queries",
+    "semi_diagonal_query",
+]

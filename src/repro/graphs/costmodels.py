@@ -1,0 +1,135 @@
+"""Edge cost models from Section 5.1 of the paper.
+
+The paper evaluates three edge-cost models on synthetic grids:
+
+* **uniform** — every edge costs exactly 1;
+* **20% variance** — ``1 + 0.2 * U[0, 1]`` with U uniform on [0, 1];
+* **skewed** — a small cost on an L-shaped corridor (bottom row then
+  right column), eliminating backtracking for estimator-based search,
+  "creating the best case" for A* version 3.
+
+A cost model is a callable mapping an edge's endpoints to its cost;
+grid-specific models additionally know the grid dimension so they can
+identify the cheap corridor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Protocol, Tuple
+
+GridCoord = Tuple[int, int]
+
+
+class CostModel(Protocol):
+    """Assigns a cost to an edge between two grid coordinates."""
+
+    name: str
+
+    def cost(self, u: GridCoord, v: GridCoord) -> float:
+        """Cost of the directed edge ``u -> v``."""
+        ...
+
+
+class UniformCostModel:
+    """Unit cost on every edge — the paper's uniform model."""
+
+    name = "uniform"
+
+    def cost(self, u: GridCoord, v: GridCoord) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "UniformCostModel()"
+
+
+class VarianceCostModel:
+    """``1 + variance * U[0, 1]`` per edge — the paper's 20% variance model.
+
+    Costs are symmetric (the grid is undirected): the same draw is used
+    for ``u -> v`` and ``v -> u``, keyed on the sorted endpoint pair, so
+    both directions of a road segment have equal travel cost.
+    """
+
+    name = "variance"
+
+    def __init__(self, variance: float = 0.2, seed: int = 1993) -> None:
+        if variance < 0:
+            raise ValueError(f"variance must be non-negative, got {variance}")
+        self.variance = variance
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._cache: Dict[Tuple[GridCoord, GridCoord], float] = {}
+        self.name = f"variance-{int(round(variance * 100))}pct"
+
+    def cost(self, u: GridCoord, v: GridCoord) -> float:
+        key = (u, v) if u <= v else (v, u)
+        if key not in self._cache:
+            self._cache[key] = 1.0 + self.variance * self._rng.random()
+        return self._cache[key]
+
+    def __repr__(self) -> str:
+        return f"VarianceCostModel(variance={self.variance}, seed={self.seed})"
+
+
+class SkewedCostModel:
+    """Cheap L-shaped corridor along the bottom row and right column.
+
+    The paper: "the skewed-cost model assigns a small cost to the edges
+    [(1, i), (1, i+1)] on the bottom of the grid and the edges
+    [(k, i), (k, i+1)] on the right side of the grid", so that the
+    shortest source-to-destination path hugs the corridor and
+    estimator-driven search never backtracks.
+
+    Grid coordinates here are ``(row, col)`` with row 0 the bottom and
+    col ``k - 1`` the right edge.
+    """
+
+    name = "skewed"
+
+    def __init__(self, k: int, cheap_cost: float = 0.1, normal_cost: float = 1.0) -> None:
+        if k < 2:
+            raise ValueError(f"grid dimension k must be >= 2, got {k}")
+        if not 0 <= cheap_cost <= normal_cost:
+            raise ValueError(
+                f"cheap_cost ({cheap_cost}) must lie in [0, normal_cost={normal_cost}]"
+            )
+        self.k = k
+        self.cheap_cost = cheap_cost
+        self.normal_cost = normal_cost
+
+    def _on_corridor(self, u: GridCoord, v: GridCoord) -> bool:
+        (ur, uc), (vr, vc) = u, v
+        bottom_row = ur == 0 and vr == 0
+        right_col = uc == self.k - 1 and vc == self.k - 1
+        return bottom_row or right_col
+
+    def cost(self, u: GridCoord, v: GridCoord) -> float:
+        return self.cheap_cost if self._on_corridor(u, v) else self.normal_cost
+
+    def __repr__(self) -> str:
+        return (
+            f"SkewedCostModel(k={self.k}, cheap_cost={self.cheap_cost}, "
+            f"normal_cost={self.normal_cost})"
+        )
+
+
+def make_cost_model(name: str, k: int, seed: int = 1993) -> CostModel:
+    """Factory used by the experiment harness.
+
+    ``name`` is one of ``uniform``, ``variance`` (the paper's 20% model)
+    or ``skewed``; ``k`` is the grid dimension (needed by the skewed
+    model to locate the corridor).
+    """
+    if name == "uniform":
+        return UniformCostModel()
+    if name == "variance":
+        return VarianceCostModel(variance=0.2, seed=seed)
+    if name == "skewed":
+        return SkewedCostModel(k=k)
+    raise ValueError(
+        f"unknown cost model {name!r}; expected uniform, variance or skewed"
+    )
+
+
+PAPER_COST_MODELS = ("uniform", "variance", "skewed")

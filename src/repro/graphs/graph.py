@@ -1,0 +1,322 @@
+"""Directed graph with coordinates and edge costs.
+
+This is the in-memory graph substrate shared by every layer of the
+reproduction: the paper's Section 2 defines a graph ``G = (N, E, C)``
+where every node carries planar coordinates (used by the A* estimator
+functions) and every edge carries a non-negative real cost.
+
+The class is deliberately simple and explicit: adjacency is a dict of
+dicts, nodes are hashable ids (the experiments use ints and strings),
+and every mutation validates its inputs eagerly so that the planners can
+assume a consistent graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.exceptions import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphError,
+    NegativeEdgeCostError,
+    NodeNotFoundError,
+)
+
+NodeId = object
+
+
+@dataclass(frozen=True)
+class Node:
+    """A graph node: an id plus planar coordinates.
+
+    Coordinates are required because the paper's estimator functions
+    (euclidean and manhattan distance, Section 5.3) are defined on node
+    positions; graphs without meaningful geometry can use ``(0.0, 0.0)``
+    and restrict themselves to the zero estimator.
+    """
+
+    node_id: NodeId
+    x: float = 0.0
+    y: float = 0.0
+
+    def euclidean_distance(self, other: "Node") -> float:
+        """Straight-line distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance(self, other: "Node") -> float:
+        """L1 (city-block) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge ``source -> target`` with a non-negative cost."""
+
+    source: NodeId
+    target: NodeId
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise NegativeEdgeCostError(self.source, self.target, self.cost)
+
+
+class Graph:
+    """A directed graph ``G = (N, E, C)`` per Section 2 of the paper.
+
+    Nodes are added with coordinates; edges with costs. Undirected road
+    segments are stored as two directed edges (:meth:`add_undirected_edge`),
+    exactly as the paper stores "two directed-edge entries in S for each
+    undirected edge".
+
+    The graph exposes the vocabulary the planners need: ``neighbors``,
+    ``edge_cost``, ``degree``, plus whole-graph statistics used by the
+    experiment harness.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: Dict[NodeId, Node] = {}
+        self._adjacency: Dict[NodeId, Dict[NodeId, float]] = {}
+        self._reverse: Dict[NodeId, Dict[NodeId, float]] = {}
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: NodeId, x: float = 0.0, y: float = 0.0) -> Node:
+        """Add a node; raise :class:`DuplicateNodeError` if it exists."""
+        if node_id in self._nodes:
+            raise DuplicateNodeError(node_id)
+        node = Node(node_id, float(x), float(y))
+        self._nodes[node_id] = node
+        self._adjacency[node_id] = {}
+        self._reverse[node_id] = {}
+        return node
+
+    def add_edge(self, source: NodeId, target: NodeId, cost: float) -> Edge:
+        """Add a directed edge; both endpoints must already exist.
+
+        Re-adding an existing edge overwrites its cost (the ATIS use case:
+        travel times are dynamic and get refreshed from traffic feeds).
+        """
+        if source not in self._nodes:
+            raise NodeNotFoundError(source)
+        if target not in self._nodes:
+            raise NodeNotFoundError(target)
+        if source == target:
+            raise GraphError(f"self-loop on node {source!r} is not allowed")
+        cost = float(cost)
+        if cost < 0:
+            raise NegativeEdgeCostError(source, target, cost)
+        if target not in self._adjacency[source]:
+            self._edge_count += 1
+        self._adjacency[source][target] = cost
+        self._reverse[target][source] = cost
+        return Edge(source, target, cost)
+
+    def add_undirected_edge(
+        self, u: NodeId, v: NodeId, cost: float
+    ) -> Tuple[Edge, Edge]:
+        """Add both directed edges for an undirected road segment."""
+        return self.add_edge(u, v, cost), self.add_edge(v, u, cost)
+
+    def remove_edge(self, source: NodeId, target: NodeId) -> None:
+        """Remove a directed edge; raise if absent."""
+        try:
+            del self._adjacency[source][target]
+            del self._reverse[target][source]
+        except KeyError:
+            raise EdgeNotFoundError(source, target) from None
+        self._edge_count -= 1
+
+    def update_edge_cost(self, source: NodeId, target: NodeId, cost: float) -> None:
+        """Refresh the cost of an existing edge (dynamic travel times)."""
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        cost = float(cost)
+        if cost < 0:
+            raise NegativeEdgeCostError(source, target, cost)
+        self._adjacency[source][target] = cost
+        self._reverse[target][source] = cost
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, nodes={self.node_count}, "
+            f"edges={self.edge_count})"
+        )
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes, |N|."""
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of directed edges, |E|."""
+        return self._edge_count
+
+    def node(self, node_id: NodeId) -> Node:
+        """Return the :class:`Node` record; raise if absent."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        return source in self._adjacency and target in self._adjacency[source]
+
+    def edge_cost(self, source: NodeId, target: NodeId) -> float:
+        """Cost C(u, v) of a directed edge; raise if absent."""
+        try:
+            return self._adjacency[source][target]
+        except KeyError:
+            raise EdgeNotFoundError(source, target) from None
+
+    def neighbors(self, node_id: NodeId) -> Iterator[Tuple[NodeId, float]]:
+        """Yield ``(neighbor, cost)`` pairs — the adjacency list of the paper.
+
+        Pairs are yielded in insertion order, which makes planner traces
+        deterministic for a deterministically built graph.
+        """
+        if node_id not in self._adjacency:
+            raise NodeNotFoundError(node_id)
+        yield from self._adjacency[node_id].items()
+
+    def predecessors(self, node_id: NodeId) -> Iterator[Tuple[NodeId, float]]:
+        """Yield ``(predecessor, cost)`` pairs of incoming edges."""
+        if node_id not in self._reverse:
+            raise NodeNotFoundError(node_id)
+        yield from self._reverse[node_id].items()
+
+    def degree(self, node_id: NodeId) -> int:
+        """Out-degree — the paper's "number of neighboring nodes"."""
+        if node_id not in self._adjacency:
+            raise NodeNotFoundError(node_id)
+        return len(self._adjacency[node_id])
+
+    def nodes(self) -> Iterator[Node]:
+        """Yield all node records in insertion order."""
+        yield from self._nodes.values()
+
+    def node_ids(self) -> Iterator[NodeId]:
+        """Yield all node ids in insertion order."""
+        yield from self._nodes.keys()
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield all directed edges in insertion order."""
+        for source, targets in self._adjacency.items():
+            for target, cost in targets.items():
+                yield Edge(source, target, cost)
+
+    def coordinates(self, node_id: NodeId) -> Tuple[float, float]:
+        """Return ``(x, y)`` of a node."""
+        node = self.node(node_id)
+        return node.x, node.y
+
+    # ------------------------------------------------------------------
+    # statistics and helpers
+    # ------------------------------------------------------------------
+    def average_degree(self) -> float:
+        """Mean out-degree |A| over all nodes (0 for an empty graph)."""
+        if not self._nodes:
+            return 0.0
+        return self._edge_count / len(self._nodes)
+
+    def path_cost(self, path: Iterable[NodeId]) -> float:
+        """Sum of edge costs along ``path``; raises if an edge is missing.
+
+        A path of zero or one nodes costs 0.0.
+        """
+        total = 0.0
+        previous: Optional[NodeId] = None
+        for node_id in path:
+            if node_id not in self._nodes:
+                raise NodeNotFoundError(node_id)
+            if previous is not None:
+                total += self.edge_cost(previous, node_id)
+            previous = node_id
+        return total
+
+    def is_valid_path(self, path: List[NodeId]) -> bool:
+        """True if consecutive nodes of ``path`` are joined by edges."""
+        if not path:
+            return False
+        if any(node_id not in self._nodes for node_id in path):
+            return False
+        return all(
+            self.has_edge(u, v) for u, v in zip(path, path[1:])
+        )
+
+    def subgraph(self, node_ids: Iterable[NodeId]) -> "Graph":
+        """Return the induced subgraph on ``node_ids`` (copied)."""
+        keep = set(node_ids)
+        sub = Graph(name=f"{self.name}-sub")
+        for node_id in keep:
+            node = self.node(node_id)
+            sub.add_node(node.node_id, node.x, node.y)
+        for source in keep:
+            for target, cost in self._adjacency[source].items():
+                if target in keep:
+                    sub.add_edge(source, target, cost)
+        return sub
+
+    def copy(self) -> "Graph":
+        """Deep-copy the graph (nodes, edges, costs)."""
+        duplicate = Graph(name=self.name)
+        for node in self._nodes.values():
+            duplicate.add_node(node.node_id, node.x, node.y)
+        for source, targets in self._adjacency.items():
+            for target, cost in targets.items():
+                duplicate.add_edge(source, target, cost)
+        return duplicate
+
+    def reversed(self) -> "Graph":
+        """Return a copy with every edge direction flipped.
+
+        Used by the bidirectional planner's backward search.
+        """
+        flipped = Graph(name=f"{self.name}-reversed")
+        for node in self._nodes.values():
+            flipped.add_node(node.node_id, node.x, node.y)
+        for source, targets in self._adjacency.items():
+            for target, cost in targets.items():
+                flipped.add_edge(target, source, cost)
+        return flipped
+
+
+def graph_from_edges(
+    edges: Iterable[Tuple[NodeId, NodeId, float]],
+    coordinates: Optional[Mapping[NodeId, Tuple[float, float]]] = None,
+    name: str = "graph",
+) -> Graph:
+    """Build a graph from an edge list, creating nodes on first sight.
+
+    ``coordinates`` optionally supplies ``(x, y)`` per node id; nodes not
+    listed default to the origin.
+    """
+    coordinates = coordinates or {}
+    graph = Graph(name=name)
+
+    def ensure(node_id: NodeId) -> None:
+        if node_id not in graph:
+            x, y = coordinates.get(node_id, (0.0, 0.0))
+            graph.add_node(node_id, x, y)
+
+    for source, target, cost in edges:
+        ensure(source)
+        ensure(target)
+        graph.add_edge(source, target, cost)
+    return graph

@@ -1,0 +1,103 @@
+"""Synthetic grid benchmark graphs (Figure 4 of the paper).
+
+The paper's synthetic benchmark is an undirected k x k grid with
+4-neighbor connectivity: "The grid includes k*k nodes, with k nodes
+along each row and each column, and with edges connecting adjacent nodes
+along rows and columns."  Three canonical node pairs are used for path
+computation:
+
+* **diagonal** — diagonally opposite corners (the longest path);
+* **horizontal** — linearly opposite nodes (same row, opposite columns);
+* **semi-diagonal** — an intermediate pair (the paper's "random-node
+  pair"; we pin it to the corner-to-edge-midpoint pair so that runs are
+  deterministic and the path length sits between the other two).
+
+Grid nodes are identified by ``(row, col)`` tuples with row 0 at the
+bottom; the coordinates double as planar positions so the euclidean and
+manhattan estimators work out of the box (unit spacing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.graphs.costmodels import CostModel, UniformCostModel, make_cost_model
+from repro.graphs.graph import Graph
+
+GridCoord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridQuery:
+    """A named source/destination pair on a grid."""
+
+    name: str
+    source: GridCoord
+    destination: GridCoord
+
+
+def make_grid(k: int, cost_model: CostModel | None = None) -> Graph:
+    """Build the paper's k x k benchmark grid.
+
+    Every node ``(row, col)`` sits at planar position ``(col, row)`` with
+    unit spacing. Adjacent nodes along rows and columns are joined by an
+    undirected edge (two directed edges) whose cost comes from
+    ``cost_model`` (uniform by default).
+    """
+    if k < 2:
+        raise ValueError(f"grid dimension k must be >= 2, got {k}")
+    cost_model = cost_model or UniformCostModel()
+    graph = Graph(name=f"grid-{k}x{k}-{cost_model.name}")
+    for row in range(k):
+        for col in range(k):
+            graph.add_node((row, col), x=float(col), y=float(row))
+    for row in range(k):
+        for col in range(k):
+            here = (row, col)
+            if col + 1 < k:
+                right = (row, col + 1)
+                graph.add_undirected_edge(here, right, cost_model.cost(here, right))
+            if row + 1 < k:
+                up = (row + 1, col)
+                graph.add_undirected_edge(here, up, cost_model.cost(here, up))
+    return graph
+
+
+def make_paper_grid(k: int, cost_model_name: str = "variance", seed: int = 1993) -> Graph:
+    """Convenience: grid with one of the paper's named cost models."""
+    return make_grid(k, make_cost_model(cost_model_name, k=k, seed=seed))
+
+
+def diagonal_query(k: int) -> GridQuery:
+    """Diagonally opposite corners: bottom-left to top-right.
+
+    This is the longest canonical path: 2*(k-1) edges under uniform
+    costs — used for the paper's worst-case comparisons (Table 5).
+    """
+    return GridQuery("diagonal", (0, 0), (k - 1, k - 1))
+
+
+def horizontal_query(k: int) -> GridQuery:
+    """Linearly opposite nodes: across the bottom row (k-1 edges)."""
+    return GridQuery("horizontal", (0, 0), (0, k - 1))
+
+
+def semi_diagonal_query(k: int) -> GridQuery:
+    """An intermediate pair: corner to the midpoint of the far column.
+
+    The paper's third pair is "a random-node pair"; this deterministic
+    choice gives a path length (k-1 + k//2 edges) strictly between the
+    horizontal and diagonal pairs, matching the "Semi-Diagonal" column
+    of Tables 4B and 6.
+    """
+    return GridQuery("semi-diagonal", (0, 0), (k // 2, k - 1))
+
+
+def paper_queries(k: int) -> Dict[str, GridQuery]:
+    """The three canonical node pairs keyed by name."""
+    queries = (horizontal_query(k), semi_diagonal_query(k), diagonal_query(k))
+    return {query.name: query for query in queries}
+
+
+PAPER_GRID_SIZES = (10, 20, 30)

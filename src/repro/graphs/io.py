@@ -1,0 +1,142 @@
+"""Graph serialization: CSV edge lists and a JSON document format.
+
+The CSV format mirrors the paper's relational layout — a node file
+(node-id, x, y) and an edge file (begin, end, cost) — so a graph can be
+round-tripped through exactly the two relations the DBMS tier stores.
+The JSON format bundles both in one self-describing document.
+
+Node ids are serialized via ``repr`` and parsed back with a restricted
+literal evaluator, so the tuple ids used by the grid and road-map
+generators survive a round trip.
+"""
+
+from __future__ import annotations
+
+import ast
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def _encode_id(node_id: object) -> str:
+    return repr(node_id)
+
+
+def _decode_id(text: str) -> object:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text  # bare string ids round-trip as themselves
+
+
+# ----------------------------------------------------------------------
+# CSV (paired node / edge files, the relational layout)
+# ----------------------------------------------------------------------
+def save_csv(graph: Graph, node_path: PathLike, edge_path: PathLike) -> None:
+    """Write the node relation and edge relation as two CSV files."""
+    with open(node_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["node_id", "x", "y"])
+        for node in graph.nodes():
+            writer.writerow([_encode_id(node.node_id), node.x, node.y])
+    with open(edge_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["begin", "end", "cost"])
+        for edge in graph.edges():
+            writer.writerow(
+                [_encode_id(edge.source), _encode_id(edge.target), edge.cost]
+            )
+
+
+def load_csv(node_path: PathLike, edge_path: PathLike, name: str = "graph") -> Graph:
+    """Read a graph from the paired CSV files written by :func:`save_csv`."""
+    graph = Graph(name=name)
+    with open(node_path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != ["node_id", "x", "y"]:
+            raise GraphError(
+                f"{node_path}: expected header node_id,x,y, "
+                f"got {reader.fieldnames}"
+            )
+        for row in reader:
+            graph.add_node(
+                _decode_id(row["node_id"]), float(row["x"]), float(row["y"])
+            )
+    with open(edge_path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != ["begin", "end", "cost"]:
+            raise GraphError(
+                f"{edge_path}: expected header begin,end,cost, "
+                f"got {reader.fieldnames}"
+            )
+        for row in reader:
+            graph.add_edge(
+                _decode_id(row["begin"]),
+                _decode_id(row["end"]),
+                float(row["cost"]),
+            )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# JSON (single document)
+# ----------------------------------------------------------------------
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """Plain-dict representation (stable field order, version-tagged)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {"id": _encode_id(n.node_id), "x": n.x, "y": n.y}
+            for n in graph.nodes()
+        ],
+        "edges": [
+            {
+                "begin": _encode_id(e.source),
+                "end": _encode_id(e.target),
+                "cost": e.cost,
+            }
+            for e in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(document: dict) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported graph document version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    graph = Graph(name=document.get("name", "graph"))
+    for node in document["nodes"]:
+        graph.add_node(_decode_id(node["id"]), node["x"], node["y"])
+    for edge in document["edges"]:
+        graph.add_edge(
+            _decode_id(edge["begin"]),
+            _decode_id(edge["end"]),
+            float(edge["cost"]),
+        )
+    return graph
+
+
+def save_json(graph: Graph, path: PathLike) -> None:
+    """Write the graph as a single JSON document."""
+    with open(path, "w") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=1)
+
+
+def load_json(path: PathLike) -> Graph:
+    """Read a graph written by :func:`save_json`."""
+    with open(path) as handle:
+        return graph_from_dict(json.load(handle))

@@ -1,0 +1,131 @@
+"""Random road-like graph generators for tests and robustness studies.
+
+The paper evaluates on grids and one real map; a reproduction's test
+suite needs a broader family to exercise the planners' invariants.
+Every generator embeds nodes in the plane (so the geometric estimators
+apply), produces strongly connected graphs, and is deterministic per
+seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.graphs.graph import Graph
+
+
+def random_geometric_graph(
+    node_count: int,
+    radius: float = 0.18,
+    seed: int = 0,
+    name: str = "",
+) -> Graph:
+    """Unit-square random geometric graph with euclidean edge costs.
+
+    Nodes within ``radius`` of each other are joined by an undirected
+    edge; a Hamiltonian-ish backbone (nearest unvisited neighbor chain)
+    guarantees connectivity even for sparse radii.
+    """
+    if node_count < 1:
+        raise ValueError("node_count must be at least 1")
+    rng = random.Random(seed)
+    graph = Graph(name=name or f"geo-{node_count}-{seed}")
+    points: List[Tuple[float, float]] = []
+    for index in range(node_count):
+        x, y = rng.random(), rng.random()
+        graph.add_node(index, x, y)
+        points.append((x, y))
+
+    def distance(i: int, j: int) -> float:
+        (x1, y1), (x2, y2) = points[i], points[j]
+        return math.hypot(x1 - x2, y1 - y2)
+
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            d = distance(i, j)
+            if d <= radius:
+                graph.add_undirected_edge(i, j, d)
+
+    # Connectivity backbone: greedy nearest-unvisited chain.
+    unvisited = set(range(1, node_count))
+    current = 0
+    while unvisited:
+        nearest = min(unvisited, key=lambda j: distance(current, j))
+        if not graph.has_edge(current, nearest):
+            graph.add_undirected_edge(current, nearest, distance(current, nearest))
+        unvisited.discard(nearest)
+        current = nearest
+    return graph
+
+
+def random_grid_with_diagonals(
+    k: int, diagonal_probability: float = 0.3, seed: int = 0
+) -> Graph:
+    """A k x k unit grid with random diagonal shortcuts.
+
+    Diagonals cost sqrt(2); they make euclidean strictly tighter than
+    manhattan on some pairs, exercising the estimator-comparison logic
+    beyond pure grids.
+    """
+    if k < 2:
+        raise ValueError("grid dimension k must be >= 2")
+    if not 0 <= diagonal_probability <= 1:
+        raise ValueError("diagonal_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(name=f"diag-grid-{k}-{seed}")
+    for row in range(k):
+        for col in range(k):
+            graph.add_node((row, col), x=float(col), y=float(row))
+    for row in range(k):
+        for col in range(k):
+            if col + 1 < k:
+                graph.add_undirected_edge((row, col), (row, col + 1), 1.0)
+            if row + 1 < k:
+                graph.add_undirected_edge((row, col), (row + 1, col), 1.0)
+            if row + 1 < k and col + 1 < k and rng.random() < diagonal_probability:
+                graph.add_undirected_edge(
+                    (row, col), (row + 1, col + 1), math.sqrt(2.0)
+                )
+    return graph
+
+
+def random_sparse_directed(
+    node_count: int,
+    extra_edges: int,
+    max_cost: float = 10.0,
+    seed: int = 0,
+) -> Graph:
+    """A strongly connected sparse directed graph with random costs.
+
+    A directed cycle through all nodes guarantees strong connectivity;
+    ``extra_edges`` random chords are layered on top. Node positions
+    are on a circle so the geometric estimators are defined (though not
+    necessarily admissible — useful for testing the inadmissible-
+    estimator code paths).
+    """
+    if node_count < 2:
+        raise ValueError("node_count must be at least 2")
+    if extra_edges < 0:
+        raise ValueError("extra_edges must be non-negative")
+    rng = random.Random(seed)
+    graph = Graph(name=f"sparse-{node_count}-{seed}")
+    for index in range(node_count):
+        angle = 2.0 * math.pi * index / node_count
+        graph.add_node(index, math.cos(angle), math.sin(angle))
+    for index in range(node_count):
+        graph.add_edge(
+            index, (index + 1) % node_count, rng.uniform(0.1, max_cost)
+        )
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 50 * extra_edges + 100:
+        attempts += 1
+        u = rng.randrange(node_count)
+        v = rng.randrange(node_count)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, rng.uniform(0.1, max_cost))
+        added += 1
+    return graph

@@ -1,0 +1,37 @@
+"""A miniature QUEL interpreter over the simulated INGRES.
+
+The paper's algorithms were "implemented in EQUEL" — QUEL statements
+embedded in a host program. This subpackage provides the query-language
+surface of that setup: enough of QUEL to express every database
+operation the paper's programs perform.
+
+Supported statements::
+
+    RANGE OF r IS RelationName
+    RETRIEVE (r.a, r.b = r.x + 1) [WHERE qual]
+    RETRIEVE INTO Temp (r.a, s.b) [WHERE qual]
+    APPEND TO RelationName (field = expr, ...)
+    REPLACE r (field = expr, ...) [WHERE qual]
+    DELETE r [WHERE qual]
+
+Qualifications are conjunctions/disjunctions of comparisons between
+field references, literals and arithmetic expressions; a comparison
+between fields of two *different* range variables makes RETRIEVE an
+equi-join, executed through the cost-based optimizer exactly like the
+engine's own adjacency joins.
+
+>>> from repro.quel import QuelSession
+>>> session = QuelSession(database)
+>>> session.execute('RANGE OF s IS S')
+>>> rows = session.execute('RETRIEVE (s.end, s.cost) WHERE s.begin = 7')
+"""
+
+from repro.quel.parser import QuelSyntaxError, parse_statement
+from repro.quel.executor import QuelError, QuelSession
+
+__all__ = [
+    "QuelSession",
+    "QuelError",
+    "QuelSyntaxError",
+    "parse_statement",
+]

@@ -1,0 +1,410 @@
+"""Tokenizer, AST and recursive-descent parser for mini-QUEL.
+
+The grammar (case-insensitive keywords)::
+
+    statement   := range | retrieve | append | replace | delete
+    range       := RANGE OF ident IS ident
+    retrieve    := RETRIEVE [INTO ident] "(" targets ")" [WHERE qual]
+    append      := APPEND TO ident "(" assignments ")"
+    replace     := REPLACE ident "(" assignments ")" [WHERE qual]
+    delete      := DELETE ident [WHERE qual]
+    targets     := target ("," target)*
+    target      := [ident "="] expr
+    assignments := ident "=" expr ("," ident "=" expr)*
+    qual        := orterm (OR orterm)*
+    orterm      := factor (AND factor)*
+    factor      := comparison | "(" qual ")" | NOT factor
+    comparison  := expr cmpop expr
+    expr        := term (("+"|"-") term)*
+    term        := atom (("*"|"/") atom)*
+    atom        := number | string | ident "." ident | "(" expr ")"
+
+Identifiers are bare words; node ids that are tuples are written as
+quoted strings (e.g. ``"(0, 0)"``) and compared by literal value.
+"""
+
+from __future__ import annotations
+
+import ast as _pyast
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.exceptions import QueryError
+
+
+class QuelSyntaxError(QueryError):
+    """Raised when a statement cannot be tokenized or parsed."""
+
+
+# ----------------------------------------------------------------------
+# AST nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FieldRef:
+    variable: str
+    field: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # + - * /
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[FieldRef, Literal, BinaryOp]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str  # = != < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # and / or
+    parts: Tuple["Qual", ...]
+
+
+@dataclass(frozen=True)
+class NotOp:
+    part: "Qual"
+
+
+Qual = Union[Comparison, BoolOp, NotOp]
+
+
+@dataclass(frozen=True)
+class RangeStmt:
+    variable: str
+    relation: str
+
+
+@dataclass(frozen=True)
+class Target:
+    name: str  # output column name
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class RetrieveStmt:
+    targets: Tuple[Target, ...]
+    into: Optional[str] = None
+    where: Optional[Qual] = None
+
+
+@dataclass(frozen=True)
+class AppendStmt:
+    relation: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+
+
+@dataclass(frozen=True)
+class ReplaceStmt:
+    variable: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Qual] = None
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    variable: str
+    where: Optional[Qual] = None
+
+
+Statement = Union[RangeStmt, RetrieveStmt, AppendStmt, ReplaceStmt, DeleteStmt]
+
+
+# ----------------------------------------------------------------------
+# tokenizer
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<cmp><=|>=|!=|=|<|>)
+  | (?P<punct>[(),.])
+  | (?P<op>[+\-*/])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "range", "of", "is", "retrieve", "into", "where", "append", "to",
+    "replace", "delete", "and", "or", "not",
+}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+
+
+def tokenize(statement: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(statement):
+        match = _TOKEN_RE.match(statement, position)
+        if match is None:
+            raise QuelSyntaxError(
+                f"cannot tokenize at: {statement[position:position + 20]!r}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        text = match.group()
+        if kind == "word" and text.lower() in KEYWORDS:
+            tokens.append(_Token("keyword", text.lower()))
+        else:
+            tokens.append(_Token(kind, text))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.position = 0
+
+    # -- primitives ----------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuelSyntaxError(f"unexpected end of statement: {self.source!r}")
+        self.position += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise QuelSyntaxError(
+                f"expected {wanted!r}, got {token.text!r} in {self.source!r}"
+            )
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token and token.kind == kind and (text is None or token.text == text):
+            self.position += 1
+            return True
+        return False
+
+    def _ident(self) -> str:
+        token = self._next()
+        if token.kind != "word":
+            raise QuelSyntaxError(
+                f"expected identifier, got {token.text!r} in {self.source!r}"
+            )
+        return token.text
+
+    def _done(self) -> None:
+        if self._peek() is not None:
+            raise QuelSyntaxError(
+                f"trailing input {self._peek().text!r} in {self.source!r}"
+            )
+
+    # -- grammar -------------------------------------------------------
+    def statement(self) -> Statement:
+        token = self._next()
+        if token.kind != "keyword":
+            raise QuelSyntaxError(f"statements start with a verb: {self.source!r}")
+        if token.text == "range":
+            return self._range()
+        if token.text == "retrieve":
+            return self._retrieve()
+        if token.text == "append":
+            return self._append()
+        if token.text == "replace":
+            return self._replace()
+        if token.text == "delete":
+            return self._delete()
+        raise QuelSyntaxError(f"unknown statement verb {token.text!r}")
+
+    def _range(self) -> RangeStmt:
+        self._expect("keyword", "of")
+        variable = self._ident()
+        self._expect("keyword", "is")
+        relation = self._ident()
+        self._done()
+        return RangeStmt(variable, relation)
+
+    def _retrieve(self) -> RetrieveStmt:
+        into = None
+        if self._accept("keyword", "into"):
+            into = self._ident()
+        self._expect("punct", "(")
+        targets = [self._target()]
+        while self._accept("punct", ","):
+            targets.append(self._target())
+        self._expect("punct", ")")
+        where = self._where()
+        self._done()
+        return RetrieveStmt(tuple(targets), into=into, where=where)
+
+    def _target(self) -> Target:
+        # Either `name = expr` or a bare expression (named after the
+        # field for simple references, positionally otherwise).
+        checkpoint = self.position
+        if (
+            self._peek()
+            and self._peek().kind == "word"
+            and self.position + 1 < len(self.tokens)
+            and self.tokens[self.position + 1].kind == "cmp"
+            and self.tokens[self.position + 1].text == "="
+        ):
+            name = self._ident()
+            self._next()  # the '='
+            return Target(name, self._expr())
+        self.position = checkpoint
+        expr = self._expr()
+        if isinstance(expr, FieldRef):
+            return Target(expr.field, expr)
+        return Target(f"column_{self.position}", expr)
+
+    def _append(self) -> AppendStmt:
+        self._expect("keyword", "to")
+        relation = self._ident()
+        assignments = self._assignments()
+        self._done()
+        return AppendStmt(relation, assignments)
+
+    def _replace(self) -> ReplaceStmt:
+        variable = self._ident()
+        assignments = self._assignments()
+        where = self._where()
+        self._done()
+        return ReplaceStmt(variable, assignments, where)
+
+    def _delete(self) -> DeleteStmt:
+        variable = self._ident()
+        where = self._where()
+        self._done()
+        return DeleteStmt(variable, where)
+
+    def _assignments(self) -> Tuple[Tuple[str, Expr], ...]:
+        self._expect("punct", "(")
+        pairs = [self._assignment()]
+        while self._accept("punct", ","):
+            pairs.append(self._assignment())
+        self._expect("punct", ")")
+        return tuple(pairs)
+
+    def _assignment(self) -> Tuple[str, Expr]:
+        name = self._ident()
+        self._expect("cmp", "=")
+        return (name, self._expr())
+
+    def _where(self) -> Optional[Qual]:
+        if self._accept("keyword", "where"):
+            return self._qual()
+        return None
+
+    # -- qualifications --------------------------------------------
+    def _qual(self) -> Qual:
+        parts = [self._orterm()]
+        while self._accept("keyword", "or"):
+            parts.append(self._orterm())
+        if len(parts) == 1:
+            return parts[0]
+        return BoolOp("or", tuple(parts))
+
+    def _orterm(self) -> Qual:
+        parts = [self._factor()]
+        while self._accept("keyword", "and"):
+            parts.append(self._factor())
+        if len(parts) == 1:
+            return parts[0]
+        return BoolOp("and", tuple(parts))
+
+    def _factor(self) -> Qual:
+        if self._accept("keyword", "not"):
+            return NotOp(self._factor())
+        checkpoint = self.position
+        if self._accept("punct", "("):
+            # Could be a parenthesized qual or an expression; try qual.
+            try:
+                inner = self._qual()
+                self._expect("punct", ")")
+                return inner
+            except QuelSyntaxError:
+                self.position = checkpoint
+        left = self._expr()
+        op = self._next()
+        if op.kind != "cmp":
+            raise QuelSyntaxError(
+                f"expected comparison operator, got {op.text!r}"
+            )
+        right = self._expr()
+        return Comparison(op.text, left, right)
+
+    # -- expressions ------------------------------------------------
+    def _expr(self) -> Expr:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.text in "+-":
+                self._next()
+                left = BinaryOp(token.text, left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expr:
+        left = self._atom()
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.text in "*/":
+                self._next()
+                left = BinaryOp(token.text, left, self._atom())
+            else:
+                return left
+
+    def _atom(self) -> Expr:
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind == "string":
+            raw = token.text[1:-1]
+            try:
+                return Literal(_pyast.literal_eval(raw))
+            except (ValueError, SyntaxError):
+                return Literal(raw)
+        if token.kind == "punct" and token.text == "(":
+            inner = self._expr()
+            self._expect("punct", ")")
+            return inner
+        if token.kind == "word":
+            self._expect("punct", ".")
+            return FieldRef(token.text, self._ident())
+        raise QuelSyntaxError(
+            f"unexpected token {token.text!r} in expression"
+        )
+
+
+def parse_statement(statement: str) -> Statement:
+    """Parse one QUEL statement into its AST."""
+    tokens = tokenize(statement)
+    if not tokens:
+        raise QuelSyntaxError("empty statement")
+    return _Parser(tokens, statement).statement()

@@ -1,0 +1,65 @@
+"""Query processing substrate: predicates, selects, joins, optimizer."""
+
+from repro.query.predicates import (
+    And,
+    FALSE,
+    FieldCompare,
+    FieldEquals,
+    FieldIn,
+    Not,
+    Or,
+    Predicate,
+    TRUE,
+)
+from repro.query.select import (
+    full_scan_select,
+    hash_select,
+    isam_select,
+    select,
+    select_min,
+)
+from repro.query.joins import (
+    ALL_STRATEGIES,
+    HashJoin,
+    JoinCostInputs,
+    JoinStrategy,
+    NestedLoopJoin,
+    PrimaryKeyJoin,
+    SortMergeJoin,
+    make_inputs,
+)
+from repro.query.optimizer import (
+    JoinPlan,
+    applicable_strategies,
+    choose_strategy,
+    execute_join,
+)
+
+__all__ = [
+    "Predicate",
+    "FieldEquals",
+    "FieldIn",
+    "FieldCompare",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "FALSE",
+    "full_scan_select",
+    "hash_select",
+    "isam_select",
+    "select",
+    "select_min",
+    "ALL_STRATEGIES",
+    "HashJoin",
+    "NestedLoopJoin",
+    "SortMergeJoin",
+    "PrimaryKeyJoin",
+    "JoinStrategy",
+    "JoinCostInputs",
+    "make_inputs",
+    "JoinPlan",
+    "applicable_strategies",
+    "choose_strategy",
+    "execute_join",
+]

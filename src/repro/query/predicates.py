@@ -1,0 +1,110 @@
+"""Selection predicates for the query layer.
+
+Predicates are small callable objects with a printable form, so query
+plans can be explained (`EXPLAIN`-style) and so the optimizer can
+recognise the cases it has statistics for (equality on an indexed
+field).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+
+class Predicate:
+    """Base predicate: wraps a callable plus a description."""
+
+    def __init__(
+        self, func: Callable[[Mapping[str, object]], bool], description: str
+    ) -> None:
+        self._func = func
+        self.description = description
+
+    def __call__(self, values: Mapping[str, object]) -> bool:
+        return self._func(values)
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.description})"
+
+
+class FieldEquals(Predicate):
+    """``field = value`` — the index-friendly predicate."""
+
+    def __init__(self, field: str, value: object) -> None:
+        self.field = field
+        self.value = value
+        super().__init__(
+            lambda t: t[field] == value, f"{field} = {value!r}"
+        )
+
+
+class FieldIn(Predicate):
+    """``field IN (v1, v2, ...)``."""
+
+    def __init__(self, field: str, values: Sequence[object]) -> None:
+        self.field = field
+        self.values = tuple(values)
+        allowed = set(map(repr, self.values))
+        super().__init__(
+            lambda t: repr(t[field]) in allowed,
+            f"{field} IN {self.values!r}",
+        )
+
+
+class FieldCompare(Predicate):
+    """``field <op> value`` for <, <=, >, >=, !=."""
+
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "!=": lambda a, b: a != b,
+    }
+
+    def __init__(self, field: str, op: str, value: object) -> None:
+        if op not in self._OPS:
+            raise ValueError(
+                f"unknown comparison {op!r}; known: {sorted(self._OPS)}"
+            )
+        self.field = field
+        self.op = op
+        self.value = value
+        compare = self._OPS[op]
+        super().__init__(
+            lambda t: compare(t[field], value), f"{field} {op} {value!r}"
+        )
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        self.parts = parts
+        super().__init__(
+            lambda t: all(p(t) for p in parts),
+            " AND ".join(p.description for p in parts) or "TRUE",
+        )
+
+
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        self.parts = parts
+        super().__init__(
+            lambda t: any(p(t) for p in parts),
+            " OR ".join(p.description for p in parts) or "FALSE",
+        )
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, part: Predicate) -> None:
+        self.part = part
+        super().__init__(lambda t: not part(t), f"NOT ({part.description})")
+
+
+TRUE = Predicate(lambda t: True, "TRUE")
+FALSE = Predicate(lambda t: False, "FALSE")

@@ -1,0 +1,83 @@
+"""Selection strategies: full scan, ISAM probe, hash probe.
+
+A selection returns materialised tuples. Strategy choice mirrors what
+the paper's optimizer simulation did for single-table accesses: use the
+primary index when the predicate is an equality on the indexed field,
+otherwise scan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import QueryError
+from repro.query.predicates import FieldEquals, Predicate
+from repro.storage.relation import Relation
+
+
+def full_scan_select(relation: Relation, predicate: Predicate) -> List[dict]:
+    """Read every block of the relation, keep matching tuples."""
+    return [dict(values) for _rid, values in relation.scan_filter(predicate)]
+
+
+def isam_select(relation: Relation, key: object) -> List[dict]:
+    """Point lookup through the ISAM primary index (unique key)."""
+    if relation.isam is None:
+        raise QueryError(
+            f"relation {relation.name!r} has no ISAM index"
+        )
+    match = relation.isam.fetch(key)
+    return [match] if match is not None else []
+
+
+def hash_select(relation: Relation, key: object) -> List[dict]:
+    """Multi-match lookup through the hash index (e.g. adjacency lists)."""
+    if relation.hash_index is None:
+        raise QueryError(
+            f"relation {relation.name!r} has no hash index"
+        )
+    return relation.hash_index.fetch_all(key)
+
+
+def select(relation: Relation, predicate: Predicate) -> List[dict]:
+    """Pick the cheapest correct strategy for ``predicate``.
+
+    Equality on an indexed field goes through the matching index;
+    everything else scans. The choice is semantic, not statistical:
+    a point probe is never dearer than a full scan in this engine.
+    """
+    if isinstance(predicate, FieldEquals):
+        if relation.isam is not None and relation.isam.key_field == predicate.field:
+            return isam_select(relation, predicate.value)
+        if (
+            relation.hash_index is not None
+            and relation.hash_index.key_field == predicate.field
+        ):
+            return hash_select(relation, predicate.value)
+    return full_scan_select(relation, predicate)
+
+
+def select_min(
+    relation: Relation,
+    value_field: str,
+    predicate: Optional[Predicate] = None,
+) -> Optional[dict]:
+    """Scan for the tuple minimising ``value_field`` among matches.
+
+    This is the frontier's "select u with minimum C(s,u) [+ f(u,d)]"
+    operation — implemented, as in the paper, by a scan of the node
+    relation (one pass, B_r block reads). Ties resolve to the first
+    tuple in scan order, which keeps runs deterministic.
+
+    Returns None when no tuple matches.
+    """
+    best: Optional[dict] = None
+    best_value: Optional[float] = None
+    for _rid, values in relation.scan():
+        if predicate is not None and not predicate(values):
+            continue
+        value = values[value_field]
+        if best_value is None or value < best_value:
+            best = dict(values)
+            best_value = value
+    return best

@@ -1,0 +1,64 @@
+"""Relational storage substrate: the simulated single-user INGRES."""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.database import Database
+from repro.storage.hashindex import HashIndex
+from repro.storage.heapfile import HeapFile, RecordId
+from repro.storage.iostats import (
+    DEFAULT_CREATE_COST,
+    DEFAULT_DELETE_COST,
+    DEFAULT_T_READ,
+    DEFAULT_T_UPDATE,
+    DEFAULT_T_WRITE,
+    IOStatistics,
+)
+from repro.storage.isam import ISAMIndex
+from repro.storage.page import DEFAULT_BLOCK_SIZE, Page, blocks_for
+from repro.storage.relation import Relation
+from repro.storage.schema import (
+    ANY,
+    FLOAT,
+    INT,
+    NODE_STATUSES,
+    STATUS_CLOSED,
+    STATUS_CURRENT,
+    STATUS_NULL,
+    STATUS_OPEN,
+    STR,
+    Field,
+    Schema,
+    edge_schema,
+    node_schema,
+)
+
+__all__ = [
+    "BufferPool",
+    "Database",
+    "HashIndex",
+    "HeapFile",
+    "RecordId",
+    "IOStatistics",
+    "DEFAULT_T_READ",
+    "DEFAULT_T_WRITE",
+    "DEFAULT_T_UPDATE",
+    "DEFAULT_CREATE_COST",
+    "DEFAULT_DELETE_COST",
+    "ISAMIndex",
+    "Page",
+    "DEFAULT_BLOCK_SIZE",
+    "blocks_for",
+    "Relation",
+    "Schema",
+    "Field",
+    "INT",
+    "FLOAT",
+    "STR",
+    "ANY",
+    "edge_schema",
+    "node_schema",
+    "STATUS_NULL",
+    "STATUS_OPEN",
+    "STATUS_CURRENT",
+    "STATUS_CLOSED",
+    "NODE_STATUSES",
+]

@@ -1,0 +1,86 @@
+"""Database: a catalog of relations sharing one buffer pool and one
+I/O-statistics ledger.
+
+This is the outermost object of the storage substrate — the simulated
+single-user INGRES instance the paper ran its EQUEL programs against.
+Creating a relation charges the fixed creation cost ``I`` from Table 4A;
+dropping one charges ``D_t``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.exceptions import DuplicateRelationError, RelationNotFoundError
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStatistics
+from repro.storage.page import DEFAULT_BLOCK_SIZE
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+class Database:
+    """Catalog of relations with shared accounting.
+
+    Parameters
+    ----------
+    buffer_capacity:
+        Pages the buffer pool retains. The default 0 is pass-through
+        (every access charged), matching the paper's cost model; give a
+        positive capacity to study modern buffering.
+    """
+
+    def __init__(
+        self,
+        name: str = "atis",
+        buffer_capacity: int = 0,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        stats: Optional[IOStatistics] = None,
+    ) -> None:
+        self.name = name
+        self.block_size = block_size
+        self.stats = stats if stats is not None else IOStatistics()
+        self.buffer_pool = BufferPool(self.stats, capacity=buffer_capacity)
+        self._relations: Dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    def create_relation(self, schema: Schema, name: Optional[str] = None) -> Relation:
+        """Create an empty relation (charges the fixed cost I)."""
+        relation_name = name or schema.name
+        if relation_name in self._relations:
+            raise DuplicateRelationError(relation_name)
+        relation = Relation(
+            relation_name, schema, self.buffer_pool, self.stats, self.block_size
+        )
+        self._relations[relation_name] = relation
+        self.stats.charge_create()
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise RelationNotFoundError(name) from None
+
+    def drop_relation(self, name: str) -> None:
+        """Drop a relation (charges the fixed cost D_t)."""
+        if name not in self._relations:
+            raise RelationNotFoundError(name)
+        relation = self._relations.pop(name)
+        self.buffer_pool.invalidate(relation.heap.name)
+        self.stats.charge_delete()
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> Iterator[str]:
+        yield from self._relations
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.name!r}, relations={sorted(self._relations)}, "
+            f"cost={self.stats.cost:.3f})"
+        )

@@ -1,0 +1,102 @@
+"""Fixed-size disk pages (blocks).
+
+A page holds up to ``blocking_factor`` tuples of one relation, where
+the blocking factor is derived from the block size and the schema's
+tuple size exactly as Table 1 defines (``Bf = B / T``). Pages track a
+dirty bit so the buffer manager knows when eviction costs a write.
+
+Tuples are stored positionally (validated against the schema at the
+relation layer); a slot holds either a tuple or None after deletion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+#: Table 4A block size in bytes.
+DEFAULT_BLOCK_SIZE = 4096
+
+Row = Tuple[object, ...]
+
+
+class Page:
+    """One block of a heap file."""
+
+    __slots__ = ("page_no", "capacity", "slots", "dirty")
+
+    def __init__(self, page_no: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("page capacity must be positive")
+        self.page_no = page_no
+        self.capacity = capacity
+        self.slots: List[Optional[Row]] = []
+        self.dirty = False
+
+    @property
+    def tuple_count(self) -> int:
+        """Live (non-deleted) tuples on the page."""
+        return sum(1 for slot in self.slots if slot is not None)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.slots) >= self.capacity
+
+    def insert(self, row: Row) -> int:
+        """Append a tuple; return its slot number. Page must not be full."""
+        if self.is_full:
+            raise ValueError(f"page {self.page_no} is full")
+        self.slots.append(row)
+        self.dirty = True
+        return len(self.slots) - 1
+
+    def read(self, slot: int) -> Optional[Row]:
+        """Tuple at ``slot`` (None if deleted)."""
+        if not 0 <= slot < len(self.slots):
+            raise ValueError(
+                f"slot {slot} out of range on page {self.page_no} "
+                f"({len(self.slots)} slots)"
+            )
+        return self.slots[slot]
+
+    def update(self, slot: int, row: Row) -> None:
+        """Overwrite the tuple at ``slot`` in place."""
+        if not 0 <= slot < len(self.slots):
+            raise ValueError(f"slot {slot} out of range on page {self.page_no}")
+        if self.slots[slot] is None:
+            raise ValueError(
+                f"slot {slot} on page {self.page_no} was deleted"
+            )
+        self.slots[slot] = row
+        self.dirty = True
+
+    def delete(self, slot: int) -> None:
+        """Tombstone the tuple at ``slot`` (slot is not reused)."""
+        if not 0 <= slot < len(self.slots):
+            raise ValueError(f"slot {slot} out of range on page {self.page_no}")
+        self.slots[slot] = None
+        self.dirty = True
+
+    def rows(self) -> Iterator[Tuple[int, Row]]:
+        """Yield ``(slot, row)`` for live tuples in slot order."""
+        for slot, row in enumerate(self.slots):
+            if row is not None:
+                yield slot, row
+
+    def __repr__(self) -> str:
+        return (
+            f"Page(no={self.page_no}, tuples={self.tuple_count}/"
+            f"{self.capacity}, dirty={self.dirty})"
+        )
+
+
+def blocks_for(tuple_count: int, blocking_factor: int) -> int:
+    """Blocks needed for ``tuple_count`` tuples — ceil(|T| / Bf).
+
+    The paper's B_s / B_r / B_join arithmetic; zero tuples need zero
+    blocks.
+    """
+    if tuple_count < 0:
+        raise ValueError("tuple count must be non-negative")
+    if blocking_factor <= 0:
+        raise ValueError("blocking factor must be positive")
+    return -(-tuple_count // blocking_factor)

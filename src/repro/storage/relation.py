@@ -1,0 +1,180 @@
+"""Relations: heap file + optional indexes + statistics.
+
+A :class:`Relation` bundles the pieces the query layer needs: the paged
+tuple store, a primary index (ISAM or hash), and the size metadata
+(tuple counts, block counts, blocking factors) that both the query
+optimizer and the analytical cost model consume.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.exceptions import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.hashindex import HashIndex
+from repro.storage.heapfile import HeapFile, RecordId
+from repro.storage.iostats import IOStatistics
+from repro.storage.page import DEFAULT_BLOCK_SIZE
+from repro.storage.schema import Schema
+
+
+class Relation:
+    """One named relation of the simulated database."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        buffer_pool: BufferPool,
+        stats: IOStatistics,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.stats = stats
+        self.heap = HeapFile(name, schema, buffer_pool, stats, block_size)
+        self.isam = None  # set by create_isam_index
+        self.hash_index: Optional[HashIndex] = None
+
+    # ------------------------------------------------------------------
+    # size metadata (the cost model's vocabulary)
+    # ------------------------------------------------------------------
+    @property
+    def tuple_count(self) -> int:
+        return self.heap.tuple_count
+
+    @property
+    def block_count(self) -> int:
+        return self.heap.blocks_needed()
+
+    @property
+    def blocking_factor(self) -> int:
+        return self.heap.blocking_factor
+
+    @property
+    def tuple_size(self) -> int:
+        return self.schema.tuple_size
+
+    # ------------------------------------------------------------------
+    # index management
+    # ------------------------------------------------------------------
+    def create_isam_index(self, key_field: str, fanout: int = 10):
+        """Build a primary ISAM index (the paper's index on R.node-id)."""
+        from repro.storage.isam import ISAMIndex
+
+        self.schema.field(key_field)  # validates the field exists
+        index = ISAMIndex(self.heap, key_field, self.stats, fanout=fanout)
+        index.build()
+        self.isam = index
+        return index
+
+    def create_hash_index(
+        self, key_field: str, bucket_count: int = 0
+    ) -> HashIndex:
+        """Build a primary hash index (the paper's index on S.Begin-node)."""
+        self.schema.field(key_field)
+        index = HashIndex(
+            self.heap, key_field, self.stats, bucket_count=bucket_count
+        )
+        index.build()
+        self.hash_index = index
+        return index
+
+    # ------------------------------------------------------------------
+    # tuple operations (delegate to the heap, keeping indexes honest)
+    # ------------------------------------------------------------------
+    def insert(self, values: Mapping[str, object]) -> RecordId:
+        record_id = self.heap.insert(values)
+        if self.isam is not None:
+            self.isam.insert(values[self.isam.key_field], record_id)
+        if self.hash_index is not None:
+            self.hash_index.insert(
+                values[self.hash_index.key_field], record_id
+            )
+        return record_id
+
+    def insert_many(self, rows) -> int:
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def bulk_load(self, rows) -> int:
+        """Sequential bulk load (block-level write charges).
+
+        Only valid before indexes exist — build indexes afterwards, as
+        a 1993 DBA would.
+        """
+        if self.isam is not None or self.hash_index is not None:
+            raise StorageError(
+                f"bulk_load on {self.name!r} requires building indexes "
+                "after loading"
+            )
+        return self.heap.bulk_load(rows)
+
+    def scan(self) -> Iterator[Tuple[RecordId, Mapping[str, object]]]:
+        return self.heap.scan()
+
+    def scan_filter(
+        self, predicate: Callable[[Mapping[str, object]], bool]
+    ) -> Iterator[Tuple[RecordId, Mapping[str, object]]]:
+        return self.heap.scan_filter(predicate)
+
+    def read(self, record_id: RecordId) -> Mapping[str, object]:
+        return self.heap.read(record_id)
+
+    def update(self, record_id: RecordId, values: Mapping[str, object]) -> None:
+        old = self.heap.read(record_id)
+        if self.isam is not None and old[self.isam.key_field] != values.get(
+            self.isam.key_field
+        ):
+            raise StorageError(
+                f"cannot change ISAM key field {self.isam.key_field!r} "
+                "via update"
+            )
+        self.heap.update(record_id, values)
+
+    def replace_by_key(self, key: object, values: Mapping[str, object]) -> bool:
+        """Keyed REPLACE through the ISAM index (QUEL's REPLACE)."""
+        if self.isam is None:
+            raise StorageError(
+                f"relation {self.name!r} has no ISAM index for keyed replace"
+            )
+        return self.isam.update_via_index(key, dict(values))
+
+    def fetch_by_key(self, key: object) -> Optional[dict]:
+        """Keyed fetch through the ISAM index."""
+        if self.isam is None:
+            raise StorageError(
+                f"relation {self.name!r} has no ISAM index for keyed fetch"
+            )
+        return self.isam.fetch(key)
+
+    def delete(self, record_id: RecordId) -> None:
+        """Tombstone one tuple (indexes, if any, must be unaffected)."""
+        if self.isam is not None or self.hash_index is not None:
+            raise StorageError(
+                f"delete on indexed relation {self.name!r} is not "
+                "supported; 1993-era indexes are static"
+            )
+        self.heap.delete(record_id)
+
+    def truncate(self) -> None:
+        self.heap.truncate()
+        self.isam = None
+        self.hash_index = None
+
+    def all_tuples(self) -> List[dict]:
+        """Materialise every live tuple (scan charges apply)."""
+        return [dict(values) for _rid, values in self.scan()]
+
+    def __len__(self) -> int:
+        return self.heap.tuple_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.name!r}, tuples={self.tuple_count}, "
+            f"blocks={self.block_count})"
+        )

@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (benchmark grids, the Minneapolis map, relational
+engine runs used by many shape assertions) are session-scoped so the
+suite stays fast while every test sees identical deterministic inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.grid import make_grid, make_paper_grid
+from repro.graphs.roadmap import make_minneapolis_map
+from repro.core.planner import RoutePlanner
+
+
+@pytest.fixture
+def planner() -> RoutePlanner:
+    return RoutePlanner()
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """A 5-node directed graph with a known shortest path.
+
+    Layout (costs on arrows)::
+
+        a --1--> b --1--> c
+        a --4--> c
+        b --5--> d        c --1--> d
+        d --1--> e
+
+    Shortest a->e is a-b-c-d-e with cost 4.
+    """
+    graph = Graph(name="tiny")
+    coordinates = {"a": (0, 0), "b": (1, 0), "c": (2, 0), "d": (3, 0), "e": (4, 0)}
+    for name, (x, y) in coordinates.items():
+        graph.add_node(name, x, y)
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 1.0)
+    graph.add_edge("a", "c", 4.0)
+    graph.add_edge("b", "d", 5.0)
+    graph.add_edge("c", "d", 1.0)
+    graph.add_edge("d", "e", 1.0)
+    return graph
+
+
+@pytest.fixture
+def disconnected_graph() -> Graph:
+    """Two components: {a, b} and {z}."""
+    graph = Graph(name="disconnected")
+    graph.add_node("a", 0, 0)
+    graph.add_node("b", 1, 0)
+    graph.add_node("z", 9, 9)
+    graph.add_undirected_edge("a", "b", 1.0)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def grid10_uniform() -> Graph:
+    return make_grid(10)
+
+
+@pytest.fixture(scope="session")
+def grid10_variance() -> Graph:
+    return make_paper_grid(10, "variance")
+
+
+@pytest.fixture(scope="session")
+def grid20_variance() -> Graph:
+    return make_paper_grid(20, "variance")
+
+
+@pytest.fixture(scope="session")
+def minneapolis():
+    return make_minneapolis_map(seed=1993)

@@ -1,0 +1,87 @@
+"""Tests for the graph analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs.analysis import (
+    cost_radius,
+    degree_statistics,
+    hop_diameter,
+    hop_eccentricity,
+    is_strongly_connected,
+    path_length_ratio,
+    reachable_from,
+    weakly_connected_components,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.grid import make_grid
+
+
+class TestDegree:
+    def test_grid_degrees(self):
+        stats = degree_statistics(make_grid(5))
+        assert stats.minimum == 2  # corners
+        assert stats.maximum == 4  # interior
+        histogram = dict(stats.histogram)
+        assert histogram[2] == 4  # four corners
+        assert histogram[3] == 12  # edge nodes
+
+    def test_empty_graph(self):
+        stats = degree_statistics(Graph())
+        assert stats.average == 0.0
+        assert stats.histogram == ()
+
+
+class TestReachability:
+    def test_reachable_from(self, tiny_graph):
+        assert reachable_from(tiny_graph, "a") == {"a", "b", "c", "d", "e"}
+        assert reachable_from(tiny_graph, "e") == {"e"}
+
+    def test_missing_source(self, tiny_graph):
+        with pytest.raises(NodeNotFoundError):
+            reachable_from(tiny_graph, "q")
+
+    def test_strong_connectivity(self, tiny_graph):
+        assert not is_strongly_connected(tiny_graph)  # edges one-way
+        assert is_strongly_connected(make_grid(4))  # undirected grid
+        assert is_strongly_connected(Graph())  # vacuously
+
+    def test_weak_components(self, disconnected_graph):
+        components = weakly_connected_components(disconnected_graph)
+        assert len(components) == 2
+        assert components[0] == {"a", "b"}  # largest first
+        assert components[1] == {"z"}
+
+
+class TestDiameter:
+    def test_grid_hop_diameter(self):
+        assert hop_diameter(make_grid(5)) == 8  # 2 * (k - 1)
+
+    def test_eccentricity_from_corner(self):
+        assert hop_eccentricity(make_grid(5), (0, 0)) == 8
+
+    def test_eccentricity_from_center(self):
+        assert hop_eccentricity(make_grid(5), (2, 2)) == 4
+
+    def test_sampled_diameter_is_lower_bound(self):
+        graph = make_grid(8)
+        assert hop_diameter(graph, sample=4) <= hop_diameter(graph)
+
+    def test_empty_graph_diameter(self):
+        assert hop_diameter(Graph()) == 0
+
+
+class TestCostAndRatio:
+    def test_cost_radius_uniform_grid(self):
+        assert cost_radius(make_grid(5), (0, 0)) == pytest.approx(8.0)
+
+    def test_path_length_ratio_bounds(self):
+        graph = make_grid(6)
+        near = path_length_ratio(graph, (0, 0), (0, 1))
+        far = path_length_ratio(graph, (0, 0), (5, 5))
+        assert 0 < near < far <= 1.0
+
+    def test_unreachable_gives_nan(self, disconnected_graph):
+        assert math.isnan(path_length_ratio(disconnected_graph, "a", "z"))

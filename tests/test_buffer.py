@@ -1,0 +1,101 @@
+"""Tests for the buffer pool's accounting."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStatistics
+from repro.storage.page import Page
+
+
+def make_pool(capacity):
+    stats = IOStatistics()
+    return BufferPool(stats, capacity=capacity), stats
+
+
+class TestPassThrough:
+    def test_every_access_is_a_miss(self):
+        pool, stats = make_pool(0)
+        page = Page(0, 4)
+        pool.access("f", page)
+        pool.access("f", page)
+        assert pool.misses == 2
+        assert pool.hits == 0
+        assert stats.block_reads == 2
+
+    def test_writes_charged_through(self):
+        pool, stats = make_pool(0)
+        page = Page(0, 4)
+        pool.access("f", page, for_write=True)
+        assert stats.block_writes == 1
+        assert stats.block_reads == 1
+
+
+class TestLRU:
+    def test_hit_after_first_access(self):
+        pool, stats = make_pool(2)
+        page = Page(0, 4)
+        pool.access("f", page)
+        pool.access("f", page)
+        assert pool.hits == 1
+        assert stats.block_reads == 1
+
+    def test_eviction_order_is_lru(self):
+        pool, stats = make_pool(2)
+        pages = [Page(i, 4) for i in range(3)]
+        pool.access("f", pages[0])
+        pool.access("f", pages[1])
+        pool.access("f", pages[0])  # touch 0 -> 1 is now LRU
+        pool.access("f", pages[2])  # evicts page 1
+        pool.access("f", pages[0])  # still cached
+        assert pool.hits == 2
+        pool.access("f", pages[1])  # was evicted -> miss
+        assert pool.misses == 4
+
+    def test_dirty_eviction_charges_write(self):
+        pool, stats = make_pool(1)
+        dirty = Page(0, 4)
+        pool.access("f", dirty, for_write=True)
+        pool.access("f", Page(1, 4))  # evicts the dirty page
+        assert pool.evictions == 1
+        assert stats.block_writes == 1
+
+    def test_clean_eviction_is_free(self):
+        pool, stats = make_pool(1)
+        pool.access("f", Page(0, 4))
+        pool.access("f", Page(1, 4))
+        assert stats.block_writes == 0
+
+    def test_same_page_number_different_files(self):
+        pool, stats = make_pool(4)
+        pool.access("f", Page(0, 4))
+        pool.access("g", Page(0, 4))
+        assert pool.misses == 2
+
+
+class TestFlushInvalidate:
+    def test_flush_writes_dirty_pages_once(self):
+        pool, stats = make_pool(4)
+        page = Page(0, 4)
+        pool.access("f", page, for_write=True)
+        assert pool.flush() == 1
+        assert pool.flush() == 0
+        assert stats.block_writes == 1
+
+    def test_invalidate_drops_without_writing(self):
+        pool, stats = make_pool(4)
+        page = Page(0, 4)
+        pool.access("f", page, for_write=True)
+        pool.invalidate("f")
+        assert pool.flush() == 0
+        assert stats.block_writes == 0
+
+    def test_hit_rate(self):
+        pool, _stats = make_pool(2)
+        page = Page(0, 4)
+        pool.access("f", page)
+        pool.access("f", page)
+        assert pool.hit_rate == pytest.approx(0.5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            make_pool(-1)

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _load_graph, _parse_node, main
+
+
+class TestParsing:
+    def test_parse_tuple_node(self):
+        assert _parse_node("(0, 0)") == (0, 0)
+
+    def test_parse_int_node(self):
+        assert _parse_node("7") == 7
+
+    def test_parse_string_fallback(self):
+        assert _parse_node("downtown-exit") == "downtown-exit"
+
+    def test_load_grid(self):
+        graph = _load_graph("grid:5:uniform")
+        assert graph.node_count == 25
+
+    def test_load_grid_defaults(self):
+        graph = _load_graph("grid:4")
+        assert "variance" in graph.name
+
+    def test_load_minneapolis(self):
+        graph = _load_graph("minneapolis")
+        assert graph.node_count == 1089
+
+    def test_load_json(self, tmp_path, tiny_graph):
+        from repro.graphs.io import save_json
+
+        path = tmp_path / "g.json"
+        save_json(tiny_graph, path)
+        graph = _load_graph(f"json:{path}")
+        assert graph.node_count == tiny_graph.node_count
+
+    @pytest.mark.parametrize("spec", ["nope:1", "grid", "json"])
+    def test_bad_specs_exit(self, spec):
+        with pytest.raises(SystemExit):
+            _load_graph(spec)
+
+
+class TestCommands:
+    def test_route(self, capsys):
+        code = main(
+            ["route", "--graph", "grid:6:uniform", "--algorithm", "dijkstra",
+             "(0, 0)", "(5, 5)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost 10.0000" in out
+
+    def test_route_show_path(self, capsys):
+        main(["route", "--graph", "grid:4:uniform", "--show-path",
+              "(0, 0)", "(0, 3)"])
+        out = capsys.readouterr().out
+        assert "(0, 0) -> " in out
+
+    def test_route_unreachable_exit_code(self, tmp_path, disconnected_graph):
+        from repro.graphs.io import save_json
+
+        path = tmp_path / "g.json"
+        save_json(disconnected_graph, path)
+        code = main(["route", "--graph", f"json:{path}", "a", "z"])
+        assert code == 1
+
+    def test_route_with_landmarks(self, capsys):
+        code = main(["route", "--graph", "minneapolis", "G", "D"])
+        assert code == 0
+        assert "cost" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--graph", "grid:6:uniform", "(0, 0)", "(5, 5)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("iterative", "dijkstra", "astar-v3"):
+            assert name in out
+
+    def test_alternatives(self, capsys):
+        code = main(
+            ["alternatives", "--graph", "grid:5:uniform", "-k", "3",
+             "(0, 0)", "(4, 4)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("cost") == 3
+
+    def test_alternatives_diverse(self, capsys):
+        code = main(
+            ["alternatives", "--graph", "grid:5:uniform", "-k", "2",
+             "--diverse", "--max-overlap", "0.5", "(0, 0)", "(4, 4)"]
+        )
+        assert code == 0
+
+    def test_info(self, capsys):
+        code = main(["info", "--graph", "grid:5:uniform"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes:       25" in out
+        assert "hop diameter" in out
+
+    def test_experiment_command(self, capsys):
+        code = main(["experiment", "E10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trade-off" in out.lower()
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,197 @@
+"""Tests for the analytical cost model (Section 4)."""
+
+import pytest
+
+from repro.exceptions import CostModelError
+from repro.costmodel.dijkstra_model import (
+    best_first_cleanup_cost,
+    best_first_init_cost,
+    best_first_iteration_cost,
+    predict_best_first,
+)
+from repro.costmodel.iterative_model import (
+    iterative_init_cost,
+    iterative_iteration_cost,
+    predict_iterative,
+)
+from repro.costmodel.join_cost import (
+    hash_join_cost,
+    join_cost,
+    nested_loop_cost,
+    primary_key_cost,
+    sort_merge_cost,
+)
+from repro.costmodel.params import (
+    CostParameters,
+    PAPER_TABLE_4A,
+    parameters_for_grid,
+)
+from repro.costmodel.predictor import (
+    predict_from_iterations,
+    prediction_error,
+    table_4b,
+)
+from repro.experiments.paper_data import TABLE_4B, TABLE_6
+
+
+class TestParameters:
+    def test_table_4a_blocking_factors(self):
+        assert PAPER_TABLE_4A.bf_s == 128
+        assert PAPER_TABLE_4A.bf_r == 256
+        assert PAPER_TABLE_4A.bf_rs in (85, 86)
+
+    def test_table_4a_block_counts(self):
+        assert PAPER_TABLE_4A.edge_blocks == 28  # ceil(3480 / 128)
+        assert PAPER_TABLE_4A.node_blocks == 4  # ceil(900 / 256)
+
+    def test_for_graph_rederives_sizes(self):
+        params = PAPER_TABLE_4A.for_graph(400, 1520)
+        assert params.node_tuples == 400
+        assert params.edge_tuples == 1520
+        assert params.adjacency == pytest.approx(1520 / 400)
+        assert params.t_read == PAPER_TABLE_4A.t_read  # constants carry
+
+    def test_parameters_for_grid_30_matches_table_4a(self):
+        params = parameters_for_grid(30)
+        assert params.node_tuples == 900
+        assert params.edge_tuples == 3480
+        assert params.index_levels == 3
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            CostParameters(t_read=-1.0).validate()
+        with pytest.raises(CostModelError):
+            CostParameters(index_levels=0).validate()
+        with pytest.raises(CostModelError):
+            PAPER_TABLE_4A.for_graph(0, 0)
+
+
+class TestJoinCost:
+    def test_nested_loop_matches_paper_formula(self):
+        # F = B1*t_read + B1*B2*t_read + B3*t_write
+        cost = nested_loop_cost(1, 28, 1, PAPER_TABLE_4A)
+        assert cost == pytest.approx(0.035 + 28 * 0.035 + 0.05)
+
+    def test_hash_cheaper_than_nested_loop_for_big_inputs(self):
+        assert hash_join_cost(4, 28, 2, PAPER_TABLE_4A) < nested_loop_cost(
+            4, 28, 2, PAPER_TABLE_4A
+        )
+
+    def test_sort_merge_has_sort_overhead(self):
+        assert sort_merge_cost(4, 28, 2, PAPER_TABLE_4A) > hash_join_cost(
+            4, 28, 2, PAPER_TABLE_4A
+        )
+
+    def test_primary_key_wins_single_tuple_outer(self):
+        cost, strategy = join_cost(1, 28, 1, PAPER_TABLE_4A, outer_tuples=1)
+        assert strategy == "primary-key"
+
+    def test_forced_strategy(self):
+        cost, strategy = join_cost(
+            1, 28, 1, PAPER_TABLE_4A, strategy="nested-loop"
+        )
+        assert strategy == "nested-loop"
+        assert cost == pytest.approx(nested_loop_cost(1, 28, 1, PAPER_TABLE_4A))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(CostModelError):
+            join_cost(1, 1, 1, PAPER_TABLE_4A, strategy="quantum")
+
+    def test_negative_blocks_rejected(self):
+        with pytest.raises(CostModelError):
+            nested_loop_cost(-1, 1, 1, PAPER_TABLE_4A)
+
+
+class TestIterativeModel:
+    def test_init_cost_components_positive(self):
+        assert iterative_init_cost(PAPER_TABLE_4A) > PAPER_TABLE_4A.create_cost
+
+    def test_iteration_count_required(self):
+        with pytest.raises(CostModelError):
+            iterative_iteration_cost(PAPER_TABLE_4A, 0)
+
+    def test_total_is_init_plus_iterations(self):
+        breakdown = predict_iterative(PAPER_TABLE_4A, 59)
+        assert breakdown.total == pytest.approx(
+            breakdown.init_cost + 59 * breakdown.per_iteration_cost
+        )
+
+    def test_path_insensitive(self):
+        """Same predicted cost whatever the query (B(L) fixed)."""
+        a = predict_iterative(PAPER_TABLE_4A, 59)
+        b = predict_iterative(PAPER_TABLE_4A, 59, current_tuples=900 / 59)
+        assert a.total == pytest.approx(b.total)
+
+
+class TestBestFirstModel:
+    def test_total_composition(self):
+        breakdown = predict_best_first(PAPER_TABLE_4A, 899, path_length=58)
+        assert breakdown.total == pytest.approx(
+            breakdown.init_cost
+            + 899 * breakdown.per_iteration_cost
+            + breakdown.cleanup_cost
+        )
+
+    def test_init_shared_with_iterative(self):
+        assert best_first_init_cost(PAPER_TABLE_4A) == pytest.approx(
+            iterative_init_cost(PAPER_TABLE_4A)
+        )
+
+    def test_cleanup_scales_with_path_length(self):
+        short = best_first_cleanup_cost(PAPER_TABLE_4A, 10)
+        long = best_first_cleanup_cost(PAPER_TABLE_4A, 60)
+        assert long > short
+
+    def test_update_fraction_validated(self):
+        with pytest.raises(CostModelError):
+            best_first_iteration_cost(PAPER_TABLE_4A, update_fraction=1.5)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(CostModelError):
+            predict_best_first(PAPER_TABLE_4A, -1)
+        with pytest.raises(CostModelError):
+            best_first_cleanup_cost(PAPER_TABLE_4A, -1)
+
+
+class TestPredictor:
+    def test_unknown_algorithm(self):
+        with pytest.raises(CostModelError):
+            predict_from_iterations("warshall", 10, PAPER_TABLE_4A)
+
+    def test_prediction_error(self):
+        assert prediction_error(110.0, 100.0) == pytest.approx(0.1)
+        with pytest.raises(CostModelError):
+            prediction_error(1.0, 0.0)
+
+    def test_table_4b_reproduces_paper_within_15_percent(self):
+        """Feeding the paper's Table 6 iterations into the model must
+        land within 15% of every published Table 4B best-first cell."""
+        iterations = {
+            "dijkstra": dict(TABLE_6["dijkstra"]),
+            "astar": dict(TABLE_6["astar-v3"]),
+            "iterative": dict(TABLE_6["iterative"]),
+        }
+        lengths = {"horizontal": 29, "semi-diagonal": 44, "diagonal": 58}
+        estimates = table_4b(PAPER_TABLE_4A, iterations, lengths)
+        for algorithm, paper_key in (
+            ("dijkstra", "dijkstra"), ("astar", "astar-v3"),
+        ):
+            for path, published in TABLE_4B[paper_key].items():
+                ours = estimates[algorithm][path]
+                assert abs(ours - published) / published < 0.15, (
+                    algorithm, path, ours, published,
+                )
+
+    def test_table_4b_preserves_paper_orderings(self):
+        iterations = {
+            "dijkstra": dict(TABLE_6["dijkstra"]),
+            "astar": dict(TABLE_6["astar-v3"]),
+            "iterative": dict(TABLE_6["iterative"]),
+        }
+        estimates = table_4b(PAPER_TABLE_4A, iterations)
+        # Horizontal: A* << Iterative < Dijkstra.
+        assert estimates["astar"]["horizontal"] < estimates["iterative"]["horizontal"]
+        assert estimates["iterative"]["horizontal"] < estimates["dijkstra"]["horizontal"]
+        # Diagonal: Iterative << A* < Dijkstra.
+        assert estimates["iterative"]["diagonal"] < estimates["astar"]["diagonal"]
+        assert estimates["astar"]["diagonal"] < estimates["dijkstra"]["diagonal"]

@@ -1,0 +1,85 @@
+"""Unit tests for the grid edge-cost models."""
+
+import pytest
+
+from repro.graphs.costmodels import (
+    SkewedCostModel,
+    UniformCostModel,
+    VarianceCostModel,
+    make_cost_model,
+)
+
+
+class TestUniform:
+    def test_always_unit(self):
+        model = UniformCostModel()
+        assert model.cost((0, 0), (0, 1)) == 1.0
+        assert model.cost((5, 5), (6, 5)) == 1.0
+
+
+class TestVariance:
+    def test_range(self):
+        model = VarianceCostModel(variance=0.2, seed=7)
+        for i in range(50):
+            cost = model.cost((0, i), (0, i + 1))
+            assert 1.0 <= cost <= 1.2
+
+    def test_symmetric_draws(self):
+        model = VarianceCostModel(seed=7)
+        assert model.cost((1, 2), (1, 3)) == model.cost((1, 3), (1, 2))
+
+    def test_deterministic_per_seed(self):
+        a = VarianceCostModel(seed=11)
+        b = VarianceCostModel(seed=11)
+        assert a.cost((0, 0), (0, 1)) == b.cost((0, 0), (0, 1))
+
+    def test_different_seeds_differ(self):
+        a = VarianceCostModel(seed=1)
+        b = VarianceCostModel(seed=2)
+        draws_a = [a.cost((0, i), (0, i + 1)) for i in range(10)]
+        draws_b = [b.cost((0, i), (0, i + 1)) for i in range(10)]
+        assert draws_a != draws_b
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            VarianceCostModel(variance=-0.1)
+
+    def test_name_includes_percentage(self):
+        assert VarianceCostModel(variance=0.2).name == "variance-20pct"
+
+
+class TestSkewed:
+    def test_bottom_row_is_cheap(self):
+        model = SkewedCostModel(k=10)
+        assert model.cost((0, 3), (0, 4)) == model.cheap_cost
+
+    def test_right_column_is_cheap(self):
+        model = SkewedCostModel(k=10)
+        assert model.cost((4, 9), (5, 9)) == model.cheap_cost
+
+    def test_interior_is_normal(self):
+        model = SkewedCostModel(k=10)
+        assert model.cost((3, 3), (3, 4)) == model.normal_cost
+        assert model.cost((3, 3), (4, 3)) == model.normal_cost
+
+    def test_edge_leaving_corridor_is_normal(self):
+        model = SkewedCostModel(k=10)
+        # Vertical edge off the bottom row: only one endpoint on row 0.
+        assert model.cost((0, 3), (1, 3)) == model.normal_cost
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkewedCostModel(k=1)
+        with pytest.raises(ValueError):
+            SkewedCostModel(k=5, cheap_cost=2.0, normal_cost=1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["uniform", "variance", "skewed"])
+    def test_known_models(self, name):
+        model = make_cost_model(name, k=10)
+        assert model.cost((1, 1), (1, 2)) > 0
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            make_cost_model("gaussian", k=10)

@@ -1,0 +1,110 @@
+"""Tests for the route display facility."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.core.display import ascii_map, format_itinerary, turn_by_turn
+from repro.core.planner import RoutePlanner
+from repro.graphs.grid import make_grid
+
+
+@pytest.fixture(scope="module")
+def grid_and_path():
+    graph = make_grid(6)
+    planner = RoutePlanner()
+    result = planner.plan(graph, (0, 0), (5, 5), "astar", estimator="manhattan")
+    return graph, result.path
+
+
+class TestTurnByTurn:
+    def test_first_instruction_is_depart(self, grid_and_path):
+        graph, path = grid_and_path
+        steps = turn_by_turn(graph, path)
+        assert steps[0].action == "depart"
+
+    def test_straight_runs_merge(self):
+        graph = make_grid(6)
+        row_path = [(0, c) for c in range(6)]  # straight east
+        steps = turn_by_turn(graph, row_path)
+        assert len(steps) == 1
+        assert steps[0].distance == pytest.approx(5.0)
+        assert steps[0].heading == "east"
+
+    def test_l_shaped_path_has_one_turn(self):
+        graph = make_grid(6)
+        path = [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+        steps = turn_by_turn(graph, path)
+        assert len(steps) == 2
+        assert steps[1].action == "turn left"  # east -> north
+
+    def test_right_turn_detected(self):
+        graph = make_grid(6)
+        path = [(0, 2), (1, 2), (1, 1), (1, 0)]  # north then west...
+        steps = turn_by_turn(graph, path)
+        assert any("left" in s.action for s in steps)
+
+    def test_u_turn_detected(self):
+        graph = make_grid(6)
+        path = [(0, 0), (0, 1), (0, 0)]
+        steps = turn_by_turn(graph, path)
+        assert steps[-1].action == "make a U-turn"
+
+    def test_total_distance_preserved(self, grid_and_path):
+        graph, path = grid_and_path
+        steps = turn_by_turn(graph, path)
+        assert sum(s.distance for s in steps) == pytest.approx(
+            graph.path_cost(path)
+        )
+
+    def test_too_short_path_rejected(self, grid_and_path):
+        graph, _path = grid_and_path
+        with pytest.raises(GraphError):
+            turn_by_turn(graph, [(0, 0)])
+
+    def test_invalid_path_rejected(self, grid_and_path):
+        graph, _path = grid_and_path
+        with pytest.raises(GraphError):
+            turn_by_turn(graph, [(0, 0), (5, 5)])
+
+
+class TestItinerary:
+    def test_format_contains_arrival(self, grid_and_path):
+        graph, path = grid_and_path
+        text = format_itinerary(graph, path)
+        assert "arrive at" in text
+        assert "mi total" in text
+
+    def test_steps_numbered(self, grid_and_path):
+        graph, path = grid_and_path
+        text = format_itinerary(graph, path)
+        assert text.splitlines()[0].startswith(" 1.")
+
+
+class TestAsciiMap:
+    def test_dimensions(self, grid_and_path):
+        graph, path = grid_and_path
+        art = ascii_map(graph, path, width=30, height=12)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 30 for line in lines)
+
+    def test_marks_source_and_destination(self, grid_and_path):
+        graph, path = grid_and_path
+        art = ascii_map(graph, path)
+        assert "S" in art and "D" in art and "#" in art
+
+    def test_north_at_top(self):
+        graph = make_grid(5)
+        art = ascii_map(graph, [(4, 0), (4, 1)], width=10, height=5)
+        assert "S" in art.splitlines()[0]  # row 4 = top
+
+    def test_too_small_rejected(self, grid_and_path):
+        graph, path = grid_and_path
+        with pytest.raises(GraphError):
+            ascii_map(graph, path, width=1, height=1)
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(GraphError):
+            ascii_map(Graph(), [])

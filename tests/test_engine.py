@@ -1,0 +1,234 @@
+"""Tests for the relational execution engine (RelationalGraph, frontier
+implementations, and the three algorithm runners)."""
+
+import pytest
+
+from repro.exceptions import PlannerError
+from repro.core.dijkstra import dijkstra_search
+from repro.core.estimators import ManhattanEstimator
+from repro.engine import (
+    RelationalGraph,
+    run_astar,
+    run_dijkstra,
+    run_iterative,
+    run_relational,
+)
+from repro.engine.frontier import (
+    SeparateRelationFrontier,
+    StatusAttributeFrontier,
+)
+from repro.graphs.grid import make_grid, make_paper_grid
+from repro.storage.schema import STATUS_NULL
+
+
+@pytest.fixture(scope="module")
+def grid8():
+    return make_paper_grid(8, "variance")
+
+
+@pytest.fixture(scope="module")
+def rgraph8(grid8):
+    return RelationalGraph(grid8)
+
+
+class TestRelationalGraph:
+    def test_edge_relation_loaded(self, grid8, rgraph8):
+        assert rgraph8.S.tuple_count == grid8.edge_count
+        assert rgraph8.S.hash_index is not None
+
+    def test_edge_blocks_match_blocking_factor(self, grid8, rgraph8):
+        expected = -(-grid8.edge_count // 128)
+        assert rgraph8.edge_blocks == expected
+
+    def test_fresh_node_relation_populated(self, grid8, rgraph8):
+        R = rgraph8.fresh_node_relation(populate=True)
+        assert R.tuple_count == grid8.node_count
+        assert R.isam is not None
+        sample = R.fetch_by_key((0, 0))
+        assert sample["status"] == STATUS_NULL
+        assert sample["path_cost"] == float("inf")
+        rgraph8.drop_node_relation(R)
+
+    def test_fresh_node_relation_lazy(self, rgraph8):
+        R = rgraph8.fresh_node_relation(populate=False)
+        assert R.tuple_count == 0
+        assert R.isam is None
+        rgraph8.drop_node_relation(R)
+
+    def test_adjacency_join_fetches_neighbors(self, grid8, rgraph8):
+        outer = [{"node_id": (3, 3), "path_cost": 0.0}]
+        rows, plan = rgraph8.adjacency_join(outer)
+        assert {row["end"] for row in rows} == {
+            v for v, _c in grid8.neighbors((3, 3))
+        }
+        assert plan.strategy_name in {
+            "primary-key", "hash", "nested-loop", "sort-merge",
+        }
+
+
+class TestEngineCorrectness:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["iterative", "dijkstra", "astar-v1", "astar-v2", "astar-v3"],
+    )
+    def test_engine_finds_optimal_grid_paths(self, grid8, rgraph8, algorithm):
+        reference = dijkstra_search(grid8, (0, 0), (7, 7))
+        run = run_relational(grid8, (0, 0), (7, 7), algorithm, rgraph=rgraph8)
+        assert run.found
+        assert run.cost == pytest.approx(reference.cost)
+        assert grid8.is_valid_path(run.path)
+        assert run.path[0] == (0, 0) and run.path[-1] == (7, 7)
+
+    def test_engine_iterations_match_core_tier(self, grid8, rgraph8):
+        """The two tiers implement the same algorithms: identical
+        iteration counts for deterministic-tie-free runs."""
+        from repro.core.iterative import iterative_search
+
+        core = iterative_search(grid8, (0, 0), (7, 7))
+        engine = run_iterative(rgraph8, (0, 0), (7, 7))
+        assert engine.iterations == core.iterations
+
+    def test_dijkstra_engine_iteration_count(self, grid8, rgraph8):
+        core = dijkstra_search(grid8, (0, 0), (7, 7))
+        engine = run_dijkstra(rgraph8, (0, 0), (7, 7))
+        assert engine.iterations == core.iterations
+
+    def test_unknown_algorithm_rejected(self, grid8):
+        with pytest.raises(PlannerError):
+            run_relational(grid8, (0, 0), (7, 7), "warshall")
+
+    def test_unknown_astar_version_rejected(self, grid8, rgraph8):
+        with pytest.raises(PlannerError):
+            run_astar(rgraph8, (0, 0), (7, 7), version="v9")
+
+    def test_rgraph_graph_mismatch_rejected(self, grid8, rgraph8):
+        other = make_grid(4)
+        with pytest.raises(PlannerError):
+            run_relational(other, (0, 0), (3, 3), "dijkstra", rgraph=rgraph8)
+
+    def test_missing_nodes_raise(self, grid8, rgraph8):
+        from repro.exceptions import NodeNotFoundError
+
+        with pytest.raises(NodeNotFoundError):
+            run_dijkstra(rgraph8, (0, 0), (99, 99))
+
+
+class TestEngineAccounting:
+    def test_stats_reset_per_run(self, grid8, rgraph8):
+        first = run_dijkstra(rgraph8, (0, 0), (7, 7))
+        second = run_dijkstra(rgraph8, (0, 0), (7, 7))
+        assert first.execution_cost == pytest.approx(second.execution_cost)
+
+    def test_phase_costs_sum_to_total(self, grid8, rgraph8):
+        run = run_dijkstra(rgraph8, (0, 0), (7, 7))
+        assert run.init_cost + run.iteration_cost + run.cleanup_cost == (
+            pytest.approx(run.execution_cost)
+        )
+
+    def test_trace_records_every_iteration(self, grid8, rgraph8):
+        run = run_dijkstra(rgraph8, (0, 0), (7, 7))
+        assert len(run.trace) == run.iterations
+        assert run.trace[0].index == 1
+        assert run.trace[-1].cumulative_cost <= run.execution_cost
+
+    def test_v1_has_lower_init_cost_than_v2(self, grid8, rgraph8):
+        v1 = run_astar(rgraph8, (0, 0), (7, 7), version="v1")
+        v2 = run_astar(rgraph8, (0, 0), (7, 7), version="v2")
+        assert v1.init_cost < v2.init_cost
+
+    def test_iterative_average_iteration_cost(self, grid8, rgraph8):
+        run = run_iterative(rgraph8, (0, 0), (7, 7))
+        assert run.average_iteration_cost() == pytest.approx(
+            run.iteration_cost / run.iterations
+        )
+
+    def test_join_strategy_histogram(self, grid8, rgraph8):
+        run = run_iterative(rgraph8, (0, 0), (7, 7))
+        histogram = run.join_strategy_histogram()
+        assert sum(histogram.values()) == run.iterations
+
+    def test_temporaries_dropped_after_run(self, grid8, rgraph8):
+        before = set(rgraph8.db.relation_names())
+        run_astar(rgraph8, (0, 0), (7, 7), version="v1")
+        assert set(rgraph8.db.relation_names()) == before
+
+
+class TestFrontierBehaviour:
+    def _status_frontier(self, rgraph):
+        R = rgraph.fresh_node_relation(populate=True)
+        return R, StatusAttributeFrontier(
+            R, rgraph.stats, key_of=lambda t: t["path_cost"]
+        )
+
+    def test_status_select_best_min_and_close(self, rgraph8):
+        R, frontier = self._status_frontier(rgraph8)
+        frontier.open_node((0, 0), 5.0, None)
+        frontier.open_node((0, 1), 3.0, (0, 0))
+        best = frontier.select_best()
+        assert best["node_id"] == (0, 1)
+        frontier.close(best)
+        assert frontier.size() == 1
+        assert frontier.select_best()["node_id"] == (0, 0)
+        rgraph8.drop_node_relation(R)
+
+    def test_status_relax_only_improves(self, rgraph8):
+        R, frontier = self._status_frontier(rgraph8)
+        frontier.open_node((2, 2), 4.0, None)
+        assert not frontier.relax((2, 2), 9.0, (0, 0))  # worse: rejected
+        assert frontier.relax((2, 2), 1.0, (0, 0))  # better: applied
+        assert frontier.select_best()["path_cost"] == 1.0
+        rgraph8.drop_node_relation(R)
+
+    def test_status_requires_isam(self, rgraph8):
+        R = rgraph8.fresh_node_relation(populate=False)
+        with pytest.raises(PlannerError):
+            StatusAttributeFrontier(R, rgraph8.stats, key_of=lambda t: 0.0)
+        rgraph8.drop_node_relation(R)
+
+    def _separate_frontier(self, rgraph):
+        R = rgraph.fresh_node_relation(populate=False)
+        frontier = SeparateRelationFrontier(
+            rgraph.db.create_relation,
+            R,
+            rgraph.graph,
+            rgraph.stats,
+            key_of=lambda t: t["path_cost"],
+        )
+        return R, frontier
+
+    def test_separate_frontier_basic_lifecycle(self, rgraph8):
+        R, frontier = self._separate_frontier(rgraph8)
+        frontier.open_node((0, 0), 2.0, None)
+        frontier.relax((1, 0), 7.0, (0, 0))
+        assert frontier.size() == 2
+        best = frontier.select_best()
+        assert best["node_id"] == (0, 0)
+        frontier.close(best)
+        assert frontier.size() == 1
+        rgraph8.drop_node_relation(R)
+        rgraph8.db.drop_relation(frontier.F.name)
+
+    def test_separate_relax_replaces_stale_entry(self, rgraph8):
+        R, frontier = self._separate_frontier(rgraph8)
+        frontier.open_node((0, 0), 9.0, None)
+        assert frontier.relax((0, 0), 2.0, None)
+        assert frontier.size() == 1  # no duplicate entries
+        assert frontier.select_best()["path_cost"] == 2.0
+        rgraph8.drop_node_relation(R)
+        rgraph8.db.drop_relation(frontier.F.name)
+
+    def test_separate_close_unknown_raises(self, rgraph8):
+        R, frontier = self._separate_frontier(rgraph8)
+        with pytest.raises(PlannerError):
+            frontier.close({"node_id": (5, 5)})
+        rgraph8.drop_node_relation(R)
+        rgraph8.db.drop_relation(frontier.F.name)
+
+
+class TestEstimatorOverride:
+    def test_custom_estimator_in_astar(self, grid8, rgraph8):
+        run = run_astar(
+            rgraph8, (0, 0), (7, 7), version="v2",
+            estimator=ManhattanEstimator(),
+        )
+        assert run.found

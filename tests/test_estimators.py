@@ -1,0 +1,173 @@
+"""Tests for the estimator functions (Section 5.3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.dijkstra import dijkstra_sssp
+from repro.core.estimators import (
+    EuclideanEstimator,
+    LandmarkEstimator,
+    ManhattanEstimator,
+    ScaledEstimator,
+    ZeroEstimator,
+    make_estimator,
+)
+from repro.graphs.grid import make_grid
+
+
+class TestZero:
+    def test_always_zero(self, tiny_graph):
+        estimator = ZeroEstimator()
+        estimator.prepare(tiny_graph, "e")
+        assert estimator.estimate(tiny_graph, "a", "e") == 0.0
+
+
+class TestEuclidean:
+    def test_matches_geometry(self, tiny_graph):
+        estimator = EuclideanEstimator()
+        estimator.prepare(tiny_graph, "e")
+        assert estimator.estimate(tiny_graph, "a", "e") == pytest.approx(4.0)
+
+    def test_scaling(self, tiny_graph):
+        estimator = EuclideanEstimator(cost_per_unit=0.5)
+        estimator.prepare(tiny_graph, "e")
+        assert estimator.estimate(tiny_graph, "a", "e") == pytest.approx(2.0)
+
+    def test_zero_at_destination(self, tiny_graph):
+        estimator = EuclideanEstimator()
+        estimator.prepare(tiny_graph, "e")
+        assert estimator.estimate(tiny_graph, "e", "e") == 0.0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanEstimator(cost_per_unit=-1.0)
+
+    def test_admissible_on_uniform_grid(self):
+        """Euclidean never overestimates grid shortest paths."""
+        graph = make_grid(8)
+        destination = (7, 7)
+        distances = dijkstra_sssp(graph.reversed(), destination)
+        estimator = EuclideanEstimator()
+        estimator.prepare(graph, destination)
+        for node in graph.nodes():
+            h = estimator.estimate(graph, node.node_id, destination)
+            assert h <= distances[node.node_id] + 1e-9
+
+
+class TestManhattan:
+    def test_matches_geometry(self):
+        graph = make_grid(5)
+        estimator = ManhattanEstimator()
+        estimator.prepare(graph, (4, 4))
+        assert estimator.estimate(graph, (0, 0), (4, 4)) == pytest.approx(8.0)
+
+    def test_perfect_on_uniform_grid(self):
+        """The paper: manhattan is a *perfect* estimate on uniform grids."""
+        graph = make_grid(7)
+        destination = (6, 6)
+        distances = dijkstra_sssp(graph.reversed(), destination)
+        estimator = ManhattanEstimator()
+        estimator.prepare(graph, destination)
+        for node in graph.nodes():
+            h = estimator.estimate(graph, node.node_id, destination)
+            assert h == pytest.approx(distances[node.node_id])
+
+    def test_dominates_euclidean(self):
+        graph = make_grid(6)
+        euclid = EuclideanEstimator()
+        manhattan = ManhattanEstimator()
+        euclid.prepare(graph, (5, 5))
+        manhattan.prepare(graph, (5, 5))
+        for node in graph.nodes():
+            assert manhattan.estimate(graph, node.node_id, (5, 5)) >= (
+                euclid.estimate(graph, node.node_id, (5, 5)) - 1e-12
+            )
+
+    def test_can_overestimate_on_road_map(self, minneapolis):
+        """The paper's caveat: manhattan is NOT admissible on the map."""
+        graph = minneapolis.graph
+        destination = minneapolis.landmark("B")
+        distances = dijkstra_sssp(graph.reversed(), destination)
+        estimator = ManhattanEstimator()
+        estimator.prepare(graph, destination)
+        overestimates = sum(
+            1
+            for node in graph.nodes()
+            if node.node_id in distances
+            and estimator.estimate(graph, node.node_id, destination)
+            > distances[node.node_id] + 1e-9
+        )
+        assert overestimates > 0
+
+
+class TestScaled:
+    def test_weight_multiplies(self, tiny_graph):
+        inner = EuclideanEstimator()
+        scaled = ScaledEstimator(inner, 2.0)
+        scaled.prepare(tiny_graph, "e")
+        assert scaled.estimate(tiny_graph, "a", "e") == pytest.approx(8.0)
+
+    def test_zero_weight_is_dijkstra(self, tiny_graph):
+        scaled = ScaledEstimator(EuclideanEstimator(), 0.0)
+        scaled.prepare(tiny_graph, "e")
+        assert scaled.estimate(tiny_graph, "a", "e") == 0.0
+
+    def test_name_records_weight(self):
+        assert ScaledEstimator(ZeroEstimator(), 1.5).name == "zero*1.5"
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledEstimator(ZeroEstimator(), -1.0)
+
+
+class TestLandmark:
+    def test_requires_landmarks(self):
+        with pytest.raises(ValueError):
+            LandmarkEstimator([])
+
+    def test_admissible_on_grid(self):
+        graph = make_grid(7)
+        destination = (6, 6)
+        distances = dijkstra_sssp(graph.reversed(), destination)
+        estimator = LandmarkEstimator([(0, 0), (6, 0), (0, 6)])
+        estimator.prepare(graph, destination)
+        for node in graph.nodes():
+            h = estimator.estimate(graph, node.node_id, destination)
+            assert h <= distances[node.node_id] + 1e-9
+
+    def test_admissible_on_road_map(self, minneapolis):
+        """Unlike manhattan, ALT stays admissible on the road map."""
+        graph = minneapolis.graph
+        destination = minneapolis.landmark("B")
+        distances = dijkstra_sssp(graph.reversed(), destination)
+        estimator = LandmarkEstimator(
+            [minneapolis.landmark("A"), minneapolis.landmark("D")]
+        )
+        estimator.prepare(graph, destination)
+        for node in list(graph.nodes())[::7]:
+            if node.node_id not in distances:
+                continue
+            h = estimator.estimate(graph, node.node_id, destination)
+            assert h <= distances[node.node_id] + 1e-9
+
+    def test_exact_at_landmark_destination(self):
+        """With the destination itself as a landmark, h is exact."""
+        graph = make_grid(6)
+        destination = (5, 5)
+        estimator = LandmarkEstimator([destination])
+        estimator.prepare(graph, destination)
+        distances = dijkstra_sssp(graph.reversed(), destination)
+        for node in graph.nodes():
+            h = estimator.estimate(graph, node.node_id, destination)
+            assert h == pytest.approx(distances[node.node_id])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["zero", "euclidean", "manhattan"])
+    def test_known(self, name):
+        assert make_estimator(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_estimator("psychic")

@@ -1,0 +1,135 @@
+"""Tests for the route evaluation facility."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.core.evaluation import (
+    admissible_time_scale,
+    compare_routes,
+    effective_speed,
+    evaluate_route,
+    travel_time_graph,
+)
+from repro.core.planner import RoutePlanner
+from repro.graphs.roadmap import RoadAttributes, road_queries
+
+
+@pytest.fixture(scope="module")
+def route(minneapolis):
+    planner = RoutePlanner()
+    source, destination = road_queries(minneapolis)["E to F"]
+    return planner.plan(
+        minneapolis.graph, source, destination, "dijkstra"
+    ).path
+
+
+class TestEffectiveSpeed:
+    def test_zero_occupancy_is_speed_limit(self):
+        attrs = RoadAttributes("arterial", 35.0, 0.0)
+        assert effective_speed(attrs) == pytest.approx(35.0)
+
+    def test_full_occupancy_crawls(self):
+        attrs = RoadAttributes("arterial", 35.0, 1.0)
+        assert effective_speed(attrs) == pytest.approx(7.0)
+
+    def test_monotone_in_occupancy(self):
+        speeds = [
+            effective_speed(RoadAttributes("a", 30.0, o))
+            for o in (0.0, 0.3, 0.6, 0.9)
+        ]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_occupancy_clamped(self):
+        assert effective_speed(RoadAttributes("a", 30.0, 2.0)) == pytest.approx(6.0)
+
+
+class TestEvaluateRoute:
+    def test_segment_count(self, minneapolis, route):
+        evaluation = evaluate_route(minneapolis, route)
+        assert len(evaluation.segments) == len(route) - 1
+
+    def test_totals_sum_segments(self, minneapolis, route):
+        evaluation = evaluate_route(minneapolis, route)
+        assert evaluation.total_distance_miles == pytest.approx(
+            sum(s.distance_miles for s in evaluation.segments)
+        )
+        assert evaluation.total_time_minutes == pytest.approx(
+            sum(s.travel_time_minutes for s in evaluation.segments)
+        )
+
+    def test_distance_matches_graph_cost(self, minneapolis, route):
+        evaluation = evaluate_route(minneapolis, route)
+        assert evaluation.total_distance_miles == pytest.approx(
+            minneapolis.graph.path_cost(route)
+        )
+
+    def test_occupancy_bounds(self, minneapolis, route):
+        evaluation = evaluate_route(minneapolis, route)
+        assert 0.0 <= evaluation.average_occupancy <= 1.0
+        assert 0.0 <= evaluation.congested_fraction <= 1.0
+
+    def test_road_type_breakdown_sums_to_total(self, minneapolis, route):
+        evaluation = evaluate_route(minneapolis, route)
+        assert sum(evaluation.road_type_breakdown().values()) == pytest.approx(
+            evaluation.total_distance_miles
+        )
+
+    def test_invalid_path_rejected(self, minneapolis):
+        a = minneapolis.landmark("A")
+        b = minneapolis.landmark("B")
+        with pytest.raises(GraphError):
+            evaluate_route(minneapolis, [a, b])
+
+
+class TestTravelTimeGraph:
+    def test_same_topology(self, minneapolis):
+        timed = travel_time_graph(minneapolis)
+        assert timed.node_count == minneapolis.graph.node_count
+        assert timed.edge_count == minneapolis.graph.edge_count
+
+    def test_costs_are_minutes(self, minneapolis):
+        timed = travel_time_graph(minneapolis)
+        edge = next(iter(minneapolis.graph.edges()))
+        attrs = minneapolis.segment_attributes(edge.source, edge.target)
+        expected = 60.0 * edge.cost / effective_speed(attrs)
+        assert timed.edge_cost(edge.source, edge.target) == pytest.approx(expected)
+
+    def test_routing_on_time_graph(self, minneapolis):
+        timed = travel_time_graph(minneapolis)
+        planner = RoutePlanner()
+        source, destination = road_queries(minneapolis)["G to D"]
+        by_time = planner.plan(timed, source, destination, "dijkstra")
+        assert by_time.found
+        assert by_time.cost > 0  # minutes
+
+    def test_fastest_route_can_differ_from_shortest(self, minneapolis):
+        """Congestion reroutes: time-optimal cost in minutes is no more
+        than the minutes spent along the distance-optimal path."""
+        timed = travel_time_graph(minneapolis)
+        planner = RoutePlanner()
+        source, destination = road_queries(minneapolis)["A to B"]
+        shortest = planner.plan(minneapolis.graph, source, destination, "dijkstra")
+        fastest = planner.plan(timed, source, destination, "dijkstra")
+        assert fastest.cost <= timed.path_cost(shortest.path) + 1e-9
+
+    def test_admissible_time_scale(self, minneapolis):
+        scale = admissible_time_scale(minneapolis)
+        timed = travel_time_graph(minneapolis)
+        # Every edge's minutes >= scale * its miles.
+        for edge in list(minneapolis.graph.edges())[:100]:
+            minutes = timed.edge_cost(edge.source, edge.target)
+            assert minutes >= scale * edge.cost - 1e-9
+
+
+class TestCompareRoutes:
+    def test_ranked_fastest_first(self, minneapolis):
+        planner = RoutePlanner()
+        source, destination = road_queries(minneapolis)["E to F"]
+        optimal = planner.plan(minneapolis.graph, source, destination, "dijkstra")
+        greedy = planner.plan(
+            minneapolis.graph, source, destination, "greedy",
+            estimator="euclidean",
+        )
+        ranked = compare_routes(minneapolis, [greedy.path, optimal.path])
+        times = [minutes for _evaluation, minutes in ranked]
+        assert times == sorted(times)

@@ -1,0 +1,59 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+Each example is imported as a module and its ``main()`` executed with
+captured stdout; a broken public API surfaces here before a user hits
+it. (Sizes inside the examples are small enough that the whole module
+runs in seconds.)
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_at_least_five_examples_ship():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    assert hasattr(module, "main"), f"{name}.py must define main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{name}.py should narrate its walkthrough"
+
+
+def test_quickstart_reports_all_planners(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    for algorithm in ("iterative", "dijkstra", "astar", "bidirectional",
+                      "greedy"):
+        assert algorithm in out
+
+
+def test_equel_program_matches_reference(capsys):
+    _load("equel_program").main()
+    out = capsys.readouterr().out
+    assert "MATCH" in out
+    assert "MISMATCH" not in out
+
+
+def test_dynamic_traffic_saves_time(capsys):
+    _load("dynamic_traffic_atis").main()
+    out = capsys.readouterr().out
+    assert "time saved by replanning" in out

@@ -1,0 +1,80 @@
+"""Tests for the exception hierarchy's contracts."""
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            exc.GraphError,
+            exc.PathNotFoundError,
+            exc.PlannerError,
+            exc.StorageError,
+            exc.QueryError,
+            exc.CostModelError,
+            exc.ExperimentError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, subclass):
+        assert issubclass(subclass, exc.ReproError)
+
+    def test_node_not_found_is_keyerror(self):
+        """Callers catching KeyError (dict idiom) must also catch this."""
+        assert issubclass(exc.NodeNotFoundError, KeyError)
+        assert issubclass(exc.EdgeNotFoundError, KeyError)
+        assert issubclass(exc.RelationNotFoundError, KeyError)
+
+    def test_value_errors(self):
+        assert issubclass(exc.DuplicateNodeError, ValueError)
+        assert issubclass(exc.NegativeEdgeCostError, ValueError)
+        assert issubclass(exc.SchemaError, ValueError)
+        assert issubclass(exc.DuplicateRelationError, ValueError)
+
+    def test_unknown_algorithm_is_keyerror(self):
+        assert issubclass(exc.UnknownAlgorithmError, KeyError)
+
+
+class TestMessagesAndPayloads:
+    def test_node_not_found_carries_id(self):
+        error = exc.NodeNotFoundError((3, 4))
+        assert error.node_id == (3, 4)
+        assert "(3, 4)" in str(error)
+
+    def test_edge_not_found_carries_endpoints(self):
+        error = exc.EdgeNotFoundError("a", "b")
+        assert (error.source, error.target) == ("a", "b")
+
+    def test_negative_cost_carries_details(self):
+        error = exc.NegativeEdgeCostError("a", "b", -2.0)
+        assert error.cost == -2.0
+        assert "non-negative" in str(error)
+
+    def test_path_not_found_message(self):
+        error = exc.PathNotFoundError("x", "y")
+        assert "'x'" in str(error) and "'y'" in str(error)
+
+    def test_unknown_algorithm_lists_choices(self):
+        error = exc.UnknownAlgorithmError("zap", ("a", "b"))
+        assert "zap" in str(error)
+        assert "a, b" in str(error)
+
+    def test_unknown_algorithm_without_choices(self):
+        error = exc.UnknownAlgorithmError("zap")
+        assert "available" not in str(error)
+
+    def test_one_except_clause_catches_all(self, tiny_graph):
+        """The documented catch-everything idiom works in practice."""
+        caught = 0
+        for trigger in (
+            lambda: tiny_graph.node("missing"),
+            lambda: tiny_graph.edge_cost("a", "e"),
+            lambda: tiny_graph.add_node("a"),
+        ):
+            try:
+                trigger()
+            except exc.ReproError:
+                caught += 1
+        assert caught == 3

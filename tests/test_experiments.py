@@ -1,0 +1,107 @@
+"""Tests for the experiment harness plumbing (runner, tables, registry)."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import (
+    ASTAR_VERSION_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    Measurement,
+    measure,
+    measure_suite,
+    pivot,
+)
+from repro.experiments.spec import all_experiments, get_experiment
+from repro.experiments.tables import markdown_table, render_series, render_table
+from repro.graphs.grid import make_paper_grid
+
+
+@pytest.fixture(scope="module")
+def grid6():
+    return make_paper_grid(6, "variance")
+
+
+class TestMeasure:
+    def test_measure_returns_full_record(self, grid6):
+        m = measure(grid6, (0, 0), (5, 5), "dijkstra", query_label="diag")
+        assert isinstance(m, Measurement)
+        assert m.query == "diag"
+        assert m.found
+        assert m.iterations > 0
+        assert m.execution_cost > m.init_cost > 0
+
+    def test_cross_check_accepts_optimal_algorithms(self, grid6):
+        for algorithm in PAPER_ALGORITHMS:
+            measure(grid6, (0, 0), (5, 5), algorithm, cross_check=True)
+
+    def test_measure_suite_covers_product(self, grid6):
+        queries = {"a": ((0, 0), (5, 5)), "b": ((0, 0), (0, 5))}
+        measurements = measure_suite(grid6, queries, PAPER_ALGORITHMS)
+        assert len(measurements) == len(queries) * len(PAPER_ALGORITHMS)
+
+    def test_pivot_shapes(self, grid6):
+        queries = {"a": ((0, 0), (5, 5))}
+        measurements = measure_suite(grid6, queries, ("dijkstra",))
+        table = pivot(measurements, "iterations")
+        assert table == {"dijkstra": {"a": measurements[0].iterations}}
+
+
+class TestTables:
+    ROWS = {"alg1": {"c1": 1, "c2": 2.5}, "alg2": {"c1": 3}}
+
+    def test_render_table_alignment(self):
+        text = render_table("T", self.ROWS, ["c1", "c2"])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alg1" in lines[2] or "alg1" in lines[3]
+        assert "2.5" in text
+
+    def test_render_table_with_paper_values(self):
+        text = render_table(
+            "T", self.ROWS, ["c1"], paper={"alg1": {"c1": 9}}
+        )
+        assert "1 (9)" in text
+
+    def test_render_table_missing_cells_blank(self):
+        text = render_table("T", self.ROWS, ["c2"])
+        assert "alg2" in text  # row present even without the value
+
+    def test_markdown_table(self):
+        md = markdown_table(self.ROWS, ["c1", "c2"])
+        assert md.startswith("| Algorithm | c1 | c2 |")
+        assert "| alg1 | 1 | 2.5 |" in md
+
+    def test_render_series(self):
+        text = render_series("S", {"line": {10: 1.0, 20: 2.0}}, "n", "cost")
+        assert "10" in text and "20" in text and "line" in text
+
+
+class TestRegistry:
+    def test_all_experiments_registered_in_natural_order(self):
+        ids = [spec.experiment_id for spec in all_experiments()]
+        assert ids == [
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+            "E11",
+        ]
+
+    def test_every_paper_artifact_is_covered(self):
+        artifacts = set()
+        for spec in all_experiments():
+            artifacts.update(spec.paper_artifacts)
+        assert artifacts >= {
+            "Table 4B", "Table 5", "Table 6", "Table 7", "Table 8",
+            "Figure 5", "Figure 6", "Figure 7", "Figure 9",
+            "Figure 10", "Figure 11", "Figure 12",
+        }
+
+    def test_get_experiment(self):
+        assert get_experiment("E1").title == "Effect of graph size"
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_small_experiment_runs_and_renders(self):
+        spec = get_experiment("E1")
+        result = spec.runner(sizes=(6,), cross_check=False)
+        assert result.conditions == ["6x6"]
+        text = spec.renderer(result)
+        assert "6x6" in text

@@ -1,0 +1,76 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.experiments.figures import ascii_chart, chart_for_result
+from repro.experiments.spec import ExperimentResult
+
+SERIES = {
+    "dijkstra": {"10x10": 88.0, "20x20": 434.0, "30x30": 1036.0},
+    "iterative": {"10x10": 13.0, "20x20": 49.0, "30x30": 137.0},
+}
+CONDITIONS = ["10x10", "20x20", "30x30"]
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_labels(self):
+        chart = ascii_chart(SERIES, CONDITIONS, title="T")
+        assert chart.startswith("T")
+        assert "o=dijkstra" in chart
+        assert "*=iterative" in chart
+        assert "30x30" in chart
+
+    def test_dimensions(self):
+        chart = ascii_chart(SERIES, CONDITIONS, width=50, height=12)
+        lines = chart.splitlines()
+        # height covers plot+axis rows; the title adds one more line.
+        assert len(lines) == 12 + 1
+
+    def test_peak_labelled(self):
+        chart = ascii_chart(SERIES, CONDITIONS)
+        assert "1036" in chart
+
+    def test_markers_plotted_in_order(self):
+        chart = ascii_chart(SERIES, CONDITIONS)
+        body = "\n".join(chart.splitlines()[1:-3])
+        assert "o" in body and "*" in body
+
+    def test_single_condition(self):
+        chart = ascii_chart({"s": {"only": 5.0}}, ["only"])
+        assert "only" in chart
+
+    def test_missing_points_skipped(self):
+        chart = ascii_chart({"s": {"a": 1.0}}, ["a", "b"])
+        assert "b" in chart  # axis still labelled
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            ascii_chart(SERIES, CONDITIONS, width=5)
+        with pytest.raises(ValueError):
+            ascii_chart(SERIES, CONDITIONS, height=2)
+
+    def test_empty_conditions_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart(SERIES, [])
+
+    def test_all_zero_values(self):
+        chart = ascii_chart({"s": {"a": 0.0}}, ["a"])
+        assert chart  # no division-by-zero
+
+
+class TestChartForResult:
+    def test_renders_execution_cost(self):
+        result = ExperimentResult(
+            experiment_id="EX",
+            title="t",
+            conditions=CONDITIONS,
+            execution_cost=SERIES,
+        )
+        chart = chart_for_result(result)
+        assert "EX: execution cost" in chart
+
+    def test_empty_cost_returns_empty(self):
+        result = ExperimentResult(
+            experiment_id="EX", title="t", conditions=["a"]
+        )
+        assert chart_for_result(result) == ""

@@ -1,0 +1,103 @@
+"""Tests for graph serialization (CSV and JSON) including property-based
+round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.grid import make_paper_grid
+from repro.graphs.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_csv,
+    load_json,
+    save_csv,
+    save_json,
+)
+
+
+def graphs_equal(a: Graph, b: Graph) -> bool:
+    if a.node_count != b.node_count or a.edge_count != b.edge_count:
+        return False
+    for node in a.nodes():
+        other = b.node(node.node_id)
+        if (other.x, other.y) != (node.x, node.y):
+            return False
+    for edge in a.edges():
+        if not b.has_edge(edge.source, edge.target):
+            return False
+        if b.edge_cost(edge.source, edge.target) != pytest.approx(edge.cost):
+            return False
+    return True
+
+
+class TestCsv:
+    def test_round_trip_grid(self, tmp_path):
+        graph = make_paper_grid(5, "variance")
+        nodes, edges = tmp_path / "n.csv", tmp_path / "e.csv"
+        save_csv(graph, nodes, edges)
+        loaded = load_csv(nodes, edges, name=graph.name)
+        assert graphs_equal(graph, loaded)
+
+    def test_string_ids_round_trip(self, tmp_path, tiny_graph):
+        nodes, edges = tmp_path / "n.csv", tmp_path / "e.csv"
+        save_csv(tiny_graph, nodes, edges)
+        loaded = load_csv(nodes, edges)
+        assert graphs_equal(tiny_graph, loaded)
+
+    def test_bad_header_rejected(self, tmp_path):
+        bad = tmp_path / "n.csv"
+        bad.write_text("wrong,header,here\n1,2,3\n")
+        edge_file = tmp_path / "e.csv"
+        edge_file.write_text("begin,end,cost\n")
+        with pytest.raises(GraphError):
+            load_csv(bad, edge_file)
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path):
+        graph = make_paper_grid(4, "skewed")
+        path = tmp_path / "g.json"
+        save_json(graph, path)
+        assert graphs_equal(graph, load_json(path))
+
+    def test_dict_round_trip_preserves_name(self, tiny_graph):
+        document = graph_to_dict(tiny_graph)
+        rebuilt = graph_from_dict(document)
+        assert rebuilt.name == tiny_graph.name
+        assert graphs_equal(tiny_graph, rebuilt)
+
+    def test_version_checked(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format_version": 99, "nodes": [], "edges": []})
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nodes=st.lists(
+        st.tuples(
+            st.integers(0, 20),
+            st.floats(-5, 5, allow_nan=False),
+            st.floats(-5, 5, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=10,
+        unique_by=lambda t: t[0],
+    ),
+    edge_seeds=st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=20),
+    costs=st.floats(0, 50, allow_nan=False),
+)
+def test_property_json_round_trip(nodes, edge_seeds, costs):
+    graph = Graph(name="prop")
+    ids = []
+    for node_id, x, y in nodes:
+        graph.add_node(node_id, x, y)
+        ids.append(node_id)
+    for i, j in edge_seeds:
+        u, v = ids[i % len(ids)], ids[j % len(ids)]
+        if u != v:
+            graph.add_edge(u, v, costs)
+    rebuilt = graph_from_dict(graph_to_dict(graph))
+    assert graphs_equal(graph, rebuilt)

@@ -1,0 +1,105 @@
+"""Unit tests for the synthetic grid benchmark generator."""
+
+import pytest
+
+from repro.graphs.costmodels import SkewedCostModel
+from repro.graphs.grid import (
+    diagonal_query,
+    horizontal_query,
+    make_grid,
+    make_paper_grid,
+    paper_queries,
+    semi_diagonal_query,
+)
+
+
+class TestGridStructure:
+    def test_node_count(self):
+        assert make_grid(5).node_count == 25
+
+    def test_edge_count_matches_formula(self):
+        # 2 directed edges per undirected segment; 2*k*(k-1) segments.
+        k = 6
+        assert make_grid(k).edge_count == 2 * 2 * k * (k - 1)
+
+    def test_paper_30x30_has_table_4a_sizes(self):
+        graph = make_grid(30)
+        assert graph.node_count == 900
+        assert graph.edge_count == 3480  # Table 4A's |S|
+
+    def test_four_neighbor_connectivity(self):
+        graph = make_grid(5)
+        corner = dict(graph.neighbors((0, 0)))
+        assert set(corner) == {(0, 1), (1, 0)}
+        interior = dict(graph.neighbors((2, 2)))
+        assert set(interior) == {(1, 2), (3, 2), (2, 1), (2, 3)}
+
+    def test_coordinates_are_col_row(self):
+        graph = make_grid(4)
+        assert graph.coordinates((2, 3)) == (3.0, 2.0)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            make_grid(1)
+
+    def test_costs_come_from_model(self):
+        graph = make_grid(5, SkewedCostModel(k=5))
+        assert graph.edge_cost((0, 0), (0, 1)) == pytest.approx(0.1)
+        assert graph.edge_cost((2, 2), (2, 3)) == pytest.approx(1.0)
+
+    def test_undirected_costs_match(self):
+        graph = make_paper_grid(6, "variance")
+        for edge in graph.edges():
+            assert graph.edge_cost(edge.target, edge.source) == pytest.approx(
+                edge.cost
+            )
+
+
+class TestQueries:
+    def test_diagonal_is_opposite_corners(self):
+        query = diagonal_query(10)
+        assert query.source == (0, 0)
+        assert query.destination == (9, 9)
+
+    def test_horizontal_is_same_row(self):
+        query = horizontal_query(10)
+        assert query.source[0] == query.destination[0]
+
+    def test_semi_diagonal_between_extremes(self):
+        k = 30
+        hops = {
+            "horizontal": k - 1,
+            "semi-diagonal": (k - 1) + k // 2,
+            "diagonal": 2 * (k - 1),
+        }
+        assert hops["horizontal"] < hops["semi-diagonal"] < hops["diagonal"]
+        query = semi_diagonal_query(k)
+        manhattan = abs(query.source[0] - query.destination[0]) + abs(
+            query.source[1] - query.destination[1]
+        )
+        assert manhattan == hops["semi-diagonal"]
+
+    def test_paper_queries_keys(self):
+        assert set(paper_queries(10)) == {"horizontal", "semi-diagonal", "diagonal"}
+
+    def test_queries_are_valid_nodes(self):
+        graph = make_grid(12)
+        for query in paper_queries(12).values():
+            assert query.source in graph
+            assert query.destination in graph
+
+
+class TestDeterminism:
+    def test_same_seed_same_costs(self):
+        a = make_paper_grid(8, "variance", seed=42)
+        b = make_paper_grid(8, "variance", seed=42)
+        costs_a = sorted(e.cost for e in a.edges())
+        costs_b = sorted(e.cost for e in b.edges())
+        assert costs_a == costs_b
+
+    def test_different_seed_different_costs(self):
+        a = make_paper_grid(8, "variance", seed=1)
+        b = make_paper_grid(8, "variance", seed=2)
+        assert sorted(e.cost for e in a.edges()) != sorted(
+            e.cost for e in b.edges()
+        )

@@ -1,0 +1,106 @@
+"""Tests for the static hash index (non-unique keys)."""
+
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.storage.buffer import BufferPool
+from repro.storage.hashindex import HashIndex, _stable_hash
+from repro.storage.heapfile import HeapFile
+from repro.storage.iostats import IOStatistics
+from repro.storage.schema import ANY, FLOAT, Field, Schema
+
+
+def make_indexed_heap(rows, bucket_count=0, bucket_capacity=128):
+    stats = IOStatistics()
+    pool = BufferPool(stats, capacity=0)
+    schema = Schema(
+        "s", [Field("begin", ANY, 8), Field("end", ANY, 8), Field("c", FLOAT, 8)]
+    )
+    heap = HeapFile("s", schema, pool, stats)
+    for begin, end, cost in rows:
+        heap.insert({"begin": begin, "end": end, "c": cost})
+    index = HashIndex(
+        heap, "begin", stats,
+        bucket_count=bucket_count, bucket_capacity=bucket_capacity,
+    )
+    index.build()
+    return heap, index, stats
+
+
+ADJACENCY = [(u, (u + d) % 10, 1.0) for u in range(10) for d in (1, 2, 3)]
+
+
+class TestProbe:
+    def test_multi_match_adjacency(self):
+        _heap, index, _stats = make_indexed_heap(ADJACENCY)
+        matches = index.fetch_all(4)
+        assert len(matches) == 3
+        assert all(m["begin"] == 4 for m in matches)
+
+    def test_probe_equals_scan(self):
+        heap, index, _stats = make_indexed_heap(ADJACENCY)
+        for key in range(10):
+            by_scan = sorted(
+                (v["end"]) for _r, v in heap.scan() if v["begin"] == key
+            )
+            by_index = sorted(m["end"] for m in index.fetch_all(key))
+            assert by_index == by_scan
+
+    def test_missing_key(self):
+        _heap, index, _stats = make_indexed_heap(ADJACENCY)
+        assert index.probe(99) == []
+
+    def test_probe_charges_chain_reads(self):
+        _heap, index, stats = make_indexed_heap(
+            ADJACENCY, bucket_count=1, bucket_capacity=8
+        )
+        stats.reset()
+        index.probe(4)
+        # 30 entries in 1 bucket at 8/page -> 4 chain pages read.
+        assert stats.block_reads == 4
+
+    def test_tuple_keys(self):
+        rows = [((0, 0), (0, 1), 1.0), ((0, 0), (1, 0), 1.0)]
+        _heap, index, _stats = make_indexed_heap(rows)
+        assert len(index.fetch_all((0, 0))) == 2
+
+
+class TestBuild:
+    def test_unbuilt_raises(self):
+        stats = IOStatistics()
+        pool = BufferPool(stats, capacity=0)
+        schema = Schema("s", [Field("begin", ANY, 8), Field("c", FLOAT, 8)])
+        heap = HeapFile("s", schema, pool, stats)
+        index = HashIndex(heap, "begin", stats)
+        with pytest.raises(IndexError_):
+            index.probe(1)
+
+    def test_bucket_capacity_validated(self):
+        stats = IOStatistics()
+        pool = BufferPool(stats, capacity=0)
+        schema = Schema("s", [Field("begin", ANY, 8), Field("c", FLOAT, 8)])
+        heap = HeapFile("s", schema, pool, stats)
+        with pytest.raises(IndexError_):
+            HashIndex(heap, "begin", stats, bucket_capacity=0)
+
+    def test_keys_are_distinct(self):
+        _heap, index, _stats = make_indexed_heap(ADJACENCY)
+        assert sorted(index.keys()) == list(range(10))
+
+    def test_insert_post_build(self):
+        heap, index, _stats = make_indexed_heap(ADJACENCY)
+        rid = heap.insert({"begin": 4, "end": 9, "c": 2.0})
+        index.insert(4, rid)
+        assert len(index.fetch_all(4)) == 4
+
+
+class TestStableHash:
+    def test_ints_hash_to_themselves(self):
+        assert _stable_hash(7) == 7
+
+    def test_strings_are_deterministic(self):
+        assert _stable_hash("abc") == _stable_hash("abc")
+
+    def test_tuples_are_deterministic(self):
+        assert _stable_hash((1, 2)) == _stable_hash((1, 2))
+        assert _stable_hash((1, 2)) != _stable_hash((2, 1))

@@ -1,0 +1,83 @@
+"""Tests for the I/O statistics ledger."""
+
+import pytest
+
+from repro.storage.iostats import IOStatistics
+
+
+class TestCharging:
+    def test_weighted_cost(self):
+        stats = IOStatistics()
+        stats.charge_read(2)
+        stats.charge_write(3)
+        stats.charge_update(1)
+        expected = 2 * 0.035 + 3 * 0.05 + 1 * 0.085
+        assert stats.cost == pytest.approx(expected)
+
+    def test_fixed_charges(self):
+        stats = IOStatistics()
+        stats.charge_create()
+        stats.charge_delete()
+        assert stats.cost == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        stats = IOStatistics()
+        with pytest.raises(ValueError):
+            stats.charge_read(-1)
+        with pytest.raises(ValueError):
+            stats.charge_write(-1)
+        with pytest.raises(ValueError):
+            stats.charge_update(-1)
+
+    def test_custom_unit_times(self):
+        stats = IOStatistics(t_read=1.0, t_write=2.0, t_update=3.0)
+        stats.charge_read()
+        stats.charge_write()
+        stats.charge_update()
+        assert stats.cost == pytest.approx(6.0)
+
+
+class TestPhases:
+    def test_phase_attribution(self):
+        stats = IOStatistics()
+        with stats.phase("init"):
+            stats.charge_read(10)
+        with stats.phase("iterate"):
+            stats.charge_write(2)
+        assert stats.phase_cost("init") == pytest.approx(10 * 0.035)
+        assert stats.phase_cost("iterate") == pytest.approx(2 * 0.05)
+        assert stats.phase_cost("unknown") == 0.0
+
+    def test_nested_phases_innermost_wins(self):
+        stats = IOStatistics()
+        with stats.phase("outer"):
+            stats.charge_read()
+            with stats.phase("inner"):
+                stats.charge_read()
+            stats.charge_read()
+        assert stats.phase_cost("outer") == pytest.approx(2 * 0.035)
+        assert stats.phase_cost("inner") == pytest.approx(0.035)
+
+    def test_unphased_charges_still_count_in_total(self):
+        stats = IOStatistics()
+        stats.charge_read(4)
+        assert stats.cost > 0
+        assert stats.phase_costs == {}
+
+
+class TestLifecycle:
+    def test_snapshot(self):
+        stats = IOStatistics()
+        stats.charge_read()
+        snap = stats.snapshot()
+        assert snap["block_reads"] == 1
+        assert snap["cost"] == pytest.approx(0.035)
+
+    def test_reset(self):
+        stats = IOStatistics()
+        with stats.phase("x"):
+            stats.charge_read(5)
+        stats.reset()
+        assert stats.cost == 0.0
+        assert stats.block_reads == 0
+        assert stats.phase_costs == {}

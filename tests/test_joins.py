@@ -1,0 +1,196 @@
+"""Tests for the four join strategies and the optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError
+from repro.query.joins import (
+    ALL_STRATEGIES,
+    HashJoin,
+    JoinCostInputs,
+    NestedLoopJoin,
+    PrimaryKeyJoin,
+    SortMergeJoin,
+    make_inputs,
+)
+from repro.query.optimizer import (
+    applicable_strategies,
+    choose_strategy,
+    execute_join,
+)
+from repro.storage.database import Database
+from repro.storage.iostats import IOStatistics
+from repro.storage.schema import ANY, FLOAT, Field, Schema
+
+
+def make_edge_relation(edges, with_hash=True):
+    db = Database()
+    schema = Schema(
+        "s",
+        [Field("begin", ANY, 12), Field("end", ANY, 12), Field("cost", FLOAT, 8)],
+    )
+    relation = db.create_relation(schema)
+    relation.bulk_load(
+        {"begin": u, "end": v, "cost": c} for u, v, c in edges
+    )
+    if with_hash:
+        relation.create_hash_index("begin")
+    return relation, db.stats
+
+
+EDGES = [(u, (u + d) % 8, float(d)) for u in range(8) for d in (1, 2)]
+OUTER = [{"node_id": 2, "g": 0.0}, {"node_id": 5, "g": 1.0}]
+
+
+def expected_join_pairs(outer, edges):
+    result = []
+    for row in outer:
+        for u, v, c in edges:
+            if u == row["node_id"]:
+                result.append((row["node_id"], v, c))
+    return sorted(result)
+
+
+def run_strategy(strategy_cls, with_hash=True):
+    relation, stats = make_edge_relation(EDGES, with_hash=with_hash)
+    inputs = make_inputs(OUTER, 256, relation, 4, 86)
+    rows = strategy_cls().execute(OUTER, "node_id", relation, "begin", inputs, stats)
+    return rows, stats
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_all_strategies_produce_identical_results(self, strategy):
+        rows, _stats = run_strategy(strategy)
+        pairs = sorted((r["node_id"], r["end"], r["cost"]) for r in rows)
+        assert pairs == expected_join_pairs(OUTER, EDGES)
+
+    def test_merged_tuples_contain_both_sides(self):
+        rows, _ = run_strategy(HashJoin)
+        row = rows[0]
+        assert {"node_id", "g", "begin", "end", "cost"} <= set(row)
+
+    def test_name_clash_prefixed(self):
+        relation, stats = make_edge_relation([(1, 2, 1.0)])
+        outer = [{"begin": 1, "mine": True}]  # clashes with S.begin
+        inputs = make_inputs(outer, 256, relation, 1, 86)
+        rows = HashJoin().execute(outer, "begin", relation, "begin", inputs, stats)
+        assert rows[0]["begin"] == 1
+        assert rows[0]["inner.begin"] == 1
+
+    def test_primary_key_requires_hash_index(self):
+        relation, stats = make_edge_relation(EDGES, with_hash=False)
+        inputs = make_inputs(OUTER, 256, relation, 4, 86)
+        with pytest.raises(QueryError):
+            PrimaryKeyJoin().execute(
+                OUTER, "node_id", relation, "begin", inputs, stats
+            )
+
+    def test_empty_outer(self):
+        relation, stats = make_edge_relation(EDGES)
+        inputs = make_inputs([], 256, relation, 0, 86)
+        for strategy in (NestedLoopJoin, HashJoin, SortMergeJoin):
+            assert strategy().execute([], "node_id", relation, "begin", inputs, stats) == []
+
+
+class TestCosts:
+    def test_nested_loop_cost_formula(self):
+        stats = IOStatistics()
+        inputs = JoinCostInputs(2, 10, 1, 300)
+        expected = 2 * 0.035 + 2 * 10 * 0.035 + 1 * 0.05
+        assert NestedLoopJoin.estimated_cost(inputs, stats) == pytest.approx(expected)
+
+    def test_hash_cost_formula(self):
+        stats = IOStatistics()
+        inputs = JoinCostInputs(2, 10, 1, 300)
+        assert HashJoin.estimated_cost(inputs, stats) == pytest.approx(
+            12 * 0.035 + 0.05
+        )
+
+    def test_primary_key_cost_scales_with_outer_tuples(self):
+        stats = IOStatistics()
+        small = JoinCostInputs(1, 10, 1, 1)
+        large = JoinCostInputs(1, 10, 1, 100)
+        assert PrimaryKeyJoin.estimated_cost(
+            small, stats
+        ) < PrimaryKeyJoin.estimated_cost(large, stats)
+
+    def test_negative_blocks_rejected(self):
+        with pytest.raises(QueryError):
+            JoinCostInputs(-1, 0, 0, 0)
+
+
+class TestOptimizer:
+    def test_single_tuple_outer_prefers_primary_key(self):
+        stats = IOStatistics()
+        inputs = JoinCostInputs(1, 28, 1, 1)
+        plan = choose_strategy(inputs, stats)
+        assert plan.strategy_name == "primary-key"
+
+    def test_large_outer_avoids_primary_key(self):
+        stats = IOStatistics()
+        inputs = JoinCostInputs(4, 28, 5, 1000)
+        plan = choose_strategy(inputs, stats)
+        assert plan.strategy_name == "hash"
+
+    def test_alternatives_recorded(self):
+        stats = IOStatistics()
+        plan = choose_strategy(JoinCostInputs(1, 5, 1, 1), stats)
+        assert set(plan.alternatives) == {
+            "nested-loop", "hash", "sort-merge", "primary-key",
+        }
+        assert plan.estimated_cost == min(plan.alternatives.values())
+
+    def test_applicable_strategies_without_hash_index(self):
+        relation, _stats = make_edge_relation(EDGES, with_hash=False)
+        names = {s.name for s in applicable_strategies(relation, "begin")}
+        assert "primary-key" not in names
+
+    def test_execute_join_end_to_end(self):
+        relation, stats = make_edge_relation(EDGES)
+        rows, plan = execute_join(
+            OUTER, "node_id", 256, relation, "begin", 4, 86, stats
+        )
+        pairs = sorted((r["node_id"], r["end"], r["cost"]) for r in rows)
+        assert pairs == expected_join_pairs(OUTER, EDGES)
+        assert plan.strategy_name in plan.alternatives
+
+    def test_forced_strategy(self):
+        relation, stats = make_edge_relation(EDGES)
+        rows, plan = execute_join(
+            OUTER, "node_id", 256, relation, "begin", 4, 86, stats,
+            forced_strategy=SortMergeJoin,
+        )
+        assert plan.strategy_name == "sort-merge"
+        assert len(rows) == 4
+
+    def test_no_candidates_rejected(self):
+        stats = IOStatistics()
+        with pytest.raises(ValueError):
+            choose_strategy(JoinCostInputs(1, 1, 1, 1), stats, candidates=())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(
+            st.integers(0, 6), st.integers(0, 6),
+            st.floats(0.1, 9.9, allow_nan=False),
+        ),
+        max_size=25,
+    ),
+    outer_keys=st.lists(st.integers(0, 6), max_size=5),
+)
+def test_property_strategies_agree(edges, outer_keys):
+    """All four strategies return the same multiset on random inputs."""
+    relation, stats = make_edge_relation(edges)
+    outer = [{"node_id": k, "tag": i} for i, k in enumerate(outer_keys)]
+    inputs = make_inputs(outer, 256, relation, max(1, len(edges)), 86)
+    results = []
+    for strategy in ALL_STRATEGIES:
+        rows = strategy().execute(outer, "node_id", relation, "begin", inputs, stats)
+        results.append(
+            sorted((r["tag"], r["end"], r["cost"]) for r in rows)
+        )
+    assert all(result == results[0] for result in results)

@@ -1,0 +1,151 @@
+"""Tests for Yen's k-shortest paths and diverse alternatives."""
+
+import pytest
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PlannerError
+from repro.core.estimators import ManhattanEstimator
+from repro.core.kshortest import (
+    diverse_alternatives,
+    k_shortest_paths,
+    path_overlap,
+)
+from repro.graphs.graph import Graph, graph_from_edges
+from repro.graphs.grid import make_grid, make_paper_grid
+
+
+@pytest.fixture
+def diamond():
+    """Two parallel routes a->d: top costs 2, bottom costs 3."""
+    return graph_from_edges(
+        [
+            ("a", "t", 1.0), ("t", "d", 1.0),
+            ("a", "b", 1.0), ("b", "d", 2.0),
+        ]
+    )
+
+
+class TestBasics:
+    def test_first_path_is_optimal(self, diamond):
+        paths = k_shortest_paths(diamond, "a", "d", 1)
+        assert paths[0].path == ["a", "t", "d"]
+        assert paths[0].cost == pytest.approx(2.0)
+
+    def test_second_path(self, diamond):
+        paths = k_shortest_paths(diamond, "a", "d", 2)
+        assert len(paths) == 2
+        assert paths[1].path == ["a", "b", "d"]
+        assert paths[1].cost == pytest.approx(3.0)
+
+    def test_exhausts_loopless_paths(self, diamond):
+        paths = k_shortest_paths(diamond, "a", "d", 10)
+        assert len(paths) == 2  # only two loopless routes exist
+
+    def test_costs_nondecreasing(self, grid10_variance):
+        paths = k_shortest_paths(grid10_variance, (0, 0), (4, 4), 6)
+        costs = [p.cost for p in paths]
+        assert costs == sorted(costs)
+
+    def test_paths_are_valid_and_loopless(self, grid10_variance):
+        paths = k_shortest_paths(grid10_variance, (0, 0), (4, 4), 6)
+        for result in paths:
+            assert grid10_variance.is_valid_path(result.path)
+            assert len(set(result.path)) == len(result.path)  # loopless
+            assert grid10_variance.path_cost(result.path) == pytest.approx(
+                result.cost
+            )
+
+    def test_paths_are_distinct(self, grid10_variance):
+        paths = k_shortest_paths(grid10_variance, (0, 0), (4, 4), 8)
+        assert len({tuple(p.path) for p in paths}) == len(paths)
+
+    def test_original_graph_untouched(self, diamond):
+        edges_before = {(e.source, e.target, e.cost) for e in diamond.edges()}
+        k_shortest_paths(diamond, "a", "d", 5)
+        edges_after = {(e.source, e.target, e.cost) for e in diamond.edges()}
+        assert edges_before == edges_after
+
+    def test_unreachable(self, disconnected_graph):
+        assert k_shortest_paths(disconnected_graph, "a", "z", 3) == []
+
+    def test_k_validated(self, diamond):
+        with pytest.raises(PlannerError):
+            k_shortest_paths(diamond, "a", "d", 0)
+
+    def test_estimator_speeds_spur_searches_same_result(self):
+        graph = make_paper_grid(6, "variance")
+        plain = k_shortest_paths(graph, (0, 0), (5, 5), 4)
+        guided = k_shortest_paths(
+            graph, (0, 0), (5, 5), 4, estimator=ManhattanEstimator()
+        )
+        assert [p.cost for p in plain] == pytest.approx(
+            [p.cost for p in guided]
+        )
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx_shortest_simple_paths(self):
+        graph = make_paper_grid(5, "variance")
+        nxg = nx.DiGraph()
+        for edge in graph.edges():
+            nxg.add_edge(edge.source, edge.target, weight=edge.cost)
+        expected = []
+        generator = nx.shortest_simple_paths(nxg, (0, 0), (4, 4), weight="weight")
+        for _ in range(5):
+            expected.append(next(generator))
+        ours = k_shortest_paths(graph, (0, 0), (4, 4), 5)
+        expected_costs = [graph.path_cost(p) for p in expected]
+        assert [p.cost for p in ours] == pytest.approx(expected_costs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_yen_matches_networkx_on_random_graphs(seed):
+    from repro.graphs.random_graphs import random_sparse_directed
+
+    graph = random_sparse_directed(12, 20, seed=seed)
+    nxg = nx.DiGraph()
+    for edge in graph.edges():
+        nxg.add_edge(edge.source, edge.target, weight=edge.cost)
+    generator = nx.shortest_simple_paths(nxg, 0, 6, weight="weight")
+    expected_costs = []
+    for _ in range(4):
+        try:
+            expected_costs.append(graph.path_cost(next(generator)))
+        except StopIteration:
+            break
+    ours = k_shortest_paths(graph, 0, 6, 4)
+    assert [p.cost for p in ours] == pytest.approx(expected_costs)
+
+
+class TestOverlapAndDiversity:
+    def test_path_overlap_extremes(self):
+        assert path_overlap(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+        assert path_overlap(["a", "b"], ["x", "y"]) == 0.0
+        assert path_overlap(["a"], ["a"]) == 0.0  # no edges
+
+    def test_partial_overlap(self):
+        assert path_overlap(["a", "b", "c"], ["a", "b", "z"]) == pytest.approx(0.5)
+
+    def test_diverse_alternatives_respect_cap(self):
+        graph = make_grid(8)
+        routes = diverse_alternatives(
+            graph, (0, 0), (7, 7), count=3, max_overlap=0.5,
+            estimator=ManhattanEstimator(),
+        )
+        assert routes, "at least the optimum must be returned"
+        for i, a in enumerate(routes):
+            for b in routes[i + 1:]:
+                assert path_overlap(a.path, b.path) <= 0.5
+
+    def test_diverse_first_route_is_optimal(self, grid10_variance):
+        routes = diverse_alternatives(grid10_variance, (0, 0), (5, 5), count=2)
+        best = k_shortest_paths(grid10_variance, (0, 0), (5, 5), 1)[0]
+        assert routes[0].cost == pytest.approx(best.cost)
+
+    def test_overlap_cap_validated(self, diamond):
+        with pytest.raises(PlannerError):
+            diverse_alternatives(diamond, "a", "d", max_overlap=2.0)

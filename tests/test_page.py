@@ -1,0 +1,76 @@
+"""Tests for pages and block arithmetic."""
+
+import pytest
+
+from repro.storage.page import Page, blocks_for
+
+
+class TestPage:
+    def test_insert_and_read(self):
+        page = Page(0, capacity=2)
+        slot = page.insert(("a", 1))
+        assert page.read(slot) == ("a", 1)
+        assert page.dirty
+
+    def test_capacity_enforced(self):
+        page = Page(0, capacity=1)
+        page.insert(("a",))
+        assert page.is_full
+        with pytest.raises(ValueError):
+            page.insert(("b",))
+
+    def test_update_in_place(self):
+        page = Page(0, capacity=2)
+        slot = page.insert(("a",))
+        page.update(slot, ("b",))
+        assert page.read(slot) == ("b",)
+
+    def test_update_deleted_slot_rejected(self):
+        page = Page(0, capacity=2)
+        slot = page.insert(("a",))
+        page.delete(slot)
+        with pytest.raises(ValueError):
+            page.update(slot, ("b",))
+
+    def test_delete_tombstones_without_slot_reuse(self):
+        page = Page(0, capacity=2)
+        slot = page.insert(("a",))
+        page.delete(slot)
+        assert page.read(slot) is None
+        assert page.tuple_count == 0
+        # Slot is not reused: the next insert takes a new slot.
+        assert page.insert(("b",)) == 1
+
+    def test_rows_skips_tombstones(self):
+        page = Page(0, capacity=3)
+        page.insert(("a",))
+        doomed = page.insert(("b",))
+        page.insert(("c",))
+        page.delete(doomed)
+        assert [row for _slot, row in page.rows()] == [("a",), ("c",)]
+
+    def test_slot_bounds_checked(self):
+        page = Page(0, capacity=2)
+        with pytest.raises(ValueError):
+            page.read(0)
+        with pytest.raises(ValueError):
+            page.delete(5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Page(0, capacity=0)
+
+
+class TestBlocksFor:
+    @pytest.mark.parametrize(
+        "tuples,bf,expected",
+        [(0, 128, 0), (1, 128, 1), (128, 128, 1), (129, 128, 2), (900, 256, 4)],
+    )
+    def test_ceiling_division(self, tuples, bf, expected):
+        assert blocks_for(tuples, bf) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blocks_for(-1, 128)
+        with pytest.raises(ValueError):
+            blocks_for(1, 0)

@@ -1,0 +1,271 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+Each test pins one finding the paper states in Section 5 or the
+conclusion. Experiments are run once (module-scoped fixtures) through
+the relational engine, exactly as the report generator does, and the
+assertions are the "shape" contract EXPERIMENTS.md documents: who wins,
+roughly by how much, and where the crossovers fall.
+"""
+
+import pytest
+
+from repro.experiments.exp_astar_versions import (
+    run_cost_models as run_versions_cost_models,
+    run_graph_size as run_versions_graph_size,
+    run_path_length as run_versions_path_length,
+)
+from repro.experiments.exp_cost_models import run as run_cost_models
+from repro.experiments.exp_graph_size import run as run_graph_size
+from repro.experiments.exp_minneapolis import run as run_minneapolis
+from repro.experiments.exp_path_length import run as run_path_length
+
+
+@pytest.fixture(scope="module")
+def graph_size():
+    return run_graph_size(sizes=(10, 20, 30))
+
+
+@pytest.fixture(scope="module")
+def path_length():
+    return run_path_length(k=30)
+
+
+@pytest.fixture(scope="module")
+def cost_models():
+    return run_cost_models(k=20)
+
+
+@pytest.fixture(scope="module")
+def minneapolis_result():
+    return run_minneapolis()
+
+
+@pytest.fixture(scope="module")
+def versions_size():
+    return run_versions_graph_size(sizes=(10, 20, 30))
+
+
+@pytest.fixture(scope="module")
+def versions_cost():
+    return run_versions_cost_models(k=20)
+
+
+@pytest.fixture(scope="module")
+def versions_path():
+    return run_versions_path_length(k=30)
+
+
+class TestTable5Figure5:
+    """Effect of graph size (20% variance, diagonal path)."""
+
+    def test_iterative_wave_counts_match_paper_exactly(self, graph_size):
+        assert graph_size.iterations["iterative"] == {
+            "10x10": 19, "20x20": 39, "30x30": 59,
+        }
+
+    def test_dijkstra_iterations_match_paper_exactly(self, graph_size):
+        assert graph_size.iterations["dijkstra"] == {
+            "10x10": 99, "20x20": 399, "30x30": 899,
+        }
+
+    def test_astar_iterations_close_to_dijkstra_but_lower(self, graph_size):
+        for condition in graph_size.conditions:
+            astar = graph_size.iterations["astar-v3"][condition]
+            dijkstra = graph_size.iterations["dijkstra"][condition]
+            assert astar <= dijkstra
+            assert astar >= 0.8 * dijkstra  # diagonal: nearly whole graph
+
+    def test_best_first_costs_grow_linearly_with_n(self, graph_size):
+        """n grows 4x then 2.25x; cost should track within 2x slack."""
+        for algorithm in ("dijkstra", "astar-v3"):
+            costs = graph_size.execution_cost[algorithm]
+            assert 2.0 < costs["20x20"] / costs["10x10"] < 8.0
+            assert 1.5 < costs["30x30"] / costs["20x20"] < 4.5
+
+    def test_iterative_grows_sublinearly_and_is_cheapest(self, graph_size):
+        iterative = graph_size.execution_cost["iterative"]
+        dijkstra = graph_size.execution_cost["dijkstra"]
+        # Sub-linear: 9x node growth -> well under 9x cost growth... the
+        # engine's wave costs grow with B_r, so allow up to linear-in-k.
+        assert iterative["30x30"] / iterative["10x10"] < 12
+        for condition in graph_size.conditions:
+            assert iterative[condition] < dijkstra[condition]
+
+    def test_iterative_much_cheaper_on_large_diagonal(self, graph_size):
+        """The Table 4B contrast: ~an order of magnitude at 30x30."""
+        assert (
+            graph_size.execution_cost["dijkstra"]["30x30"]
+            > 5 * graph_size.execution_cost["iterative"]["30x30"]
+        )
+
+
+class TestTable6Figure6:
+    """Effect of path length (30x30 grid)."""
+
+    def test_iterative_is_path_insensitive(self, path_length):
+        counts = set(path_length.iterations["iterative"].values())
+        assert len(counts) == 1
+
+    def test_astar_wins_horizontal_by_an_order(self, path_length):
+        astar = path_length.iterations["astar-v3"]["horizontal"]
+        dijkstra = path_length.iterations["dijkstra"]["horizontal"]
+        assert astar < dijkstra / 8  # paper: 29 vs 488
+
+    def test_astar_cheapest_on_horizontal(self, path_length):
+        horizontal = {
+            algorithm: path_length.execution_cost[algorithm]["horizontal"]
+            for algorithm in path_length.algorithms()
+        }
+        assert min(horizontal, key=horizontal.get) == "astar-v3"
+
+    def test_iterative_cheapest_on_longer_paths(self, path_length):
+        for condition in ("semi-diagonal", "diagonal"):
+            costs = {
+                algorithm: path_length.execution_cost[algorithm][condition]
+                for algorithm in path_length.algorithms()
+            }
+            assert min(costs, key=costs.get) == "iterative"
+
+    def test_dijkstra_iterations_grow_with_path_length(self, path_length):
+        dijkstra = path_length.iterations["dijkstra"]
+        assert (
+            dijkstra["horizontal"]
+            < dijkstra["semi-diagonal"]
+            < dijkstra["diagonal"]
+        )
+
+
+class TestTable7Figure7:
+    """Effect of edge-cost models (20x20 grid, diagonal)."""
+
+    def test_skew_collapses_estimator_algorithms(self, cost_models):
+        for algorithm in ("dijkstra", "astar-v3"):
+            skewed = cost_models.iterations[algorithm]["skewed"]
+            variance = cost_models.iterations[algorithm]["variance"]
+            assert skewed < variance / 4  # paper: 48 vs 399, 38 vs 360
+
+    def test_astar_uniform_no_worse_than_variance(self, cost_models):
+        astar = cost_models.execution_cost["astar-v3"]
+        assert astar["uniform"] <= astar["variance"] + 1e-9
+
+    def test_iterative_unaffected_by_uniform_vs_variance(self, cost_models):
+        iterative = cost_models.iterations["iterative"]
+        assert iterative["uniform"] == iterative["variance"]
+
+    def test_iterative_pays_for_skew_via_reopening(self, cost_models):
+        iterative = cost_models.iterations["iterative"]
+        assert iterative["skewed"] > iterative["uniform"]  # paper: 56 > 39
+
+    def test_skewed_astar_beats_dijkstra(self, cost_models):
+        assert (
+            cost_models.execution_cost["astar-v3"]["skewed"]
+            < cost_models.execution_cost["dijkstra"]["skewed"]
+        )
+
+
+class TestTable8Figure9:
+    """Minneapolis road map."""
+
+    def test_iterative_wave_count_near_paper(self, minneapolis_result):
+        for query, waves in minneapolis_result.iterations["iterative"].items():
+            assert 40 <= waves <= 70, query  # paper: 41-55
+
+    def test_a_to_b_dearer_than_c_to_d_for_astar(self, minneapolis_result):
+        astar = minneapolis_result.iterations["astar-v3"]
+        assert astar["A to B"] > astar["C to D"]  # paper: 453 > 266
+
+    def test_short_queries_tiny_for_astar(self, minneapolis_result):
+        astar = minneapolis_result.iterations["astar-v3"]
+        assert astar["G to D"] <= 30  # paper: 17
+        assert astar["E to F"] <= 100  # paper: 64
+
+    def test_astar_beats_iterative_by_majority_on_short_query(
+        self, minneapolis_result
+    ):
+        """Paper: 95% cheaper on G->D; require at least 75%."""
+        astar = minneapolis_result.execution_cost["astar-v3"]["G to D"]
+        iterative = minneapolis_result.execution_cost["iterative"]["G to D"]
+        assert astar < 0.25 * iterative
+
+    def test_iterative_beats_estimators_on_long_diagonals(
+        self, minneapolis_result
+    ):
+        for query in ("A to B", "C to D"):
+            iterative = minneapolis_result.execution_cost["iterative"][query]
+            dijkstra = minneapolis_result.execution_cost["dijkstra"][query]
+            assert iterative < dijkstra
+
+    def test_dijkstra_explores_most_of_graph_on_diagonals(
+        self, minneapolis_result
+    ):
+        for query in ("A to B", "C to D"):
+            assert minneapolis_result.iterations["dijkstra"][query] > 900
+
+
+class TestFigure10:
+    """A* versions vs graph size."""
+
+    def test_v1_wins_at_10x10(self, versions_size):
+        costs = versions_size.execution_cost
+        assert costs["astar-v1"]["10x10"] < costs["astar-v2"]["10x10"]
+
+    def test_v1_loses_at_30x30(self, versions_size):
+        costs = versions_size.execution_cost
+        assert costs["astar-v1"]["30x30"] > 1.2 * costs["astar-v2"]["30x30"]
+
+    def test_v3_never_worse_than_v2(self, versions_size):
+        for condition in versions_size.conditions:
+            assert (
+                versions_size.execution_cost["astar-v3"][condition]
+                <= versions_size.execution_cost["astar-v2"][condition] + 1e-9
+            )
+
+
+class TestFigure11:
+    """A* versions vs cost model (20x20)."""
+
+    def test_variance_is_worst_for_every_version(self, versions_cost):
+        for version in ("astar-v1", "astar-v2", "astar-v3"):
+            costs = versions_cost.execution_cost[version]
+            assert costs["variance"] >= costs["skewed"]
+            assert costs["variance"] >= costs["uniform"] - 1e-9
+
+    def test_v1_beats_v2_on_skewed(self, versions_cost):
+        assert (
+            versions_cost.execution_cost["astar-v1"]["skewed"]
+            < versions_cost.execution_cost["astar-v2"]["skewed"]
+        )
+
+    def test_v3_best_on_skewed(self, versions_cost):
+        skewed = {
+            version: versions_cost.execution_cost[version]["skewed"]
+            for version in ("astar-v1", "astar-v2", "astar-v3")
+        }
+        assert min(skewed, key=skewed.get) == "astar-v3"
+
+
+class TestFigure12:
+    """A* versions vs path length (30x30)."""
+
+    def test_v1_starts_best_then_falls_behind(self, versions_path):
+        costs = versions_path.execution_cost
+        assert costs["astar-v1"]["horizontal"] < costs["astar-v2"]["horizontal"]
+        assert costs["astar-v1"]["diagonal"] > costs["astar-v2"]["diagonal"]
+
+    def test_all_versions_grow_with_path_length(self, versions_path):
+        for version in ("astar-v1", "astar-v2", "astar-v3"):
+            costs = versions_path.execution_cost[version]
+            assert (
+                costs["horizontal"]
+                < costs["semi-diagonal"]
+                < costs["diagonal"]
+            )
+
+    def test_v3_roughly_linear_in_path_length(self, versions_path):
+        """Hops go 29 -> 44 -> 58; v3's cost ratio diag/horizontal must
+        stay within ~the iteration blow-up, not explode beyond it."""
+        costs = versions_path.execution_cost["astar-v3"]
+        iterations = versions_path.iterations["astar-v3"]
+        cost_ratio = costs["diagonal"] / costs["horizontal"]
+        iteration_ratio = iterations["diagonal"] / iterations["horizontal"]
+        assert cost_ratio < 1.5 * iteration_ratio

@@ -1,0 +1,134 @@
+"""Tests for predicates and selection strategies."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.predicates import (
+    And,
+    FALSE,
+    FieldCompare,
+    FieldEquals,
+    FieldIn,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.query.select import (
+    full_scan_select,
+    hash_select,
+    isam_select,
+    select,
+    select_min,
+)
+from repro.storage.database import Database
+from repro.storage.schema import ANY, FLOAT, Field, Schema
+
+
+@pytest.fixture
+def relation():
+    db = Database()
+    schema = Schema(
+        "t",
+        [Field("k", ANY, 8), Field("group", ANY, 8), Field("v", FLOAT, 8)],
+    )
+    rel = db.create_relation(schema)
+    for i in range(12):
+        rel.insert({"k": i, "group": i % 3, "v": float(10 - i)})
+    return rel
+
+
+class TestPredicates:
+    def test_field_equals(self):
+        assert FieldEquals("a", 1)({"a": 1})
+        assert not FieldEquals("a", 1)({"a": 2})
+
+    def test_field_in(self):
+        predicate = FieldIn("a", [1, 3])
+        assert predicate({"a": 3})
+        assert not predicate({"a": 2})
+
+    @pytest.mark.parametrize(
+        "op,value,matches",
+        [("<", 5, True), ("<=", 3, True), (">", 3, False), (">=", 3, True),
+         ("!=", 4, True)],
+    )
+    def test_field_compare(self, op, value, matches):
+        assert FieldCompare("a", op, value)({"a": 3}) == matches
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            FieldCompare("a", "~", 1)
+
+    def test_boolean_combinators(self):
+        tuple_ = {"a": 1, "b": 2}
+        assert And(FieldEquals("a", 1), FieldEquals("b", 2))(tuple_)
+        assert not And(FieldEquals("a", 1), FieldEquals("b", 3))(tuple_)
+        assert Or(FieldEquals("a", 9), FieldEquals("b", 2))(tuple_)
+        assert Not(FieldEquals("a", 9))(tuple_)
+        assert TRUE(tuple_) and not FALSE(tuple_)
+
+    def test_descriptions_render(self):
+        predicate = And(FieldEquals("a", 1), Not(FieldCompare("b", "<", 2)))
+        assert "a = 1" in predicate.description
+        assert "NOT" in predicate.description
+
+
+class TestSelect:
+    def test_full_scan(self, relation):
+        rows = full_scan_select(relation, FieldCompare("v", ">", 5.0))
+        assert all(row["v"] > 5.0 for row in rows)
+        assert len(rows) == 5
+
+    def test_isam_select(self, relation):
+        relation.create_isam_index("k")
+        assert isam_select(relation, 7)[0]["k"] == 7
+        assert isam_select(relation, 99) == []
+
+    def test_isam_select_requires_index(self, relation):
+        with pytest.raises(QueryError):
+            isam_select(relation, 1)
+
+    def test_hash_select(self, relation):
+        relation.create_hash_index("group")
+        rows = hash_select(relation, 1)
+        assert sorted(row["k"] for row in rows) == [1, 4, 7, 10]
+
+    def test_hash_select_requires_index(self, relation):
+        with pytest.raises(QueryError):
+            hash_select(relation, 1)
+
+    def test_dispatcher_prefers_index_but_matches_scan(self, relation):
+        relation.create_isam_index("k")
+        by_index = select(relation, FieldEquals("k", 3))
+        by_scan = full_scan_select(relation, FieldEquals("k", 3))
+        assert by_index == by_scan
+
+    def test_dispatcher_falls_back_to_scan(self, relation):
+        rows = select(relation, FieldCompare("k", "<", 3))
+        assert len(rows) == 3
+
+    def test_dispatcher_uses_hash_for_nonunique(self, relation):
+        relation.create_hash_index("group")
+        rows = select(relation, FieldEquals("group", 2))
+        assert sorted(row["k"] for row in rows) == [2, 5, 8, 11]
+
+
+class TestSelectMin:
+    def test_finds_minimum(self, relation):
+        best = select_min(relation, "v")
+        assert best["k"] == 11  # v = 10 - k
+
+    def test_with_predicate(self, relation):
+        best = select_min(relation, "v", FieldCompare("k", "<", 5))
+        assert best["k"] == 4
+
+    def test_empty_result(self, relation):
+        assert select_min(relation, "v", FALSE) is None
+
+    def test_tie_resolves_to_scan_order(self):
+        db = Database()
+        schema = Schema("t", [Field("k", ANY, 8), Field("v", FLOAT, 8)])
+        rel = db.create_relation(schema)
+        rel.insert({"k": "first", "v": 1.0})
+        rel.insert({"k": "second", "v": 1.0})
+        assert select_min(rel, "v")["k"] == "first"

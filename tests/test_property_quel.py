@@ -1,0 +1,105 @@
+"""Property-based tests for the mini-QUEL layer.
+
+Two families: (1) the parser must never crash with anything other than
+``QuelSyntaxError`` on arbitrary input; (2) QUEL retrievals over a
+random relation must agree with a plain-Python evaluation of the same
+qualification (a differential oracle).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quel import QuelSession, QuelSyntaxError, parse_statement
+from repro.quel.parser import QuelSyntaxError as ParserError
+from repro.storage.database import Database
+from repro.storage.schema import ANY, FLOAT, Field, Schema
+
+
+@settings(max_examples=120, deadline=None)
+@given(garbage=st.text(max_size=60))
+def test_parser_only_raises_syntax_errors(garbage):
+    try:
+        parse_statement(garbage)
+    except ParserError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    statement=st.sampled_from(
+        [
+            "RANGE OF x IS T",
+            "RETRIEVE (x.a) WHERE x.b = 1",
+            "RETRIEVE (total = x.a + x.b * 2) WHERE x.a < 3 AND x.b >= 0",
+            "REPLACE x (a = 0) WHERE x.a > 100 OR NOT x.b = 5",
+            "APPEND TO T (a = 1, b = 2.5)",
+            "DELETE x WHERE x.a != 7",
+        ]
+    )
+)
+def test_known_statements_always_parse(statement):
+    parse_statement(statement)
+
+
+def _session_with_rows(rows):
+    db = Database()
+    relation = db.create_relation(
+        Schema("T", [Field("a", ANY, 8), Field("b", FLOAT, 8)]), name="T"
+    )
+    relation.bulk_load({"a": a, "b": b} for a, b in rows)
+    session = QuelSession(db)
+    session.execute("RANGE OF x IS T")
+    return session
+
+
+_ROWS = st.lists(
+    st.tuples(
+        st.integers(-20, 20),
+        st.floats(-50, 50, allow_nan=False),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_ROWS, threshold=st.integers(-20, 20))
+def test_retrieve_agrees_with_python_filter(rows, threshold):
+    session = _session_with_rows(rows)
+    result = session.execute(
+        f"RETRIEVE (x.a, x.b) WHERE x.a >= {threshold}"
+    )
+    expected = sorted((a, b) for a, b in rows if a >= threshold)
+    assert sorted((r["a"], r["b"]) for r in result) == pytest.approx(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_ROWS, low=st.integers(-20, 0), high=st.integers(0, 20))
+def test_conjunction_agrees_with_python(rows, low, high):
+    session = _session_with_rows(rows)
+    result = session.execute(
+        f"RETRIEVE (x.a) WHERE x.a > {low} AND x.a < {high}"
+    )
+    expected = sorted(a for a, _b in rows if low < a < high)
+    assert sorted(r["a"] for r in result) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_ROWS, delta=st.integers(1, 5))
+def test_replace_then_retrieve_roundtrip(rows, delta):
+    session = _session_with_rows(rows)
+    affected = session.execute(f"REPLACE x (a = x.a + {delta})")
+    assert affected == len(rows)
+    result = session.execute("RETRIEVE (x.a) WHERE x.a >= -1000")
+    assert sorted(r["a"] for r in result) == sorted(a + delta for a, _b in rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_ROWS)
+def test_arithmetic_projection_agrees(rows):
+    session = _session_with_rows(rows)
+    result = session.execute(
+        "RETRIEVE (v = x.a * 2 + x.b) WHERE x.a >= -1000"
+    )
+    expected = sorted(a * 2 + b for a, b in rows)
+    assert sorted(r["v"] for r in result) == pytest.approx(expected)

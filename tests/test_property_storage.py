@@ -1,0 +1,172 @@
+"""Property-based tests for the storage stack.
+
+Each storage structure is run against a plain-dict reference model
+under random operation sequences (the classic model-based testing
+pattern): whatever sequence of inserts, updates, deletes and probes is
+applied, the structure and the model must agree — and the I/O ledger
+must only ever grow.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferPool
+from repro.storage.database import Database
+from repro.storage.hashindex import HashIndex
+from repro.storage.heapfile import HeapFile
+from repro.storage.iostats import IOStatistics
+from repro.storage.isam import ISAMIndex
+from repro.storage.schema import ANY, FLOAT, Field, Schema
+
+
+def fresh_heap(block_size=256):
+    stats = IOStatistics()
+    pool = BufferPool(stats, capacity=0)
+    schema = Schema("t", [Field("k", ANY, 8), Field("v", FLOAT, 8)])
+    return HeapFile("t", schema, pool, stats, block_size=block_size), stats
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 50), st.floats(0, 9, allow_nan=False)),
+        st.tuples(st.just("update"), st.integers(0, 30), st.floats(0, 9, allow_nan=False)),
+        st.tuples(st.just("delete"), st.integers(0, 30), st.just(0.0)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(operations=_OPS)
+def test_heapfile_agrees_with_dict_model(operations):
+    heap, stats = fresh_heap()
+    model = {}  # rid -> value
+    rids = []
+    for op, key, value in operations:
+        if op == "insert":
+            rid = heap.insert({"k": key, "v": value})
+            rids.append(rid)
+            model[rid] = {"k": key, "v": value}
+        elif op == "update" and rids:
+            rid = rids[key % len(rids)]
+            if rid in model:
+                heap.update(rid, {"k": model[rid]["k"], "v": value})
+                model[rid] = {"k": model[rid]["k"], "v": value}
+        elif op == "delete" and rids:
+            rid = rids[key % len(rids)]
+            if rid in model:
+                heap.delete(rid)
+                del model[rid]
+    scanned = {rid: dict(values) for rid, values in heap.scan()}
+    assert scanned == model
+    assert heap.tuple_count == len(model)
+    assert stats.cost >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 500), min_size=1, max_size=80, unique=True),
+    probes=st.lists(st.integers(0, 500), max_size=20),
+    fanout=st.integers(2, 12),
+)
+def test_isam_probe_agrees_with_model(keys, probes, fanout):
+    heap, stats = fresh_heap()
+    model = {}
+    for key in keys:
+        rid = heap.insert({"k": key, "v": float(key)})
+        model[key] = rid
+    index = ISAMIndex(heap, "k", stats, fanout=fanout)
+    index.build()
+    for probe in probes + keys:
+        assert index.probe(probe) == model.get(probe)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 12), st.floats(0, 9, allow_nan=False)),
+        max_size=80,
+    ),
+    probes=st.lists(st.integers(0, 15), max_size=10),
+    bucket_count=st.integers(1, 8),
+)
+def test_hash_index_agrees_with_model(rows, probes, bucket_count):
+    heap, stats = fresh_heap()
+    model = {}
+    for key, value in rows:
+        heap.insert({"k": key, "v": value})
+        model.setdefault(key, []).append(value)
+    index = HashIndex(heap, "k", stats, bucket_count=bucket_count, bucket_capacity=4)
+    index.build()
+    for probe in probes + [k for k, _v in rows]:
+        found = sorted(m["v"] for m in index.fetch_all(probe))
+        assert found == sorted(model.get(probe, []))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(0, 6),
+    accesses=st.lists(
+        st.tuples(st.integers(0, 9), st.booleans()), max_size=50
+    ),
+)
+def test_buffer_pool_invariants(capacity, accesses):
+    from repro.storage.page import Page
+
+    stats = IOStatistics()
+    pool = BufferPool(stats, capacity=capacity)
+    pages = {i: Page(i, 4) for i in range(10)}
+    for page_no, for_write in accesses:
+        pool.access("f", pages[page_no], for_write=for_write)
+    # Conservation: every access is a hit or a miss.
+    assert pool.hits + pool.misses == len(accesses)
+    # Reads charged equal misses exactly.
+    assert stats.block_reads == pool.misses
+    if capacity == 0:
+        assert pool.hits == 0
+    # The pool never holds more than its capacity.
+    assert len(pool._frames) <= max(capacity, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    tuples=st.lists(
+        st.tuples(st.integers(0, 100), st.floats(0, 9, allow_nan=False)),
+        max_size=60,
+    )
+)
+def test_batch_update_equals_per_tuple_updates(tuples):
+    """batch_update and a per-tuple loop must produce identical data
+    (only the charges differ)."""
+    heap_a, _ = fresh_heap()
+    heap_b, _ = fresh_heap()
+    for key, value in tuples:
+        heap_a.insert({"k": key, "v": value})
+        heap_b.insert({"k": key, "v": value})
+
+    def bump(values):
+        if values["v"] > 4.0:
+            return {"k": values["k"], "v": values["v"] + 1.0}
+        return None
+
+    heap_a.batch_update(bump)
+    for rid, values in list(heap_b.scan()):
+        replacement = bump(values)
+        if replacement is not None:
+            heap_b.update(rid, replacement)
+    assert [v for _r, v in heap_a.scan()] == [v for _r, v in heap_b.scan()]
+
+
+@settings(max_examples=30, deadline=None)
+@given(capacities=st.lists(st.integers(0, 4), min_size=1, max_size=4))
+def test_database_cost_monotonically_increases(capacities):
+    db = Database()
+    schema = Schema("t", [Field("k", ANY, 8), Field("v", FLOAT, 8)])
+    previous_cost = 0.0
+    for index, capacity in enumerate(capacities):
+        relation = db.create_relation(schema, name=f"r{index}")
+        for key in range(capacity * 3):
+            relation.insert({"k": key, "v": 0.0})
+        assert db.stats.cost >= previous_cost
+        previous_cost = db.stats.cost

@@ -1,0 +1,75 @@
+"""Tests for the random road-like graph generators."""
+
+import math
+
+import pytest
+
+from repro.graphs.analysis import is_strongly_connected
+from repro.graphs.random_graphs import (
+    random_geometric_graph,
+    random_grid_with_diagonals,
+    random_sparse_directed,
+)
+
+
+class TestGeometric:
+    def test_size_and_connectivity(self):
+        graph = random_geometric_graph(40, radius=0.15, seed=3)
+        assert graph.node_count == 40
+        assert is_strongly_connected(graph)
+
+    def test_costs_are_distances(self):
+        graph = random_geometric_graph(20, seed=1)
+        for edge in graph.edges():
+            (ux, uy) = graph.coordinates(edge.source)
+            (vx, vy) = graph.coordinates(edge.target)
+            assert edge.cost == pytest.approx(math.hypot(ux - vx, uy - vy))
+
+    def test_deterministic(self):
+        a = random_geometric_graph(25, seed=9)
+        b = random_geometric_graph(25, seed=9)
+        assert {(e.source, e.target) for e in a.edges()} == {
+            (e.source, e.target) for e in b.edges()
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_geometric_graph(0)
+
+
+class TestDiagonalGrid:
+    def test_has_diagonals(self):
+        graph = random_grid_with_diagonals(6, diagonal_probability=1.0, seed=0)
+        assert graph.has_edge((0, 0), (1, 1))
+        assert graph.edge_cost((0, 0), (1, 1)) == pytest.approx(math.sqrt(2))
+
+    def test_no_diagonals_at_zero_probability(self):
+        graph = random_grid_with_diagonals(6, diagonal_probability=0.0, seed=0)
+        assert not graph.has_edge((0, 0), (1, 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_grid_with_diagonals(1)
+        with pytest.raises(ValueError):
+            random_grid_with_diagonals(5, diagonal_probability=1.5)
+
+
+class TestSparseDirected:
+    def test_strongly_connected_via_cycle(self):
+        graph = random_sparse_directed(30, 0, seed=2)
+        assert is_strongly_connected(graph)
+        assert graph.edge_count == 30
+
+    def test_extra_edges_added(self):
+        graph = random_sparse_directed(30, 25, seed=2)
+        assert graph.edge_count == 55
+
+    def test_costs_positive(self):
+        graph = random_sparse_directed(15, 10, seed=4)
+        assert all(edge.cost > 0 for edge in graph.edges())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_sparse_directed(1, 0)
+        with pytest.raises(ValueError):
+            random_sparse_directed(5, -1)

@@ -1,0 +1,86 @@
+"""Tests for the report generator (markdown assembly, not re-running
+the heavy experiments — those are covered by test_paper_claims)."""
+
+import io
+
+import pytest
+
+from repro.experiments import report as report_module
+from repro.experiments.spec import (
+    ExperimentResult,
+    ExperimentSpec,
+)
+
+
+@pytest.fixture
+def stub_registry(monkeypatch):
+    """Replace the registry with two tiny instant experiments."""
+
+    def make_spec(experiment_id, artifacts, with_costs=True):
+        def runner(**kwargs):
+            result = ExperimentResult(
+                experiment_id=experiment_id,
+                title=f"title-{experiment_id}",
+                conditions=["c1", "c2"],
+                iterations={"alg": {"c1": 1, "c2": 2}},
+                notes=f"notes-{experiment_id}",
+            )
+            if with_costs:
+                result.execution_cost = {"alg": {"c1": 1.5, "c2": 2.5}}
+            return result
+
+        return ExperimentSpec(
+            experiment_id=experiment_id,
+            paper_artifacts=artifacts,
+            title=f"spec-{experiment_id}",
+            runner=runner,
+            renderer=lambda result: result.title,
+        )
+
+    specs = [
+        make_spec("T1", ("Table 5",)),
+        make_spec("T2", ("Figure 5",)),
+    ]
+    monkeypatch.setattr(report_module, "all_experiments", lambda: specs)
+    return specs
+
+
+class TestGenerateReport:
+    def test_contains_every_experiment_section(self, stub_registry):
+        text = report_module.generate_report(verbose=False)
+        assert "## T1 — spec-T1 (Table 5)" in text
+        assert "## T2 — spec-T2 (Figure 5)" in text
+
+    def test_tables_rendered_as_markdown(self, stub_registry):
+        text = report_module.generate_report(verbose=False)
+        assert "| Algorithm | c1 | c2 |" in text
+        assert "| alg | 1 | 2 |" in text
+
+    def test_figure_experiments_get_ascii_chart(self, stub_registry):
+        text = report_module.generate_report(verbose=False)
+        # Figure artifact + execution costs -> a chart block exists.
+        assert "T2: execution cost" in text
+        # Table-only artifact gets no chart.
+        assert "T1: execution cost" not in text
+
+    def test_notes_wrapped_in_code_fence(self, stub_registry):
+        text = report_module.generate_report(verbose=False)
+        assert "```\nnotes-T1\n```" in text
+
+    def test_figure_claims_inserted(self, stub_registry):
+        text = report_module.generate_report(verbose=False)
+        assert "*Figure 5 claim checked*" in text
+
+    def test_stream_output(self, stub_registry):
+        buffer = io.StringIO()
+        returned = report_module.generate_report(stream=buffer, verbose=False)
+        assert buffer.getvalue() == returned
+
+    def test_main_writes_file(self, stub_registry, tmp_path, capsys):
+        output = tmp_path / "out.md"
+        assert report_module.main([str(output)]) == 0
+        assert output.read_text().startswith("# EXPERIMENTS")
+
+    def test_main_prints_without_arg(self, stub_registry, capsys):
+        assert report_module.main([]) == 0
+        assert "# EXPERIMENTS" in capsys.readouterr().out

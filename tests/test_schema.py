@@ -1,0 +1,110 @@
+"""Tests for schemas, field typing and size arithmetic."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.storage.schema import (
+    ANY,
+    FLOAT,
+    INT,
+    STR,
+    Field,
+    Schema,
+    edge_schema,
+    node_schema,
+)
+
+
+class TestField:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            Field("", INT, 4)
+        with pytest.raises(SchemaError):
+            Field("x", "complex", 4)
+        with pytest.raises(SchemaError):
+            Field("x", INT, 0)
+
+    def test_accepts_types(self):
+        assert Field("n", INT).accepts(3)
+        assert not Field("n", INT).accepts(3.5)
+        assert not Field("n", INT).accepts(True)  # bools are not ints here
+        assert Field("c", FLOAT).accepts(3)
+        assert Field("c", FLOAT).accepts(3.5)
+        assert Field("s", STR).accepts("hi")
+        assert Field("a", ANY).accepts(("tuple", 1))
+
+
+class TestSchema:
+    def test_tuple_size_sums_fields(self):
+        schema = Schema("t", [Field("a", INT, 4), Field("b", FLOAT, 8)])
+        assert schema.tuple_size == 12
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Field("a", INT, 4), Field("a", INT, 4)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [])
+
+    def test_blocking_factor(self):
+        schema = Schema("t", [Field("a", INT, 16)])
+        assert schema.blocking_factor(4096) == 256
+
+    def test_blocking_factor_at_least_one(self):
+        schema = Schema("t", [Field("a", ANY, 8192)])
+        assert schema.blocking_factor(4096) == 1
+
+    def test_validate_round_trip(self):
+        schema = Schema("t", [Field("a", INT, 4), Field("b", STR, 8)])
+        row = schema.validate({"a": 1, "b": "x"})
+        assert row == (1, "x")
+        assert schema.as_dict(row) == {"a": 1, "b": "x"}
+
+    def test_validate_missing_field(self):
+        schema = Schema("t", [Field("a", INT, 4)])
+        with pytest.raises(SchemaError):
+            schema.validate({})
+
+    def test_validate_extra_field(self):
+        schema = Schema("t", [Field("a", INT, 4)])
+        with pytest.raises(SchemaError):
+            schema.validate({"a": 1, "zz": 2})
+
+    def test_validate_type_mismatch(self):
+        schema = Schema("t", [Field("a", INT, 4)])
+        with pytest.raises(SchemaError):
+            schema.validate({"a": "not an int"})
+
+    def test_as_dict_arity_check(self):
+        schema = Schema("t", [Field("a", INT, 4)])
+        with pytest.raises(SchemaError):
+            schema.as_dict((1, 2))
+
+    def test_position_and_field_lookup(self):
+        schema = Schema("t", [Field("a", INT, 4), Field("b", INT, 4)])
+        assert schema.position("b") == 1
+        assert schema.field("a").size == 4
+        with pytest.raises(SchemaError):
+            schema.position("zz")
+
+    def test_join_with_prefixes_clashes(self):
+        left = Schema("L", [Field("id", INT, 4), Field("x", FLOAT, 8)])
+        right = Schema("R", [Field("id", INT, 4), Field("y", FLOAT, 8)])
+        joined = left.join_with(right, "LR")
+        assert joined.field_names == ("id", "x", "R.id", "y")
+        assert joined.tuple_size == left.tuple_size + right.tuple_size
+
+
+class TestPaperSchemas:
+    def test_edge_schema_is_table_4a_sized(self):
+        assert edge_schema().tuple_size == 32  # T_s
+        assert edge_schema().blocking_factor(4096) == 128  # Bf_s
+
+    def test_node_schema_is_table_4a_sized(self):
+        assert node_schema().tuple_size == 16  # T_r
+        assert node_schema().blocking_factor(4096) == 256  # Bf_r
+
+    def test_combined_blocking_factor_close_to_paper(self):
+        combined = edge_schema().tuple_size + node_schema().tuple_size
+        assert 4096 // combined in (85, 86)  # Bf_rs, Table 4A says 86
