@@ -1,0 +1,85 @@
+"""Smoke benchmark: cold vs warm RouteService cache on a 30x30 grid.
+
+Two tiers are measured:
+
+* in-memory serving — wall-clock of a workload replayed cold (every
+  query computed) and warm (every query a cache hit);
+* relational-engine serving — the same repeat query in the paper's
+  Table 4A cost units: the cold run pays the full block I/O bill, the
+  warm run performs zero block reads/writes.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import RelationalGraph
+from repro.graphs.grid import make_paper_grid
+from repro.service import RouteService
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def grid30():
+    return make_paper_grid(30, "variance")
+
+
+def test_bench_service_cache_cold_vs_warm(benchmark, grid30):
+    """Wall-clock of 40 queries served cold then warm (in-memory tier)."""
+    service = RouteService()
+    step = 3
+    queries = [
+        ((0, 0), (row, column))
+        for row in range(0, 30, step)
+        for column in range(0, 30, step)
+        if (row, column) != (0, 0)
+    ][:40]
+
+    def replay():
+        started = time.perf_counter()
+        service.plan_many(grid30, queries)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        service.plan_many(grid30, queries)
+        warm_s = time.perf_counter() - started
+        return cold_s, warm_s
+
+    cold_s, warm_s = run_once(benchmark, replay)
+    snap = service.snapshot()
+    benchmark.extra_info["cold_ms"] = cold_s * 1e3
+    benchmark.extra_info["warm_ms"] = warm_s * 1e3
+    benchmark.extra_info["speedup"] = cold_s / warm_s if warm_s else float("inf")
+    benchmark.extra_info["cache_hit_rate"] = snap["cache_hit_rate"]
+    print()
+    print(f"in-memory tier: cold {cold_s * 1e3:.2f} ms, warm "
+          f"{warm_s * 1e3:.2f} ms ({cold_s / max(warm_s, 1e-9):.1f}x), "
+          f"hit rate {snap['cache_hit_rate']:.2f}")
+    assert warm_s < cold_s, "warm cache pass must beat the cold pass"
+    assert snap["cache_hit_rate"] == pytest.approx(0.5)
+
+
+def test_bench_service_cache_engine_cost_units(benchmark, grid30):
+    """Cold vs warm repeat query on the DB-backed tier, in cost units."""
+    service = RouteService()
+    rgraph = RelationalGraph(grid30)
+
+    def serve_twice():
+        cold = service.plan_engine(rgraph, (0, 0), (29, 29), algorithm="dijkstra")
+        cold_units = rgraph.stats.cost
+        before = rgraph.stats.snapshot()
+        warm = service.plan_engine(rgraph, (0, 0), (29, 29), algorithm="dijkstra")
+        after = rgraph.stats.snapshot()
+        return cold, cold_units, before, after, warm
+
+    cold, cold_units, before, after, warm = run_once(benchmark, serve_twice)
+    benchmark.extra_info["cold_cost_units"] = cold_units
+    benchmark.extra_info["warm_cost_units"] = after["cost"] - before["cost"]
+    print()
+    print(f"engine tier: cold {cold_units:.2f} units, warm "
+          f"{after['cost'] - before['cost']:.2f} units "
+          f"(reads {after['block_reads'] - before['block_reads']}, "
+          f"writes {after['block_writes'] - before['block_writes']})")
+    assert cold.found and warm.cost == pytest.approx(cold.cost)
+    assert cold_units > 0
+    assert after == before, "warm engine hit must perform zero block I/O"

@@ -44,6 +44,7 @@ from repro.graphs import (
     make_paper_grid,
     paper_queries,
 )
+from repro.service import EstimatorPool, RouteCache, RouteService
 
 __version__ = "1.0.0"
 
@@ -70,5 +71,8 @@ __all__ = [
     "make_grid",
     "make_paper_grid",
     "paper_queries",
+    "RouteService",
+    "RouteCache",
+    "EstimatorPool",
     "__version__",
 ]

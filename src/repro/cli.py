@@ -8,7 +8,10 @@ Commands
 ``experiment`` run one registered experiment (E1..E10) and print its
                rendered tables;
 ``report``     regenerate the full EXPERIMENTS.md content;
-``info``       summarize a graph (size, degree stats, diameter).
+``info``       summarize a graph (size, degree stats, diameter);
+``bench-service`` replay a query workload through the cache-aware
+               RouteService (cold vs warm) and print its metrics
+               snapshot.
 
 Graphs are specified with ``--graph``: ``grid:K[:costmodel[:seed]]``
 (e.g. ``grid:30:variance``), ``minneapolis[:seed]``, or ``json:PATH``
@@ -150,6 +153,47 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_bench_service(args) -> int:
+    import random
+    import time
+
+    from repro.service import RouteService
+
+    graph = _load_graph(args.graph)
+    rng = random.Random(args.seed)
+    node_ids = list(graph.node_ids())
+    queries = [
+        (rng.choice(node_ids), rng.choice(node_ids)) for _ in range(args.queries)
+    ]
+    service = RouteService(
+        cache_capacity=args.cache_capacity,
+        default_algorithm=args.algorithm,
+        default_estimator=args.estimator,
+    )
+
+    def replay() -> float:
+        started = time.perf_counter()
+        for _ in range(args.repeat):
+            service.plan_many(graph, queries)
+        return time.perf_counter() - started
+
+    cold = replay()
+    warm = replay()
+    snap = service.snapshot()
+    print(f"workload: {args.queries} queries x {args.repeat} repeat(s), "
+          f"graph {graph.name} ({graph.node_count} nodes)")
+    print(f"cold pass: {cold * 1e3:9.2f} ms")
+    if warm > 0:
+        print(f"warm pass: {warm * 1e3:9.2f} ms ({cold / warm:.1f}x speedup)")
+    else:
+        print("warm pass: ~0 ms")
+    print("service snapshot:")
+    for name, value in snap.items():
+        formatted = f"{value:.4f}" if isinstance(value, float) else value
+        print(f"  {name}: {formatted}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.graphs.analysis import (
         degree_statistics,
@@ -224,6 +268,22 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="summarize a graph")
     info.add_argument("--graph", default="grid:30:variance")
     info.set_defaults(func=_cmd_info)
+
+    bench_service = commands.add_parser(
+        "bench-service",
+        help="replay a random workload through the cache-aware RouteService",
+    )
+    bench_service.add_argument("--graph", default="grid:30:variance",
+                               help="grid:K[:model[:seed]] | minneapolis[:seed] | json:PATH")
+    bench_service.add_argument("--queries", type=int, default=50,
+                               help="distinct random queries per pass")
+    bench_service.add_argument("--repeat", type=int, default=1,
+                               help="times each pass replays the workload")
+    bench_service.add_argument("--algorithm", default="astar")
+    bench_service.add_argument("--estimator", default="euclidean")
+    bench_service.add_argument("--cache-capacity", type=int, default=1024)
+    bench_service.add_argument("--seed", type=int, default=1993)
+    bench_service.set_defaults(func=_cmd_bench_service)
 
     return parser
 

@@ -21,8 +21,9 @@ and a landmark (ALT) estimator as a modern extension.
 
 from __future__ import annotations
 
+import inspect
 import math
-from typing import Dict, Iterable, List, Optional, Protocol
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 
 from repro.graphs.graph import Graph, NodeId
 
@@ -72,12 +73,17 @@ class EuclideanEstimator:
             raise ValueError("cost_per_unit must be non-negative")
         self.cost_per_unit = cost_per_unit
         self._dest_xy: Optional[tuple] = None
+        self._prepared_key: Optional[Tuple[int, NodeId]] = None
 
     def prepare(self, graph: Graph, destination: NodeId) -> None:
         self._dest_xy = graph.coordinates(destination)
+        self._prepared_key = (graph.uid, destination)
 
     def estimate(self, graph: Graph, node: NodeId, destination: NodeId) -> float:
-        if self._dest_xy is None:
+        # Re-prepare whenever the cached coordinates belong to a
+        # different destination (or graph) than the one being queried —
+        # a reused instance must never estimate against a stale target.
+        if self._prepared_key != (graph.uid, destination):
             self.prepare(graph, destination)
         x, y = graph.coordinates(node)
         dx, dy = self._dest_xy
@@ -103,12 +109,14 @@ class ManhattanEstimator:
             raise ValueError("cost_per_unit must be non-negative")
         self.cost_per_unit = cost_per_unit
         self._dest_xy: Optional[tuple] = None
+        self._prepared_key: Optional[Tuple[int, NodeId]] = None
 
     def prepare(self, graph: Graph, destination: NodeId) -> None:
         self._dest_xy = graph.coordinates(destination)
+        self._prepared_key = (graph.uid, destination)
 
     def estimate(self, graph: Graph, node: NodeId, destination: NodeId) -> float:
-        if self._dest_xy is None:
+        if self._prepared_key != (graph.uid, destination):
             self.prepare(graph, destination)
         x, y = graph.coordinates(node)
         dx, dy = self._dest_xy
@@ -168,8 +176,14 @@ class LandmarkEstimator:
             raise ValueError("at least one landmark is required")
         self._from_landmark: Dict[NodeId, Dict[NodeId, float]] = {}
         self._to_landmark: Dict[NodeId, Dict[NodeId, float]] = {}
-        self._prepared_for: Optional[int] = None
+        # Keyed on Graph.fingerprint, NOT id(graph): id() values are
+        # recycled after garbage collection, so a new graph allocated at
+        # a reused address would silently read the old landmark tables.
+        # The fingerprint also changes on edge-cost updates, which
+        # invalidate the tables (they store exact distances).
+        self._prepared_for: Optional[Tuple[int, int]] = None
         self._dest_bounds: List[tuple] = []
+        self._dest_key: Optional[Tuple[Tuple[int, int], NodeId]] = None
 
     @staticmethod
     def _sssp(graph: Graph, source: NodeId) -> Dict[NodeId, float]:
@@ -194,24 +208,27 @@ class LandmarkEstimator:
         return dist
 
     def preprocess(self, graph: Graph) -> None:
-        """Run the per-landmark Dijkstras; call once per graph."""
+        """Run the per-landmark Dijkstras; call once per graph state."""
         reversed_graph = graph.reversed()
+        self._from_landmark = {}
+        self._to_landmark = {}
         for landmark in self.landmarks:
             self._from_landmark[landmark] = self._sssp(graph, landmark)
             self._to_landmark[landmark] = self._sssp(reversed_graph, landmark)
-        self._prepared_for = id(graph)
+        self._prepared_for = graph.fingerprint
 
     def prepare(self, graph: Graph, destination: NodeId) -> None:
-        if self._prepared_for != id(graph):
+        if self._prepared_for != graph.fingerprint:
             self.preprocess(graph)
         self._dest_bounds = []
         for landmark in self.landmarks:
             d_ld = self._from_landmark[landmark].get(destination, math.inf)
             d_dl = self._to_landmark[landmark].get(destination, math.inf)
             self._dest_bounds.append((landmark, d_ld, d_dl))
+        self._dest_key = (self._prepared_for, destination)
 
     def estimate(self, graph: Graph, node: NodeId, destination: NodeId) -> float:
-        if not self._dest_bounds:
+        if self._dest_key != (graph.fingerprint, destination):
             self.prepare(graph, destination)
         best = 0.0
         for landmark, dist_l_dest, dist_dest_l in self._dest_bounds:
@@ -233,14 +250,42 @@ _ESTIMATOR_FACTORIES = {
     "zero": ZeroEstimator,
     "euclidean": EuclideanEstimator,
     "manhattan": ManhattanEstimator,
+    "landmark": LandmarkEstimator,
 }
 
 
-def make_estimator(name: str, **kwargs) -> Estimator:
-    """Factory for the named estimators used throughout the experiments."""
+def make_estimator(name: str, weight: float = 1.0, **kwargs) -> Estimator:
+    """Factory for the named estimators used throughout the experiments.
+
+    Every estimator the codebase implements is constructible by name:
+    ``zero`` / ``euclidean`` / ``manhattan`` (no required arguments) and
+    ``landmark`` (requires ``landmarks=[...]``). A ``weight`` other than
+    1.0 wraps the result in :class:`ScaledEstimator` (weighted A*), so
+    CLI flags and experiment specs can name any estimator variant.
+
+    Unknown estimator names and unknown keyword arguments both raise
+    :class:`ValueError` listing what is accepted.
+    """
     try:
         factory = _ESTIMATOR_FACTORIES[name]
     except KeyError:
         known = ", ".join(sorted(_ESTIMATOR_FACTORIES))
         raise ValueError(f"unknown estimator {name!r}; known: {known}") from None
-    return factory(**kwargs)
+    accepted = [
+        parameter
+        for parameter in inspect.signature(factory).parameters
+        if parameter != "self"
+    ]
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        raise ValueError(
+            f"unknown keyword(s) {', '.join(map(repr, unknown))} for "
+            f"estimator {name!r}; accepted: "
+            f"{', '.join(map(repr, accepted)) or '(none)'} and 'weight'"
+        )
+    estimator: Estimator = factory(**kwargs)
+    if weight < 0:
+        raise ValueError("weight must be non-negative")
+    if weight != 1.0:
+        estimator = ScaledEstimator(estimator, weight)
+    return estimator

@@ -16,6 +16,7 @@ experiment harness without modifying it.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.exceptions import UnknownAlgorithmError
@@ -75,10 +76,20 @@ class RoutePlanner:
     ``bidirectional``. Custom algorithms can be registered with
     :meth:`register`; they receive ``(graph, source, destination,
     estimator)`` and must return a :class:`PathResult`.
+
+    The registry is guarded by a lock so a planner instance can be
+    shared by concurrent server threads (:mod:`repro.service`); an
+    optional ``estimator_pool`` (any object with ``acquire(name, graph)``
+    / ``release(name, estimator)``) lets string estimator specs resolve
+    to pooled, pre-prepared instances instead of a fresh object per
+    query — the amortization that makes :class:`LandmarkEstimator`
+    affordable in a serving loop.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, estimator_pool: Optional[object] = None) -> None:
         self._registry: Dict[str, PlannerFunc] = {}
+        self._lock = threading.RLock()
+        self.estimator_pool = estimator_pool
         self.register("iterative", _plan_iterative)
         self.register("dijkstra", _plan_dijkstra)
         self.register("astar", _plan_astar)
@@ -89,24 +100,36 @@ class RoutePlanner:
         """Add (or replace) an algorithm under ``name``."""
         if not name or not isinstance(name, str):
             raise ValueError("algorithm name must be a non-empty string")
-        self._registry[name] = func
+        with self._lock:
+            self._registry[name] = func
 
     def algorithms(self) -> Tuple[str, ...]:
         """Names of all registered algorithms, sorted."""
-        return tuple(sorted(self._registry))
+        with self._lock:
+            return tuple(sorted(self._registry))
 
     def _resolve_estimator(
-        self, estimator: "str | Estimator | None", weight: float
-    ) -> Estimator:
+        self,
+        estimator: "str | Estimator | None",
+        weight: float,
+        graph: Optional[Graph] = None,
+    ) -> Tuple[Estimator, Optional[str]]:
+        """Resolve a spec to an instance; the second element is the pool
+        name to release it under afterwards (None when not pooled)."""
+        pooled_name: Optional[str] = None
         if estimator is None:
             resolved: Estimator = EuclideanEstimator()
         elif isinstance(estimator, str):
-            resolved = make_estimator(estimator)
+            if self.estimator_pool is not None and graph is not None:
+                resolved = self.estimator_pool.acquire(estimator, graph)
+                pooled_name = estimator
+            else:
+                resolved = make_estimator(estimator)
         else:
             resolved = estimator
         if weight != 1.0:
             resolved = ScaledEstimator(resolved, weight)
-        return resolved
+        return resolved, pooled_name
 
     def plan(
         self,
@@ -131,12 +154,17 @@ class RoutePlanner:
         weight:
             Optional estimator scaling (weighted A*); 1.0 is exact.
         """
+        with self._lock:
+            func = self._registry.get(algorithm)
+        if func is None:
+            raise UnknownAlgorithmError(algorithm, self.algorithms())
+        resolved, pooled_name = self._resolve_estimator(estimator, weight, graph)
+        pooled_instance = resolved.inner if pooled_name and weight != 1.0 else resolved
         try:
-            func = self._registry[algorithm]
-        except KeyError:
-            raise UnknownAlgorithmError(algorithm, self.algorithms()) from None
-        resolved = self._resolve_estimator(estimator, weight)
-        return func(graph, source, destination, resolved)
+            return func(graph, source, destination, resolved)
+        finally:
+            if pooled_name is not None:
+                self.estimator_pool.release(pooled_name, pooled_instance)
 
     def plan_paper_suite(
         self, graph: Graph, source: NodeId, destination: NodeId

@@ -292,10 +292,16 @@ class SeparateRelationFrontier:
         self._f_rids[repr(node_id)] = rid
 
     def select_best(self) -> Optional[dict]:
-        """Scan F (allocated blocks, tombstones included) for the min.
+        """Scan F (allocated blocks, tombstones included) for the min,
+        then read the winner's full label back from R.
 
-        F carries everything expansion needs, so no lookup of the
-        unindexed R is required here.
+        F only carries the selection key and path cost, so the tuple
+        handed to the caller — predecessor pointer included — must come
+        from R. Fabricating the missing fields here (an earlier revision
+        returned ``path=None``) silently drops the predecessor recorded
+        by ``relax``, corrupting path reconstruction for any consumer of
+        the protocol. The R lookup is charged at version 1's unindexed
+        rate, one heap scan (see :meth:`_read_node`).
         """
         best_entry: Optional[dict] = None
         best_key = math.inf
@@ -305,15 +311,15 @@ class SeparateRelationFrontier:
                 best_entry = dict(entry)
         if best_entry is None:
             return None
-        node = self.graph.node(best_entry["node_id"])
-        return {
-            "node_id": node.node_id,
-            "x": node.x,
-            "y": node.y,
-            "status": STATUS_OPEN,
-            "path": None,
-            "path_cost": best_entry["path_cost"],
-        }
+        label = self._read_node(best_entry["node_id"])
+        if label is None:
+            raise PlannerError(
+                f"frontier node {best_entry['node_id']!r} missing from R"
+            )
+        # Membership in F *is* the open status in version 1; R's status
+        # column is never rewritten on close, so assert it here.
+        label["status"] = STATUS_OPEN
+        return label
 
     def close(self, node_tuple: dict) -> None:
         """DELETE from F; membership in F *is* the open status in v1,

@@ -10,10 +10,83 @@ paper's units.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.storage.iostats import IOStatistics
+
+
+@dataclass
+class TraceSpan:
+    """One timed step of a request (cache lookup, estimator prepare,
+    plan, ...) — the serving-layer analogue of the paper's per-step
+    cost attribution."""
+
+    name: str
+    started_at: float
+    duration_s: float = 0.0
+    annotations: Dict[str, object] = field(default_factory=dict)
+
+    def annotate(self, **values: object) -> "TraceSpan":
+        """Attach key/value detail to the span; returns self."""
+        self.annotations.update(values)
+        return self
+
+
+class RequestTrace:
+    """Ordered trace spans for one served request.
+
+    :class:`repro.service.RouteService` opens one trace per query and
+    wraps each stage in :meth:`span`, so slow requests can be broken
+    down the same way the paper breaks an algorithm run into numbered
+    cost steps. The clock is injectable for deterministic tests.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.spans: List[TraceSpan] = []
+
+    @contextmanager
+    def span(self, name: str, **annotations: object) -> Iterator[TraceSpan]:
+        """Time the enclosed block as one span."""
+        record = TraceSpan(name=name, started_at=self._clock())
+        record.annotations.update(annotations)
+        self.spans.append(record)
+        try:
+            yield record
+        finally:
+            record.duration_s = max(0.0, self._clock() - record.started_at)
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(span.duration_s for span in self.spans)
+
+    def durations(self) -> Dict[str, float]:
+        """Total seconds per span name (names may repeat)."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration_s
+        return totals
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view for logs and metrics snapshots."""
+        return {
+            "total_duration_s": self.total_duration_s,
+            "spans": [
+                {
+                    "name": span.name,
+                    "duration_s": span.duration_s,
+                    **span.annotations,
+                }
+                for span in self.spans
+            ],
+        }
+
+    def __repr__(self) -> str:
+        names = " > ".join(span.name for span in self.spans) or "(empty)"
+        return f"RequestTrace({names}, {self.total_duration_s:.6f}s)"
 
 
 @dataclass

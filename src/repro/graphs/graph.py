@@ -13,6 +13,7 @@ assume a consistent graph.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
@@ -26,6 +27,12 @@ from repro.exceptions import (
 )
 
 NodeId = object
+
+#: Process-wide monotone counter backing :attr:`Graph.uid`. Unlike
+#: ``id()``, values are never recycled after garbage collection, so a
+#: ``(uid, version)`` pair is a stable identity for caches keyed on
+#: graph state (estimator preprocessing, query-result caches).
+_GRAPH_UIDS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -83,6 +90,31 @@ class Graph:
         self._adjacency: Dict[NodeId, Dict[NodeId, float]] = {}
         self._reverse: Dict[NodeId, Dict[NodeId, float]] = {}
         self._edge_count = 0
+        self._uid = next(_GRAPH_UIDS)
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def uid(self) -> int:
+        """Process-unique graph id (never recycled, unlike ``id()``)."""
+        return self._uid
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every structural or cost change."""
+        return self._version
+
+    @property
+    def fingerprint(self) -> Tuple[int, int]:
+        """Stable ``(uid, version)`` identity of the graph's current state.
+
+        Two fingerprints compare equal iff they were taken from the same
+        graph object with no mutation in between — the key that caches
+        of derived state (landmark tables, query results) must use.
+        """
+        return (self._uid, self._version)
 
     # ------------------------------------------------------------------
     # construction
@@ -95,6 +127,7 @@ class Graph:
         self._nodes[node_id] = node
         self._adjacency[node_id] = {}
         self._reverse[node_id] = {}
+        self._version += 1
         return node
 
     def add_edge(self, source: NodeId, target: NodeId, cost: float) -> Edge:
@@ -116,6 +149,7 @@ class Graph:
             self._edge_count += 1
         self._adjacency[source][target] = cost
         self._reverse[target][source] = cost
+        self._version += 1
         return Edge(source, target, cost)
 
     def add_undirected_edge(
@@ -132,6 +166,7 @@ class Graph:
         except KeyError:
             raise EdgeNotFoundError(source, target) from None
         self._edge_count -= 1
+        self._version += 1
 
     def update_edge_cost(self, source: NodeId, target: NodeId, cost: float) -> None:
         """Refresh the cost of an existing edge (dynamic travel times)."""
@@ -142,6 +177,7 @@ class Graph:
             raise NegativeEdgeCostError(source, target, cost)
         self._adjacency[source][target] = cost
         self._reverse[target][source] = cost
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries

@@ -1,0 +1,22 @@
+"""Concurrent, cache-aware route serving (the post-paper layer).
+
+The paper benchmarks one isolated query at a time; this package serves
+many. See :class:`RouteService` for the entry point and the README's
+"Service layer" section for cache-key and invalidation semantics.
+"""
+
+from repro.service.cache import QueryKey, RouteCache, query_key
+from repro.service.metrics import QueryMetrics, ServiceMetrics
+from repro.service.pool import EstimatorPool, default_landmarks
+from repro.service.service import RouteService
+
+__all__ = [
+    "QueryKey",
+    "QueryMetrics",
+    "RouteCache",
+    "RouteService",
+    "ServiceMetrics",
+    "EstimatorPool",
+    "default_landmarks",
+    "query_key",
+]

@@ -1,0 +1,138 @@
+"""LRU query-result cache for the route-serving layer.
+
+The paper's experiments run one isolated query at a time, so nothing in
+the original system ever reuses an answer. A deployed ATIS answers the
+same commute questions over and over between traffic updates, which is
+exactly the regime Wu et al.'s experimental evaluation of road-network
+serving identifies as cache-dominated. This module supplies the missing
+piece: a bounded LRU keyed on everything that determines the answer —
+
+    (graph fingerprint, source, destination, algorithm, estimator, weight)
+
+The graph fingerprint is ``Graph.fingerprint`` — a ``(uid, version)``
+pair whose version component is bumped by every edge-cost refresh — so
+a traffic update can never serve a stale route even if the caller
+forgets to invalidate explicitly. Explicit invalidation
+(:meth:`RouteCache.invalidate_graph`) exists anyway to evict the dead
+entries and keep the LRU budget for live answers.
+
+The cache sits entirely *above* the planners and the storage engine:
+paper-mode I/O accounting is untouched, and a hit performs zero block
+reads or writes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.graphs.graph import Graph, NodeId
+
+#: Everything that determines a query's answer.
+QueryKey = Tuple[Tuple[int, int], NodeId, NodeId, str, str, float]
+
+
+def query_key(
+    graph: Graph,
+    source: NodeId,
+    destination: NodeId,
+    algorithm: str,
+    estimator: str,
+    weight: float,
+) -> QueryKey:
+    """Build the canonical cache key for one query."""
+    return (graph.fingerprint, source, destination, algorithm, estimator, weight)
+
+
+class RouteCache:
+    """Thread-safe bounded LRU of computed route results.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses and
+    nothing is stored), mirroring the storage engine's ``capacity=0``
+    pass-through buffer-pool semantics.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[QueryKey, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: QueryKey) -> Optional[object]:
+        """Return the cached result for ``key`` (refreshing recency) or None."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: QueryKey, result: object) -> None:
+        """Store a result, evicting the least recently used on overflow."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_graph(self, graph: Graph) -> int:
+        """Drop every entry computed against any version of ``graph``.
+
+        Returns the number of entries evicted. Entries for older
+        versions of the graph can no longer be hit (the fingerprint in
+        new keys differs) but still occupy LRU slots; traffic updates
+        call this to reclaim them immediately.
+        """
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[0][0] == graph.uid
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (counters are kept)."""
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict counter view, shaped like ``IOStatistics.snapshot()``."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "capacity": self.capacity,
+            "size": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteCache(size={len(self)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,111 @@
+"""Per-query and aggregate metrics for the route-serving layer.
+
+Every query the service answers produces one :class:`QueryMetrics`
+record — latency, cache outcome, planner work — and folds into a
+thread-safe :class:`ServiceMetrics` aggregate whose :meth:`snapshot`
+returns the same plain-dict-of-counters shape as
+``IOStatistics.snapshot()``, so dashboards and tests can treat the
+serving tier and the storage tier uniformly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class QueryMetrics:
+    """Everything measured about one served query."""
+
+    algorithm: str
+    estimator: str
+    cache_hit: bool
+    latency_s: float
+    nodes_expanded: int = 0
+    iterations: int = 0
+    cost: float = float("inf")
+    found: bool = False
+    deduplicated: bool = False
+    spans: Dict[str, float] = field(default_factory=dict)
+
+
+class ServiceMetrics:
+    """Aggregate counters over every query a service instance answered."""
+
+    def __init__(self, keep_last: int = 256) -> None:
+        self._lock = threading.Lock()
+        self._keep_last = keep_last
+        self.queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.deduplicated = 0
+        self.not_found = 0
+        self.total_latency_s = 0.0
+        self.total_nodes_expanded = 0
+        self.total_iterations = 0
+        self.recent: List[QueryMetrics] = []
+
+    def record(self, query: QueryMetrics) -> None:
+        """Fold one query's record into the aggregate."""
+        with self._lock:
+            self.queries += 1
+            if query.cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            if query.deduplicated:
+                self.deduplicated += 1
+            if not query.found:
+                self.not_found += 1
+            self.total_latency_s += query.latency_s
+            self.total_nodes_expanded += query.nodes_expanded
+            self.total_iterations += query.iterations
+            self.recent.append(query)
+            if len(self.recent) > self._keep_last:
+                del self.recent[: len(self.recent) - self._keep_last]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    @property
+    def average_latency_s(self) -> float:
+        return self.total_latency_s / self.queries if self.queries else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict counter view, shaped like ``IOStatistics.snapshot()``."""
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": self.cache_hit_rate,
+                "deduplicated": self.deduplicated,
+                "not_found": self.not_found,
+                "total_latency_s": self.total_latency_s,
+                "average_latency_s": self.average_latency_s,
+                "nodes_expanded": self.total_nodes_expanded,
+                "iterations": self.total_iterations,
+            }
+
+    def reset(self) -> None:
+        """Zero every counter (mirrors ``IOStatistics.reset()``)."""
+        with self._lock:
+            self.queries = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.deduplicated = 0
+            self.not_found = 0
+            self.total_latency_s = 0.0
+            self.total_nodes_expanded = 0
+            self.total_iterations = 0
+            self.recent.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceMetrics(queries={self.queries}, "
+            f"hit_rate={self.cache_hit_rate:.2f}, "
+            f"avg_latency={self.average_latency_s * 1e3:.3f}ms)"
+        )

@@ -1,0 +1,143 @@
+"""Pooled, prepared estimator instances for the serving layer.
+
+Estimators carry per-query state (the destination they were prepared
+for) and, for :class:`~repro.core.estimators.LandmarkEstimator`,
+expensive per-graph state (one Dijkstra per landmark per direction).
+Creating a fresh instance per query wastes that preprocessing; naively
+sharing one instance across concurrent queries races on the destination
+cache. The pool resolves both: each ``acquire`` hands out an instance
+no other in-flight query holds, and landmark instances are pooled per
+``Graph.fingerprint`` — the stable ``(uid, version)`` identity, never
+``id()``, whose values are recycled by the allocator — so preprocessing
+is paid once per graph *state* and re-run automatically after traffic
+updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.estimators import (
+    Estimator,
+    LandmarkEstimator,
+    make_estimator,
+)
+from repro.graphs.graph import Graph, NodeId
+
+
+def default_landmarks(graph: Graph, count: int = 4) -> List[NodeId]:
+    """Pick ``count`` well-spread landmark nodes deterministically.
+
+    Uses the planar-extreme heuristic: the nodes maximising/minimising
+    ``x + y`` and ``x - y`` are the geometric corners of the graph,
+    which is where good ALT landmarks live on road-like graphs.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise ValueError("cannot pick landmarks from an empty graph")
+    ranked = []
+    for keyfn in (
+        lambda n: n.x + n.y,
+        lambda n: -(n.x + n.y),
+        lambda n: n.x - n.y,
+        lambda n: -(n.x - n.y),
+    ):
+        ranked.append(max(nodes, key=keyfn).node_id)
+    chosen: List[NodeId] = []
+    for node_id in ranked:
+        if node_id not in chosen:
+            chosen.append(node_id)
+    for node in nodes:
+        if len(chosen) >= count:
+            break
+        if node.node_id not in chosen:
+            chosen.append(node.node_id)
+    return chosen[:count]
+
+
+class EstimatorPool:
+    """Free-lists of estimator instances keyed by (name, graph identity).
+
+    Geometric estimators (``zero`` / ``euclidean`` / ``manhattan``) are
+    cheap to build but still benefit from reuse; they are pooled per
+    graph uid. ``landmark`` estimators are pooled per graph
+    *fingerprint* so an edge-cost update retires the old tables.
+
+    The fixed stale-destination bugs in :mod:`repro.core.estimators`
+    are what make this pooling safe at all: a reused instance now
+    re-prepares itself whenever the queried destination (or graph)
+    differs from the one it cached.
+    """
+
+    def __init__(
+        self,
+        landmark_count: int = 4,
+        estimator_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> None:
+        self.landmark_count = landmark_count
+        self._kwargs = dict(estimator_kwargs or {})
+        self._free: Dict[Hashable, List[Estimator]] = {}
+        self._checked_out: Dict[int, Hashable] = {}
+        self._lock = threading.Lock()
+        self.created = 0
+        self.reused = 0
+
+    # ------------------------------------------------------------------
+    def _pool_key(self, name: str, graph: Graph) -> Hashable:
+        if name == "landmark":
+            return (name, graph.fingerprint)
+        return (name, graph.uid)
+
+    def _build(self, name: str, graph: Graph) -> Estimator:
+        kwargs = dict(self._kwargs.get(name, {}))
+        if name == "landmark" and "landmarks" not in kwargs:
+            kwargs["landmarks"] = default_landmarks(graph, self.landmark_count)
+        estimator = make_estimator(name, **kwargs)
+        if isinstance(estimator, LandmarkEstimator):
+            estimator.preprocess(graph)
+        return estimator
+
+    # ------------------------------------------------------------------
+    def acquire(self, name: str, graph: Graph) -> Estimator:
+        """Check out an instance no other in-flight query holds."""
+        key = self._pool_key(name, graph)
+        with self._lock:
+            free = self._free.get(key)
+            if free:
+                estimator = free.pop()
+                self._checked_out[id(estimator)] = key
+                self.reused += 1
+                return estimator
+        estimator = self._build(name, graph)
+        with self._lock:
+            self.created += 1
+            self._checked_out[id(estimator)] = key
+        return estimator
+
+    def release(self, name: str, estimator: Estimator) -> None:
+        """Return a checked-out instance to the free-list it came from.
+
+        The pool remembers each checked-out instance's key, so a
+        landmark estimator prepared before a traffic update files back
+        under the *old* fingerprint and can never be handed to a query
+        on the new costs. Releasing an instance the pool never issued is
+        a no-op.
+        """
+        with self._lock:
+            key = self._checked_out.pop(id(estimator), None)
+            if key is not None:
+                self._free.setdefault(key, []).append(estimator)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counter view for the service metrics snapshot."""
+        with self._lock:
+            pooled = sum(len(v) for v in self._free.values())
+        return {
+            "created": self.created,
+            "reused": self.reused,
+            "pooled_free": pooled,
+        }
+
+    def __repr__(self) -> str:
+        return f"EstimatorPool(created={self.created}, reused={self.reused})"

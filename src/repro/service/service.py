@@ -1,0 +1,314 @@
+"""RouteService — concurrent, cache-aware route serving.
+
+The ROADMAP's north star is serving heavy query traffic, not running
+one isolated experiment; this module is the first layer built for that
+regime. A :class:`RouteService` owns
+
+* one thread-safe :class:`~repro.core.planner.RoutePlanner`,
+* an :class:`~repro.service.pool.EstimatorPool` of prepared estimator
+  instances (landmark tables keyed by graph fingerprint, never
+  ``id()``),
+* an LRU :class:`~repro.service.cache.RouteCache` keyed by
+  ``(graph fingerprint, source, destination, algorithm, estimator,
+  weight)`` with explicit invalidation for traffic updates,
+* a :class:`~repro.service.metrics.ServiceMetrics` aggregate plus one
+  :class:`~repro.engine.tracing.RequestTrace` per query.
+
+Identical queries arriving concurrently are deduplicated: one thread
+computes, the rest wait on the in-flight entry and read the cached
+answer. :meth:`plan_many` applies the same dedup to a batch.
+
+The cache sits above both execution tiers. For in-memory planning a
+warm hit costs a dictionary lookup; for the relational engine tier
+(:meth:`plan_engine`) a warm hit performs **zero block reads and
+writes** — the database is never touched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.estimators import Estimator
+from repro.core.planner import RoutePlanner
+from repro.core.result import PathResult
+from repro.engine.tracing import RequestTrace
+from repro.graphs.graph import Graph, NodeId
+from repro.service.cache import QueryKey, RouteCache, query_key
+from repro.service.metrics import QueryMetrics, ServiceMetrics
+from repro.service.pool import EstimatorPool
+
+#: A batch entry: ``(source, destination)`` with service defaults, or a
+#: dict with optional ``algorithm`` / ``estimator`` / ``weight`` keys.
+QuerySpec = Union[Tuple[NodeId, NodeId], Dict[str, object]]
+
+
+class RouteService:
+    """Serve single-pair route queries with caching and reuse."""
+
+    def __init__(
+        self,
+        planner: Optional[RoutePlanner] = None,
+        cache_capacity: int = 1024,
+        estimator_pool: Optional[EstimatorPool] = None,
+        default_algorithm: str = "astar",
+        default_estimator: str = "euclidean",
+        clock=time.perf_counter,
+    ) -> None:
+        self.pool = estimator_pool if estimator_pool is not None else EstimatorPool()
+        if planner is None:
+            planner = RoutePlanner(estimator_pool=self.pool)
+        elif planner.estimator_pool is None:
+            planner.estimator_pool = self.pool
+        self.planner = planner
+        self.cache = RouteCache(cache_capacity)
+        self.metrics = ServiceMetrics()
+        self.default_algorithm = default_algorithm
+        self.default_estimator = default_estimator
+        self._clock = clock
+        self._flight_lock = threading.Lock()
+        self._in_flight: Dict[QueryKey, threading.Event] = {}
+        self.last_trace: Optional[RequestTrace] = None
+
+    # ------------------------------------------------------------------
+    # single-query API
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        graph: Graph,
+        source: NodeId,
+        destination: NodeId,
+        algorithm: Optional[str] = None,
+        estimator: "str | Estimator | None" = None,
+        weight: float = 1.0,
+    ) -> PathResult:
+        """Answer one query, through the cache when possible.
+
+        Accepts the same arguments as :meth:`RoutePlanner.plan`; an
+        estimator given as an *instance* is keyed by its ``name``
+        attribute (callers pooling their own instances must keep names
+        distinct per configuration).
+        """
+        algorithm = algorithm or self.default_algorithm
+        estimator_spec = estimator if estimator is not None else self.default_estimator
+        estimator_name = (
+            estimator_spec if isinstance(estimator_spec, str) else estimator_spec.name
+        )
+        key = query_key(graph, source, destination, algorithm, estimator_name, weight)
+        trace = RequestTrace(self._clock)
+        started = self._clock()
+
+        with trace.span("cache-lookup"):
+            cached = self.cache.get(key)
+        if cached is not None:
+            return self._finish(key, cached, trace, started, cache_hit=True)
+
+        # -------------------------------------------------- in-flight dedup
+        with self._flight_lock:
+            leader_event = self._in_flight.get(key)
+            if leader_event is None:
+                self._in_flight[key] = threading.Event()
+        if leader_event is not None:
+            with trace.span("wait-in-flight"):
+                leader_event.wait()
+            piggybacked = self.cache.get(key)
+            if piggybacked is not None:
+                return self._finish(
+                    key, piggybacked, trace, started,
+                    cache_hit=True, deduplicated=True,
+                )
+            # The leader failed (e.g. raised); fall through and compute.
+            with self._flight_lock:
+                if key not in self._in_flight:
+                    self._in_flight[key] = threading.Event()
+
+        try:
+            with trace.span("plan", algorithm=algorithm, estimator=estimator_name):
+                result = self.planner.plan(
+                    graph, source, destination, algorithm, estimator_spec, weight
+                )
+            with trace.span("cache-store"):
+                self.cache.put(key, result)
+        finally:
+            with self._flight_lock:
+                event = self._in_flight.pop(key, None)
+            if event is not None:
+                event.set()
+        return self._finish(key, result, trace, started, cache_hit=False)
+
+    def _finish(
+        self,
+        key: QueryKey,
+        result: PathResult,
+        trace: RequestTrace,
+        started: float,
+        cache_hit: bool,
+        deduplicated: bool = False,
+    ) -> PathResult:
+        latency = max(0.0, self._clock() - started)
+        self.last_trace = trace
+        self.metrics.record(
+            QueryMetrics(
+                algorithm=key[3],
+                estimator=key[4],
+                cache_hit=cache_hit,
+                latency_s=latency,
+                nodes_expanded=getattr(result.stats, "nodes_expanded", 0)
+                if hasattr(result, "stats")
+                else 0,
+                iterations=getattr(result, "iterations", 0),
+                cost=getattr(result, "cost", float("inf")),
+                found=bool(getattr(result, "found", False)),
+                deduplicated=deduplicated,
+                spans=trace.durations(),
+            )
+        )
+        if isinstance(result, PathResult):
+            # Hand out a copy whose path list the caller may mutate
+            # without corrupting the cached entry.
+            return replace(result, path=list(result.path))
+        return result
+
+    # ------------------------------------------------------------------
+    # batch API
+    # ------------------------------------------------------------------
+    def plan_many(
+        self, graph: Graph, queries: Sequence[QuerySpec]
+    ) -> List[PathResult]:
+        """Answer a batch, computing each distinct query exactly once.
+
+        Results align index-for-index with ``queries``. Duplicates
+        after the first occurrence are served from the cache and
+        counted as deduplicated in the metrics.
+        """
+        results: List[Optional[PathResult]] = [None] * len(queries)
+        seen: Dict[QueryKey, List[int]] = {}
+        normalized = []
+        for position, spec in enumerate(queries):
+            if isinstance(spec, dict):
+                source = spec["source"]
+                destination = spec["destination"]
+                algorithm = spec.get("algorithm") or self.default_algorithm
+                estimator = spec.get("estimator") or self.default_estimator
+                weight = float(spec.get("weight", 1.0))
+            else:
+                source, destination = spec
+                algorithm = self.default_algorithm
+                estimator = self.default_estimator
+                weight = 1.0
+            estimator_name = (
+                estimator if isinstance(estimator, str) else estimator.name
+            )
+            key = query_key(
+                graph, source, destination, algorithm, estimator_name, weight
+            )
+            normalized.append((source, destination, algorithm, estimator, weight))
+            seen.setdefault(key, []).append(position)
+        for key, positions in seen.items():
+            first = positions[0]
+            source, destination, algorithm, estimator, weight = normalized[first]
+            answer = self.plan(graph, source, destination, algorithm, estimator, weight)
+            results[first] = answer
+            for position in positions[1:]:
+                # Identical in-flight query: reuse the answer, count the dedup.
+                results[position] = replace(answer, path=list(answer.path))
+                self.metrics.record(
+                    QueryMetrics(
+                        algorithm=key[3],
+                        estimator=key[4],
+                        cache_hit=True,
+                        latency_s=0.0,
+                        nodes_expanded=0,
+                        iterations=answer.iterations,
+                        cost=answer.cost,
+                        found=answer.found,
+                        deduplicated=True,
+                    )
+                )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # relational-engine tier
+    # ------------------------------------------------------------------
+    def plan_engine(
+        self,
+        rgraph,
+        source: NodeId,
+        destination: NodeId,
+        algorithm: str = "astar",
+        version: str = "v3",
+    ):
+        """Serve a query on the DB-backed tier, caching the run result.
+
+        A warm hit returns the cached
+        :class:`~repro.engine.tracing.RelationalRunResult` without
+        touching the simulated database — zero block reads, zero block
+        writes — which is the whole point of putting a result cache
+        above a 1993 storage engine.
+        """
+        from repro.engine.rel_bestfirst import run_astar, run_dijkstra
+
+        spec = f"engine:{algorithm}" + (f":{version}" if algorithm == "astar" else "")
+        key = query_key(rgraph.graph, source, destination, spec, "engine", 1.0)
+        trace = RequestTrace(self._clock)
+        started = self._clock()
+        with trace.span("cache-lookup"):
+            cached = self.cache.get(key)
+        if cached is not None:
+            return self._finish(key, cached, trace, started, cache_hit=True)
+        with trace.span("plan-engine", algorithm=algorithm, version=version):
+            if algorithm == "dijkstra":
+                run = run_dijkstra(rgraph, source, destination)
+            elif algorithm == "astar":
+                run = run_astar(rgraph, source, destination, version=version)
+            else:
+                raise ValueError(
+                    f"engine tier serves 'dijkstra' or 'astar', not {algorithm!r}"
+                )
+        with trace.span("cache-store"):
+            self.cache.put(key, run)
+        return self._finish(key, run, trace, started, cache_hit=False)
+
+    # ------------------------------------------------------------------
+    # invalidation (the dynamic-traffic loop)
+    # ------------------------------------------------------------------
+    def invalidate(self, graph: Graph) -> int:
+        """Evict every cached answer computed on any version of ``graph``."""
+        return self.cache.invalidate_graph(graph)
+
+    def update_edge_cost(
+        self, graph: Graph, source: NodeId, target: NodeId, cost: float
+    ) -> None:
+        """Apply one traffic update and invalidate affected answers.
+
+        The fingerprint bump inside ``Graph.update_edge_cost`` already
+        guarantees no stale hit; the explicit invalidation reclaims the
+        dead LRU slots immediately.
+        """
+        graph.update_edge_cost(source, target, cost)
+        self.invalidate(graph)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """One flat counter dict, shaped like ``IOStatistics.snapshot()``.
+
+        Service-level counters are unprefixed; cache and pool internals
+        are namespaced ``cache_*`` / ``pool_*``.
+        """
+        snap = self.metrics.snapshot()
+        for name, value in self.cache.snapshot().items():
+            snap[f"cache_{name}"] = value
+        for name, value in self.pool.snapshot().items():
+            snap[f"pool_{name}"] = value
+        return snap
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteService(queries={self.metrics.queries}, "
+            f"hit_rate={self.metrics.cache_hit_rate:.2f}, "
+            f"cache={len(self.cache)}/{self.cache.capacity})"
+        )

@@ -1,0 +1,223 @@
+"""End-to-end tests for RouteService: caching, dedup, invalidation,
+metrics, tracing, the relational-engine tier and the CLI entry point."""
+
+import threading
+
+import pytest
+
+from repro.core.dijkstra import dijkstra_search
+from repro.core.planner import RoutePlanner
+from repro.engine import RelationalGraph
+from repro.graphs.grid import make_grid, make_paper_grid
+from repro.service import RouteService
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture
+def service() -> RouteService:
+    return RouteService()
+
+
+@pytest.fixture
+def grid() -> "Graph":
+    return make_paper_grid(10, "variance")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm", ["astar", "dijkstra", "bidirectional"])
+    def test_matches_direct_planner(self, service, grid, algorithm):
+        served = service.plan(grid, (0, 0), (9, 9), algorithm=algorithm)
+        direct = RoutePlanner().plan(grid, (0, 0), (9, 9), algorithm)
+        assert served.found
+        assert served.cost == pytest.approx(direct.cost)
+
+    def test_warm_hit_returns_same_answer(self, service, grid):
+        cold = service.plan(grid, (0, 0), (9, 9))
+        warm = service.plan(grid, (0, 0), (9, 9))
+        assert warm.cost == pytest.approx(cold.cost)
+        assert warm.path == cold.path
+        assert service.metrics.cache_hits == 1
+        assert service.metrics.cache_misses == 1
+
+    def test_returned_path_is_caller_owned(self, service, grid):
+        first = service.plan(grid, (0, 0), (9, 9))
+        first.path.clear()
+        second = service.plan(grid, (0, 0), (9, 9))
+        assert second.path, "mutating a returned result corrupted the cache"
+
+    def test_distinct_estimators_cached_separately(self, service, grid):
+        service.plan(grid, (0, 0), (9, 9), estimator="euclidean")
+        service.plan(grid, (0, 0), (9, 9), estimator="zero")
+        assert service.metrics.cache_misses == 2
+
+    def test_weight_part_of_cache_key(self, service, grid):
+        service.plan(grid, (0, 0), (9, 9), weight=1.0)
+        service.plan(grid, (0, 0), (9, 9), weight=2.0)
+        assert service.metrics.cache_misses == 2
+
+    def test_pooled_landmark_service_is_optimal(self, grid):
+        service = RouteService(default_estimator="landmark")
+        optimum = dijkstra_search(grid, (0, 0), (9, 9)).cost
+        for _ in range(2):
+            result = service.plan(grid, (0, 0), (9, 9))
+            assert result.cost == pytest.approx(optimum)
+        assert service.pool.created == 1
+
+
+class TestInvalidation:
+    def test_edge_update_forces_recomputation_with_new_cost(self, service):
+        graph = make_grid(5)
+        before = service.plan(graph, (0, 0), (0, 4), algorithm="dijkstra",
+                              estimator="zero")
+        assert before.cost == pytest.approx(4.0)
+        # Congest every eastbound edge of the top row: the straight
+        # route now costs 4 * 10; the detour through row 1 wins.
+        for column in range(4):
+            service.update_edge_cost(graph, (0, column), (0, column + 1), 10.0)
+        after = service.plan(graph, (0, 0), (0, 4), algorithm="dijkstra",
+                             estimator="zero")
+        assert after.cost == pytest.approx(
+            dijkstra_search(graph, (0, 0), (0, 4)).cost
+        )
+        assert after.cost != pytest.approx(before.cost)
+        assert service.cache.invalidations >= 1
+
+    def test_stale_hit_impossible_even_without_explicit_invalidation(
+        self, service
+    ):
+        graph = make_grid(5)
+        service.plan(graph, (0, 0), (0, 4))
+        graph.update_edge_cost((0, 0), (0, 1), 10.0)  # bypasses the service
+        replay = service.plan(graph, (0, 0), (0, 4))
+        assert replay.cost == pytest.approx(
+            dijkstra_search(graph, (0, 0), (0, 4)).cost
+        )
+
+
+class TestBatchAndDedup:
+    def test_plan_many_aligns_results(self, service, grid):
+        queries = [((0, 0), (9, 9)), ((0, 0), (5, 5)), ((0, 0), (9, 9))]
+        results = service.plan_many(grid, queries)
+        assert len(results) == 3
+        assert results[0].cost == pytest.approx(results[2].cost)
+        assert results[1].destination == (5, 5)
+        assert service.metrics.deduplicated == 1
+
+    def test_plan_many_dict_specs(self, service, grid):
+        results = service.plan_many(
+            grid,
+            [
+                {"source": (0, 0), "destination": (9, 9), "algorithm": "dijkstra"},
+                {"source": (0, 0), "destination": (9, 9), "estimator": "zero"},
+            ],
+        )
+        assert all(result.found for result in results)
+        # Different algorithm/estimator -> different keys -> no dedup.
+        assert service.metrics.deduplicated == 0
+
+    def test_concurrent_identical_queries_compute_once(self, grid):
+        service = RouteService()
+        compute_count = {"n": 0}
+        gate = threading.Event()
+        inner = service.planner._registry["astar"]
+
+        def slow_astar(graph, source, destination, estimator):
+            compute_count["n"] += 1
+            gate.wait(timeout=5)
+            return inner(graph, source, destination, estimator)
+
+        service.planner.register("astar", slow_astar)
+        results = []
+
+        def worker():
+            results.append(service.plan(grid, (0, 0), (9, 9)))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(results) == 6
+        assert len({result.cost for result in results}) == 1
+        assert compute_count["n"] == 1, "identical in-flight queries not deduplicated"
+        assert service.metrics.queries == 6
+
+
+class TestEngineTier:
+    def test_warm_hit_performs_zero_block_io(self, grid):
+        service = RouteService()
+        rgraph = RelationalGraph(grid)
+        cold = service.plan_engine(rgraph, (0, 0), (9, 9), algorithm="dijkstra")
+        before = rgraph.stats.snapshot()
+        warm = service.plan_engine(rgraph, (0, 0), (9, 9), algorithm="dijkstra")
+        after = rgraph.stats.snapshot()
+        assert warm.cost == pytest.approx(cold.cost)
+        assert after["block_reads"] == before["block_reads"]
+        assert after["block_writes"] == before["block_writes"]
+        assert after == before
+
+    def test_astar_versions_served(self, grid):
+        service = RouteService()
+        rgraph = RelationalGraph(grid)
+        run = service.plan_engine(rgraph, (0, 0), (9, 9), version="v1")
+        assert run.found
+        assert grid.is_valid_path(run.path)
+
+    def test_unknown_engine_algorithm_rejected(self, grid):
+        service = RouteService()
+        rgraph = RelationalGraph(grid)
+        with pytest.raises(ValueError):
+            service.plan_engine(rgraph, (0, 0), (9, 9), algorithm="greedy")
+
+
+class TestObservability:
+    def test_snapshot_shape_matches_iostatistics_style(self, service, grid):
+        service.plan(grid, (0, 0), (9, 9))
+        snap = service.snapshot()
+        assert all(isinstance(value, (int, float)) for value in snap.values())
+        for required in (
+            "queries", "cache_hits", "cache_misses", "cache_hit_rate",
+            "average_latency_s", "nodes_expanded", "cache_size",
+            "pool_created",
+        ):
+            assert required in snap
+
+    def test_trace_spans_recorded(self, service, grid):
+        service.plan(grid, (0, 0), (9, 9))
+        names = [span.name for span in service.last_trace.spans]
+        assert names == ["cache-lookup", "plan", "cache-store"]
+        service.plan(grid, (0, 0), (9, 9))
+        names = [span.name for span in service.last_trace.spans]
+        assert names == ["cache-lookup"]
+        assert service.metrics.recent[-1].spans["cache-lookup"] >= 0.0
+
+    def test_request_trace_durations(self):
+        from repro.engine.tracing import RequestTrace
+
+        ticks = iter(range(100))
+        trace = RequestTrace(clock=lambda: next(ticks))
+        with trace.span("a"):
+            pass
+        with trace.span("b", detail=1) as span:
+            span.annotate(more=2)
+        assert trace.durations()["a"] >= 1
+        payload = trace.to_dict()
+        assert payload["spans"][1]["detail"] == 1
+        assert payload["spans"][1]["more"] == 2
+
+
+class TestCli:
+    def test_bench_service_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["bench-service", "--graph", "grid:8:uniform",
+             "--queries", "10", "--seed", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold pass" in out
+        assert "warm pass" in out
+        assert "cache_hit_rate" in out

@@ -1,0 +1,182 @@
+"""Unit tests for the serving-layer building blocks: RouteCache,
+EstimatorPool and ServiceMetrics."""
+
+import pytest
+
+from repro.core.estimators import LandmarkEstimator
+from repro.graphs.grid import make_grid
+from repro.service.cache import RouteCache, query_key
+from repro.service.metrics import QueryMetrics, ServiceMetrics
+from repro.service.pool import EstimatorPool
+
+pytestmark = pytest.mark.service
+
+
+def _key(graph, source=(0, 0), destination=(3, 3), algorithm="astar",
+         estimator="euclidean", weight=1.0):
+    return query_key(graph, source, destination, algorithm, estimator, weight)
+
+
+class TestRouteCache:
+    def test_miss_then_hit(self):
+        graph = make_grid(4)
+        cache = RouteCache(capacity=4)
+        key = _key(graph)
+        assert cache.get(key) is None
+        cache.put(key, "answer")
+        assert cache.get(key) == "answer"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_evicts_least_recently_used(self):
+        graph = make_grid(4)
+        cache = RouteCache(capacity=2)
+        keys = [_key(graph, destination=(0, d)) for d in range(3)]
+        cache.put(keys[0], "a")
+        cache.put(keys[1], "b")
+        cache.get(keys[0])  # refresh key 0
+        cache.put(keys[2], "c")  # evicts key 1
+        assert cache.get(keys[0]) == "a"
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[2]) == "c"
+        assert cache.evictions == 1
+
+    def test_capacity_zero_disables_caching(self):
+        graph = make_grid(4)
+        cache = RouteCache(capacity=0)
+        key = _key(graph)
+        cache.put(key, "answer")
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_fingerprint_change_is_a_miss(self):
+        """An edge-cost refresh changes the graph fingerprint, so the
+        same (source, destination) query can never hit a stale entry."""
+        graph = make_grid(4)
+        cache = RouteCache(capacity=8)
+        cache.put(_key(graph), "stale")
+        graph.update_edge_cost((0, 0), (0, 1), 9.0)
+        assert cache.get(_key(graph)) is None
+
+    def test_invalidate_graph_scopes_to_that_graph(self):
+        graph_a = make_grid(4)
+        graph_b = make_grid(4)
+        cache = RouteCache(capacity=8)
+        cache.put(_key(graph_a), "a")
+        cache.put(_key(graph_b), "b")
+        evicted = cache.invalidate_graph(graph_a)
+        assert evicted == 1
+        assert cache.get(_key(graph_a)) is None
+        assert cache.get(_key(graph_b)) == "b"
+        assert cache.invalidations == 1
+
+    def test_invalidate_reclaims_old_version_slots(self):
+        graph = make_grid(4)
+        cache = RouteCache(capacity=8)
+        cache.put(_key(graph), "v0")
+        graph.update_edge_cost((0, 0), (0, 1), 9.0)
+        cache.put(_key(graph), "v1")
+        assert len(cache) == 2  # old-version entry still occupies a slot
+        assert cache.invalidate_graph(graph) == 2
+        assert len(cache) == 0
+
+    def test_snapshot_is_plain_numbers(self):
+        cache = RouteCache(capacity=4)
+        snap = cache.snapshot()
+        assert set(snap) == {
+            "capacity", "size", "hits", "misses", "evictions",
+            "invalidations", "hit_rate",
+        }
+        assert all(isinstance(value, (int, float)) for value in snap.values())
+
+
+class TestEstimatorPool:
+    def test_acquire_release_reuses_instance(self):
+        graph = make_grid(5)
+        pool = EstimatorPool()
+        first = pool.acquire("euclidean", graph)
+        pool.release("euclidean", first)
+        second = pool.acquire("euclidean", graph)
+        assert second is first
+        assert pool.created == 1 and pool.reused == 1
+
+    def test_concurrent_checkouts_get_distinct_instances(self):
+        graph = make_grid(5)
+        pool = EstimatorPool()
+        first = pool.acquire("euclidean", graph)
+        second = pool.acquire("euclidean", graph)
+        assert second is not first
+
+    def test_landmark_preprocessed_on_build(self):
+        graph = make_grid(5)
+        pool = EstimatorPool(landmark_count=2)
+        estimator = pool.acquire("landmark", graph)
+        assert isinstance(estimator, LandmarkEstimator)
+        assert estimator._prepared_for == graph.fingerprint
+
+    def test_landmark_pool_retired_by_cost_update(self):
+        """After a traffic update the old instance must not be reissued."""
+        graph = make_grid(5)
+        pool = EstimatorPool(landmark_count=2)
+        old = pool.acquire("landmark", graph)
+        pool.release("landmark", old)
+        graph.update_edge_cost((0, 0), (0, 1), 7.0)
+        fresh = pool.acquire("landmark", graph)
+        assert fresh is not old
+        assert fresh._prepared_for == graph.fingerprint
+
+    def test_release_of_foreign_instance_is_noop(self):
+        graph = make_grid(5)
+        pool = EstimatorPool()
+        from repro.core.estimators import EuclideanEstimator
+
+        pool.release("euclidean", EuclideanEstimator())
+        assert pool.acquire("euclidean", graph) is not None
+        assert pool.created == 1
+
+    def test_estimator_kwargs_forwarded(self):
+        graph = make_grid(5)
+        pool = EstimatorPool(
+            estimator_kwargs={"euclidean": {"cost_per_unit": 0.5}}
+        )
+        estimator = pool.acquire("euclidean", graph)
+        assert estimator.cost_per_unit == 0.5
+
+
+class TestServiceMetrics:
+    def _query(self, **overrides):
+        defaults = dict(
+            algorithm="astar", estimator="euclidean", cache_hit=False,
+            latency_s=0.01, nodes_expanded=5, iterations=5, cost=3.0,
+            found=True,
+        )
+        defaults.update(overrides)
+        return QueryMetrics(**defaults)
+
+    def test_aggregation(self):
+        metrics = ServiceMetrics()
+        metrics.record(self._query())
+        metrics.record(self._query(cache_hit=True, latency_s=0.001))
+        metrics.record(self._query(found=False))
+        snap = metrics.snapshot()
+        assert snap["queries"] == 3
+        assert snap["cache_hits"] == 1
+        assert snap["cache_misses"] == 2
+        assert snap["cache_hit_rate"] == pytest.approx(1 / 3)
+        assert snap["not_found"] == 1
+        assert snap["nodes_expanded"] == 15
+        assert snap["average_latency_s"] == pytest.approx(0.021 / 3)
+
+    def test_reset(self):
+        metrics = ServiceMetrics()
+        metrics.record(self._query())
+        metrics.reset()
+        assert metrics.snapshot()["queries"] == 0
+        assert metrics.recent == []
+
+    def test_recent_bounded(self):
+        metrics = ServiceMetrics(keep_last=3)
+        for _ in range(10):
+            metrics.record(self._query())
+        assert len(metrics.recent) == 3
+        assert metrics.queries == 10
