@@ -45,6 +45,7 @@ from repro.graphs import (
     paper_queries,
 )
 from repro.service import EstimatorPool, RouteCache, RouteService
+from repro.traffic import TrafficFeed, run_replay
 
 __version__ = "1.0.0"
 
@@ -74,5 +75,7 @@ __all__ = [
     "RouteService",
     "RouteCache",
     "EstimatorPool",
+    "TrafficFeed",
+    "run_replay",
     "__version__",
 ]

@@ -11,7 +11,10 @@ Commands
 ``info``       summarize a graph (size, degree stats, diameter);
 ``bench-service`` replay a query workload through the cache-aware
                RouteService (cold vs warm) and print its metrics
-               snapshot.
+               snapshot;
+``bench-traffic`` replay a mixed query/update workload through the
+               traffic subsystem, audit for stale serves, and compare
+               edge-granular vs whole-graph cache invalidation.
 
 Graphs are specified with ``--graph``: ``grid:K[:costmodel[:seed]]``
 (e.g. ``grid:30:variance``), ``minneapolis[:seed]``, or ``json:PATH``
@@ -194,6 +197,57 @@ def _cmd_bench_service(args) -> int:
     return 0
 
 
+def _cmd_bench_traffic(args) -> int:
+    from repro.traffic import ReplayConfig, compare_invalidation, run_replay
+    from repro.traffic.profiles import RushHourProfile, TimeOfDayProfile
+
+    profile = None
+    if args.profile == "rush-hour":
+        profile = RushHourProfile()
+    elif args.profile == "time-of-day":
+        profile = TimeOfDayProfile()
+
+    config = ReplayConfig(
+        rounds=args.rounds,
+        queries_per_round=args.queries,
+        distinct_pairs=args.pairs,
+        concurrency=args.concurrency,
+        batch_size=args.batch_size,
+        update_fraction=args.update_fraction,
+        update_period=args.update_period,
+        sample_mode=args.sample_mode,
+        profile=profile,
+        verify=not args.no_verify,
+        mid_round_updates=args.mid_round_updates,
+        seed=args.seed,
+    )
+
+    if args.policy == "both":
+        outcome = compare_invalidation(lambda: _load_graph(args.graph), config)
+        for policy in ("edge", "graph"):
+            print(f"--- invalidation={policy} ---")
+            for line in outcome[policy].summary_lines():
+                print(f"  {line}")
+        ratio = outcome["retention_ratio"]
+        shown = "inf" if ratio == float("inf") else f"{ratio:.2f}"
+        print(f"warm-hit retention: edge-granular keeps {shown}x the "
+              f"whole-graph policy's hits")
+        stale = outcome["edge"].stale_serves + outcome["graph"].stale_serves
+        if stale:
+            print(f"STALE SERVES DETECTED: {stale}")
+            return 1
+        return 0
+
+    from repro.service import RouteService
+
+    graph = _load_graph(args.graph)
+    service = RouteService(invalidation=args.policy)
+    report = run_replay(graph, config=config, service=service)
+    for line in report.summary_lines():
+        print(line)
+    return 1 if report.stale_serves else 0
+
+
 def _cmd_info(args) -> int:
     from repro.graphs.analysis import (
         degree_statistics,
@@ -284,6 +338,44 @@ def build_parser() -> argparse.ArgumentParser:
     bench_service.add_argument("--cache-capacity", type=int, default=1024)
     bench_service.add_argument("--seed", type=int, default=1993)
     bench_service.set_defaults(func=_cmd_bench_service)
+
+    bench_traffic = commands.add_parser(
+        "bench-traffic",
+        help="replay a mixed query/update workload and compare "
+             "invalidation policies",
+    )
+    bench_traffic.add_argument("--graph", default="grid:16:variance",
+                               help="grid:K[:model[:seed]] | minneapolis[:seed] | json:PATH")
+    bench_traffic.add_argument("--rounds", type=int, default=24,
+                               help="query rounds (one update epoch between each)")
+    bench_traffic.add_argument("--queries", type=int, default=32,
+                               help="queries per round")
+    bench_traffic.add_argument("--pairs", type=int, default=256,
+                               help="size of the recurring OD-pair pool")
+    bench_traffic.add_argument("--update-fraction", type=float, default=0.003,
+                               help="fraction of edges re-priced per epoch")
+    bench_traffic.add_argument("--update-period", type=int, default=1,
+                               help="apply an epoch before every Nth round")
+    bench_traffic.add_argument("--sample-mode", choices=("replace", "unique"),
+                               default="replace")
+    bench_traffic.add_argument("--profile",
+                               choices=("none", "rush-hour", "time-of-day"),
+                               default="none",
+                               help="drive epochs from a congestion profile "
+                                    "instead of random sweeps")
+    bench_traffic.add_argument("--policy", choices=("edge", "graph", "both"),
+                               default="both",
+                               help="invalidation policy to replay "
+                                    "('both' compares and prints the ratio)")
+    bench_traffic.add_argument("--concurrency", type=int, default=4)
+    bench_traffic.add_argument("--batch-size", type=int, default=8)
+    bench_traffic.add_argument("--mid-round-updates", action="store_true",
+                               help="land one epoch while each round's "
+                                    "queries are in flight")
+    bench_traffic.add_argument("--no-verify", action="store_true",
+                               help="skip the per-answer staleness audit")
+    bench_traffic.add_argument("--seed", type=int, default=1993)
+    bench_traffic.set_defaults(func=_cmd_bench_traffic)
 
     return parser
 

@@ -81,6 +81,9 @@ def run_best_first(
 
     stats = rgraph.stats
     stats.reset()
+    # Absorb any traffic epochs first: the run must price this epoch's
+    # costs, and the re-fetch I/O is part of this run's bill.
+    rgraph.sync()
     estimator = estimator if estimator is not None else ZeroEstimator()
     estimator.prepare(graph, destination)
 
@@ -163,6 +166,7 @@ def run_best_first(
     result.init_cost = stats.phase_cost("init")
     result.iteration_cost = stats.phase_cost("iterate")
     result.cleanup_cost = stats.phase_cost("cleanup")
+    result.sync_cost = stats.phase_cost("traffic-sync")
     return result
 
 

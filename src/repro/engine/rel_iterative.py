@@ -48,6 +48,9 @@ def run_iterative(
 
     stats = rgraph.stats
     stats.reset()
+    # Absorb any traffic epochs first: the run must price this epoch's
+    # costs, and the re-fetch I/O is part of this run's bill.
+    rgraph.sync()
 
     with stats.phase("init"):
         R = rgraph.fresh_node_relation(populate=True)  # C1-C3
@@ -157,6 +160,7 @@ def run_iterative(
     result.init_cost = stats.phase_cost("init")
     result.iteration_cost = stats.phase_cost("iterate")
     result.cleanup_cost = stats.phase_cost("cleanup")
+    result.sync_cost = stats.phase_cost("traffic-sync")
     return result
 
 

@@ -14,7 +14,8 @@ internal data-structures of various routing algorithms".
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import threading
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph, NodeId
 from repro.storage.database import Database
@@ -50,6 +51,16 @@ class RelationalGraph:
         self.stats = self.db.stats
         self._node_counter = 0
         self.S = self._load_edge_relation()
+        # Traffic propagation: S was loaded at one fingerprint; epochs
+        # dirty adjacency lists by begin-node and sync() re-fetches them
+        # before the next run rather than serving stale costs.
+        self._dirty_lock = threading.Lock()
+        self._dirty_begins: Set[NodeId] = set()
+        self._synced_fingerprint = graph.fingerprint
+        self._covered_fingerprint = graph.fingerprint
+        self.syncs = 0
+        self.tuples_refreshed = 0
+        self.full_reloads = 0
 
     # ------------------------------------------------------------------
     def _load_edge_relation(self) -> Relation:
@@ -117,6 +128,74 @@ class RelationalGraph:
     def drop_node_relation(self, relation: Relation) -> None:
         """Discard a run's R (charges the fixed deletion cost D_t)."""
         self.db.drop_relation(relation.name)
+
+    # ------------------------------------------------------------------
+    # traffic propagation (keeping S honest across cost epochs)
+    # ------------------------------------------------------------------
+    def handle_epoch(self, epoch) -> int:
+        """Record which adjacency lists a traffic epoch dirtied.
+
+        Bookkeeping only — no I/O is charged here. The touched
+        begin-nodes go into a dirty set and :meth:`sync` re-fetches
+        those adjacency blocks before the next run. Epochs are chained
+        by fingerprint: a gap (an update this graph saw but we were not
+        told about) poisons the chain, and ``sync`` falls back to a
+        full reload rather than trust a partial dirty set.
+        """
+        if epoch.graph is not self.graph and epoch.graph.uid != self.graph.uid:
+            return 0
+        with self._dirty_lock:
+            if epoch.previous_fingerprint == self._covered_fingerprint:
+                for delta in epoch.deltas:
+                    self._dirty_begins.add(delta.source)
+                self._covered_fingerprint = epoch.fingerprint
+        return len(epoch.deltas)
+
+    def sync(self) -> int:
+        """Re-fetch adjacency blocks dirtied since the last run.
+
+        For each dirty begin-node the hash index is probed (block reads
+        charged per chain page), the matching S tuples are read, and any
+        whose cost moved are rewritten in place (one ``t_update`` each)
+        — the paper's fetch/REPLACE rates, attributed to the
+        ``traffic-sync`` phase. When the dirty set cannot account for
+        every change since the last sync (updates bypassed the feed),
+        S is dropped and bulk-reloaded instead. Returns the number of
+        tuples refreshed; 0 when S is already current.
+        """
+        current = self.graph.fingerprint
+        if current == self._synced_fingerprint:
+            return 0
+        with self._dirty_lock:
+            dirty = sorted(self._dirty_begins, key=repr)
+            covered = self._covered_fingerprint
+            self._dirty_begins.clear()
+            self._covered_fingerprint = current
+        self.syncs += 1
+        refreshed = 0
+        with self.stats.phase("traffic-sync"):
+            if covered == current and self.S.hash_index is not None:
+                for begin in dirty:
+                    for rid in self.S.hash_index.probe(begin):
+                        row = dict(self.S.heap.read(rid))
+                        new_cost = self.graph.edge_cost(row["begin"], row["end"])
+                        if new_cost != row["cost"]:
+                            row["cost"] = new_cost
+                            self.S.heap.update(rid, row)
+                            refreshed += 1
+            else:
+                self.db.drop_relation(self.S.name)
+                self.S = self._load_edge_relation()
+                refreshed = self.S.tuple_count
+                self.full_reloads += 1
+        self._synced_fingerprint = current
+        self.tuples_refreshed += refreshed
+        return refreshed
+
+    @property
+    def stale(self) -> bool:
+        """True when the graph has costs S has not yet absorbed."""
+        return self.graph.fingerprint != self._synced_fingerprint
 
     # ------------------------------------------------------------------
     def adjacency_join(

@@ -119,6 +119,9 @@ class RelationalRunResult:
     init_cost: float = 0.0
     iteration_cost: float = 0.0
     cleanup_cost: float = 0.0
+    #: Cost of re-fetching traffic-dirtied adjacency blocks before the
+    #: run (0.0 when S was already current).
+    sync_cost: float = 0.0
 
     @property
     def execution_cost(self) -> float:

@@ -58,6 +58,24 @@ class NegativeEdgeCostError(GraphError, ValueError):
         self.cost = cost
 
 
+class InvalidEdgeCostError(GraphError, ValueError):
+    """A non-finite (NaN or infinite) edge cost was supplied.
+
+    NaN compares False against every bound, so ``cost < 0`` never
+    catches it; a single NaN traffic reading would silently poison every
+    path cost that touches the edge. Edge costs must be finite reals.
+    """
+
+    def __init__(self, source: object, target: object, cost: float) -> None:
+        super().__init__(
+            f"edge ({source!r} -> {target!r}) has non-finite cost {cost!r}; "
+            "edge costs must be finite, non-negative reals"
+        )
+        self.source = source
+        self.target = target
+        self.cost = cost
+
+
 class PathNotFoundError(ReproError):
     """No path exists between the requested source and destination."""
 

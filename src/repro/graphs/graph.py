@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
@@ -22,6 +24,7 @@ from repro.exceptions import (
     DuplicateNodeError,
     EdgeNotFoundError,
     GraphError,
+    InvalidEdgeCostError,
     NegativeEdgeCostError,
     NodeNotFoundError,
 )
@@ -58,6 +61,20 @@ class Node:
         return abs(self.x - other.x) + abs(self.y - other.y)
 
 
+def _validated_cost(source: NodeId, target: NodeId, cost: float) -> float:
+    """Coerce and validate one edge cost: finite and non-negative.
+
+    ``cost < 0`` alone is not enough — it is False for NaN, which would
+    let a bad traffic reading poison every path cost downstream.
+    """
+    cost = float(cost)
+    if not math.isfinite(cost):
+        raise InvalidEdgeCostError(source, target, cost)
+    if cost < 0:
+        raise NegativeEdgeCostError(source, target, cost)
+    return cost
+
+
 @dataclass(frozen=True)
 class Edge:
     """A directed edge ``source -> target`` with a non-negative cost."""
@@ -67,8 +84,22 @@ class Edge:
     cost: float
 
     def __post_init__(self) -> None:
-        if self.cost < 0:
-            raise NegativeEdgeCostError(self.source, self.target, self.cost)
+        _validated_cost(self.source, self.target, self.cost)
+
+
+@dataclass(frozen=True)
+class CostDelta:
+    """One applied edge-cost change within a traffic epoch."""
+
+    source: NodeId
+    target: NodeId
+    old_cost: float
+    new_cost: float
+
+    @property
+    def decreased(self) -> bool:
+        """True when the change can open *new* cheaper paths elsewhere."""
+        return self.new_cost < self.old_cost
 
 
 class Graph:
@@ -92,6 +123,8 @@ class Graph:
         self._edge_count = 0
         self._uid = next(_GRAPH_UIDS)
         self._version = 0
+        self._cost_lock = threading.Lock()
+        self._updating = False
 
     # ------------------------------------------------------------------
     # identity
@@ -115,6 +148,35 @@ class Graph:
         of derived state (landmark tables, query results) must use.
         """
         return (self._uid, self._version)
+
+    @property
+    def cost_update_in_progress(self) -> bool:
+        """True while a cost epoch is being applied.
+
+        Optimistic readers (the route service) re-check this together
+        with :attr:`fingerprint` around a computation: a plan that
+        starts and finishes with the flag clear and the fingerprint
+        unchanged is guaranteed to have priced every edge at a single
+        epoch.
+        """
+        return self._updating
+
+    @contextmanager
+    def _cost_epoch(self) -> Iterator[None]:
+        """Serialize cost writers and publish one version bump per batch.
+
+        The flag is raised before the first write and lowered only
+        after the version bump, so a concurrent optimistic reader can
+        never observe a stable fingerprint across a window that
+        overlaps any write of the epoch.
+        """
+        with self._cost_lock:
+            self._updating = True
+            try:
+                yield
+                self._version += 1
+            finally:
+                self._updating = False
 
     # ------------------------------------------------------------------
     # construction
@@ -142,9 +204,7 @@ class Graph:
             raise NodeNotFoundError(target)
         if source == target:
             raise GraphError(f"self-loop on node {source!r} is not allowed")
-        cost = float(cost)
-        if cost < 0:
-            raise NegativeEdgeCostError(source, target, cost)
+        cost = _validated_cost(source, target, cost)
         if target not in self._adjacency[source]:
             self._edge_count += 1
         self._adjacency[source][target] = cost
@@ -172,12 +232,59 @@ class Graph:
         """Refresh the cost of an existing edge (dynamic travel times)."""
         if not self.has_edge(source, target):
             raise EdgeNotFoundError(source, target)
-        cost = float(cost)
-        if cost < 0:
-            raise NegativeEdgeCostError(source, target, cost)
-        self._adjacency[source][target] = cost
-        self._reverse[target][source] = cost
-        self._version += 1
+        cost = _validated_cost(source, target, cost)
+        with self._cost_epoch():
+            self._adjacency[source][target] = cost
+            self._reverse[target][source] = cost
+
+    def apply_cost_updates(
+        self, updates: Iterable[Tuple[NodeId, NodeId, float]]
+    ) -> List[CostDelta]:
+        """Apply a batch of edge-cost refreshes as one *epoch*.
+
+        The whole batch is validated up front (missing edges, negative
+        or non-finite costs) before any write, then applied under the
+        epoch guard with a **single** version bump — a traffic feed of
+        ten thousand deltas retires exactly one fingerprint, not ten
+        thousand. Returns the effective :class:`CostDelta` records;
+        no-op refreshes (new cost equals the current cost) are skipped,
+        and a batch with no effective change leaves the fingerprint
+        untouched.
+        """
+        staged: List[Tuple[NodeId, NodeId, float]] = []
+        for source, target, cost in updates:
+            if not self.has_edge(source, target):
+                raise EdgeNotFoundError(source, target)
+            staged.append((source, target, _validated_cost(source, target, cost)))
+        deltas: List[CostDelta] = []
+        with self._cost_lock:
+            # Project the batch in order so repeated refreshes of one
+            # edge are judged against the value the batch itself set.
+            projected: Dict[Tuple[NodeId, NodeId], float] = {}
+            effective = []
+            for source, target, cost in staged:
+                current = projected.get(
+                    (source, target), self._adjacency[source][target]
+                )
+                if current != cost:
+                    effective.append((source, target, cost))
+                    projected[(source, target)] = cost
+            if not effective:
+                return deltas
+            self._updating = True
+            try:
+                for source, target, cost in effective:
+                    deltas.append(
+                        CostDelta(
+                            source, target, self._adjacency[source][target], cost
+                        )
+                    )
+                    self._adjacency[source][target] = cost
+                    self._reverse[target][source] = cost
+                self._version += 1
+            finally:
+                self._updating = False
+        return deltas
 
     # ------------------------------------------------------------------
     # queries

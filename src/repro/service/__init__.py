@@ -5,12 +5,20 @@ many. See :class:`RouteService` for the entry point and the README's
 "Service layer" section for cache-key and invalidation semantics.
 """
 
-from repro.service.cache import QueryKey, RouteCache, query_key
+from repro.service.cache import (
+    CacheEntry,
+    InvalidationReport,
+    QueryKey,
+    RouteCache,
+    query_key,
+)
 from repro.service.metrics import QueryMetrics, ServiceMetrics
 from repro.service.pool import EstimatorPool, default_landmarks
 from repro.service.service import RouteService
 
 __all__ = [
+    "CacheEntry",
+    "InvalidationReport",
     "QueryKey",
     "QueryMetrics",
     "RouteCache",

@@ -1,4 +1,4 @@
-"""LRU query-result cache for the route-serving layer.
+"""LRU query-result cache with edge-granular traffic invalidation.
 
 The paper's experiments run one isolated query at a time, so nothing in
 the original system ever reuses an answer. A deployed ATIS answers the
@@ -12,9 +12,24 @@ piece: a bounded LRU keyed on everything that determines the answer —
 The graph fingerprint is ``Graph.fingerprint`` — a ``(uid, version)``
 pair whose version component is bumped by every edge-cost refresh — so
 a traffic update can never serve a stale route even if the caller
-forgets to invalidate explicitly. Explicit invalidation
-(:meth:`RouteCache.invalidate_graph`) exists anyway to evict the dead
-entries and keep the LRU budget for live answers.
+forgets to invalidate explicitly.
+
+Fingerprint keying alone, however, forces the whole-graph nuke this
+subsystem replaces: after any update the new fingerprint misses every
+old entry, live or not. :meth:`RouteCache.invalidate_edges` fixes that
+with an **inverted index from directed edges to cached answers**. A
+traffic epoch evicts only the answers actually affected —
+
+* entries whose path crosses a touched edge (any change re-prices them);
+* for cost *decreases*, entries whose cached cost exceeds the admissible
+  lower bound ``lb(s, u) + new_cost + lb(v, d)`` through the cheaper
+  edge ``(u, v)`` (a cheaper edge elsewhere can only steal the optimum
+  if a route through it could beat the cached cost);
+* entries cached without path provenance (``edges=None``), which are
+  evicted conservatively on any change —
+
+and **re-keys every survivor to the new fingerprint**, so untouched
+answers keep serving warm hits across updates.
 
 The cache sits entirely *above* the planners and the storage engine:
 paper-mode I/O accounting is untouched, and a hit performs zero block
@@ -23,14 +38,19 @@ reads or writes.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.graphs.graph import Graph, NodeId
+from repro.graphs.graph import CostDelta, Graph, NodeId
 
 #: Everything that determines a query's answer.
 QueryKey = Tuple[Tuple[int, int], NodeId, NodeId, str, str, float]
+
+#: A directed edge as the invalidation index keys it.
+EdgeKey = Tuple[NodeId, NodeId]
 
 
 def query_key(
@@ -45,91 +65,315 @@ def query_key(
     return (graph.fingerprint, source, destination, algorithm, estimator, weight)
 
 
+@dataclass
+class CacheEntry:
+    """One cached answer plus the provenance the invalidator needs."""
+
+    result: object
+    cost: float
+    edges: Optional[FrozenSet[EdgeKey]]
+
+
+@dataclass(frozen=True)
+class InvalidationReport:
+    """Outcome of one edge-granular invalidation pass."""
+
+    evicted: int
+    rekeyed: int
+
+    def __int__(self) -> int:
+        return self.evicted
+
+
 class RouteCache:
     """Thread-safe bounded LRU of computed route results.
 
     ``capacity <= 0`` disables caching entirely (every lookup misses and
     nothing is stored), mirroring the storage engine's ``capacity=0``
     pass-through buffer-pool semantics.
+
+    ``decrease_bound`` selects how cost *decreases* are handled:
+    ``"euclidean"`` (default) keeps entries whose cached cost the
+    cheaper edge provably cannot beat, using straight-line distance as
+    the admissible lower bound (sound whenever every edge costs at
+    least the distance between its endpoints — true for the paper's
+    uniform and variance grids and the Minneapolis map); ``None`` falls
+    back to evicting every entry of the graph on any decrease, which is
+    always sound (use it for skewed/sub-metric cost models).
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        decrease_bound: Optional[str] = "euclidean",
+    ) -> None:
         self.capacity = int(capacity)
-        self._entries: "OrderedDict[QueryKey, object]" = OrderedDict()
+        if decrease_bound not in (None, "euclidean"):
+            raise ValueError(
+                f"unknown decrease_bound {decrease_bound!r}; "
+                "expected 'euclidean' or None"
+            )
+        self.decrease_bound = decrease_bound
+        self._entries: "OrderedDict[QueryKey, CacheEntry]" = OrderedDict()
+        #: (uid, u, v) -> keys of entries whose path crosses the edge.
+        self._edge_index: Dict[Tuple[int, NodeId, NodeId], Set[QueryKey]] = {}
+        #: uid -> every key cached for that graph.
+        self._by_uid: Dict[int, Set[QueryKey]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.rekeyed = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
     def get(self, key: QueryKey) -> Optional[object]:
         """Return the cached result for ``key`` (refreshing recency) or None."""
         with self._lock:
-            if key in self._entries:
+            entry = self._entries.get(key)
+            if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
+                return entry.result
             self.misses += 1
             return None
 
-    def put(self, key: QueryKey, result: object) -> None:
-        """Store a result, evicting the least recently used on overflow."""
+    def put(
+        self,
+        key: QueryKey,
+        result: object,
+        edges: Optional[Iterable[EdgeKey]] = None,
+        cost: Optional[float] = None,
+    ) -> None:
+        """Store a result, evicting the least recently used on overflow.
+
+        ``edges`` is the directed edge sequence of the cached route —
+        the provenance the edge-granular invalidator indexes. Entries
+        stored without it remain correct but are evicted conservatively
+        on *any* update of their graph. ``cost`` defaults to
+        ``result.cost`` (``inf`` for unreachable answers, which makes
+        the decrease bound evict them whenever a cheaper edge might
+        connect the pair).
+        """
         if self.capacity <= 0:
             return
+        if cost is None:
+            cost = getattr(result, "cost", float("inf"))
+        edge_set = frozenset(edges) if edges is not None else None
         with self._lock:
             if key in self._entries:
+                self._unindex(key)
                 self._entries.move_to_end(key)
-            self._entries[key] = result
+            self._entries[key] = CacheEntry(result, cost, edge_set)
+            self._index(key, edge_set)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                victim = next(iter(self._entries))
+                self._unindex(victim)
+                del self._entries[victim]
                 self.evictions += 1
 
+    # ------------------------------------------------------------------
+    # index bookkeeping (call with the lock held)
+    # ------------------------------------------------------------------
+    def _index(self, key: QueryKey, edge_set: Optional[FrozenSet[EdgeKey]]) -> None:
+        uid = key[0][0]
+        self._by_uid.setdefault(uid, set()).add(key)
+        if edge_set:
+            for u, v in edge_set:
+                self._edge_index.setdefault((uid, u, v), set()).add(key)
+
+    def _unindex(self, key: QueryKey) -> None:
+        uid = key[0][0]
+        keys = self._by_uid.get(uid)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_uid[uid]
+        entry = self._entries.get(key)
+        edge_set = entry.edges if entry is not None else None
+        if edge_set:
+            for u, v in edge_set:
+                slot = self._edge_index.get((uid, u, v))
+                if slot is not None:
+                    slot.discard(key)
+                    if not slot:
+                        del self._edge_index[(uid, u, v)]
+
+    # ------------------------------------------------------------------
+    # invalidation (the dynamic-traffic loop)
+    # ------------------------------------------------------------------
     def invalidate_graph(self, graph: Graph) -> int:
         """Drop every entry computed against any version of ``graph``.
 
-        Returns the number of entries evicted. Entries for older
-        versions of the graph can no longer be hit (the fingerprint in
-        new keys differs) but still occupy LRU slots; traffic updates
-        call this to reclaim them immediately.
+        Returns the number of entries evicted. This is the whole-graph
+        fallback the edge-granular path replaces; it remains the right
+        call for structural changes (edges added or removed).
         """
         with self._lock:
-            stale = [
-                key for key in self._entries if key[0][0] == graph.uid
-            ]
+            stale = list(self._by_uid.get(graph.uid, ()))
             for key in stale:
+                self._unindex(key)
                 del self._entries[key]
             self.invalidations += len(stale)
             return len(stale)
+
+    def invalidate_edges(
+        self,
+        graph: Graph,
+        deltas: Iterable[CostDelta],
+        previous_fingerprint: Optional[Tuple[int, int]] = None,
+    ) -> InvalidationReport:
+        """Apply one traffic epoch's deltas to the cached answers.
+
+        ``previous_fingerprint`` is the graph fingerprint the epoch was
+        applied *from* (defaults to ``(uid, version - 1)``, the single
+        bump the epoch guard publishes). Only entries cached at exactly
+        that state can be proven unaffected and re-keyed to the current
+        fingerprint; entries from older states are evicted — nothing is
+        known about the updates they missed.
+        """
+        deltas = list(deltas)
+        with self._lock:
+            uid = graph.uid
+            new_fp = graph.fingerprint
+            if previous_fingerprint is None:
+                previous_fingerprint = (uid, new_fp[1] - 1)
+            keys = self._by_uid.get(uid)
+            if not keys:
+                return InvalidationReport(0, 0)
+
+            affected: Set[QueryKey] = set()
+            # Any entry not cached at the epoch's starting state is dead.
+            for key in keys:
+                if key[0] != previous_fingerprint:
+                    affected.add(key)
+            if deltas:
+                # Entries whose path crosses a touched edge.
+                for delta in deltas:
+                    affected |= self._edge_index.get(
+                        (uid, delta.source, delta.target), set()
+                    )
+                # Entries cached without provenance: any change hits them.
+                wildcard = [
+                    key for key in keys if self._entries[key].edges is None
+                ]
+                affected.update(wildcard)
+                # Cost decreases can reroute answers that never touched
+                # the edge; keep only those the admissible bound clears.
+                decreases = [d for d in deltas if d.decreased]
+                if decreases:
+                    for key in keys:
+                        if key in affected:
+                            continue
+                        if not self._survives_decreases(graph, key, decreases):
+                            affected.add(key)
+
+            for key in affected:
+                self._unindex(key)
+                del self._entries[key]
+            self.invalidations += len(affected)
+
+            survivors = [key for key in list(keys) if key not in affected]
+            if survivors and new_fp != previous_fingerprint:
+                self._rekey(survivors, new_fp)
+                self.rekeyed += len(survivors)
+            return InvalidationReport(len(affected), len(survivors))
+
+    def _survives_decreases(
+        self, graph: Graph, key: QueryKey, decreases: List[CostDelta]
+    ) -> bool:
+        """True if no cheaper edge can possibly beat the cached cost."""
+        if self.decrease_bound is None:
+            return False
+        entry = self._entries[key]
+        if entry.cost == math.inf and entry.edges is not None:
+            # A provenance-bearing "unreachable" answer: reachability is
+            # structural, so no cost change can ever overturn it.
+            return True
+        source, destination = key[1], key[2]
+        try:
+            sx, sy = graph.coordinates(source)
+            dx, dy = graph.coordinates(destination)
+        except Exception:
+            return False
+        for delta in decreases:
+            try:
+                ux, uy = graph.coordinates(delta.source)
+                vx, vy = graph.coordinates(delta.target)
+            except Exception:
+                return False
+            detour = (
+                math.hypot(sx - ux, sy - uy)
+                + delta.new_cost
+                + math.hypot(vx - dx, vy - dy)
+            )
+            if detour < entry.cost:
+                return False
+        return True
+
+    def _rekey(self, survivors: List[QueryKey], new_fp: Tuple[int, int]) -> None:
+        """Move survivors to the new fingerprint, preserving LRU order."""
+        translation = {key: (new_fp,) + key[1:] for key in survivors}
+        rebuilt: "OrderedDict[QueryKey, CacheEntry]" = OrderedDict()
+        for key, entry in self._entries.items():
+            rebuilt[translation.get(key, key)] = entry
+        self._entries = rebuilt
+        uid = new_fp[0]
+        by_uid = self._by_uid.get(uid)
+        for old_key, new_key in translation.items():
+            by_uid.discard(old_key)
+            by_uid.add(new_key)
+            edge_set = self._entries[new_key].edges
+            if edge_set:
+                for u, v in edge_set:
+                    slot = self._edge_index[(uid, u, v)]
+                    slot.discard(old_key)
+                    slot.add(new_key)
 
     def clear(self) -> None:
         """Drop everything (counters are kept)."""
         with self._lock:
             self.invalidations += len(self._entries)
             self._entries.clear()
+            self._edge_index.clear()
+            self._by_uid.clear()
 
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
         """Hits over lookups (0.0 before any lookup)."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
 
     def snapshot(self) -> Dict[str, float]:
-        """Plain-dict counter view, shaped like ``IOStatistics.snapshot()``."""
+        """Plain-dict counter view, shaped like ``IOStatistics.snapshot()``.
+
+        The whole snapshot is taken under the cache lock so concurrent
+        traffic (the replay driver's query threads) can never tear the
+        counters against each other.
+        """
         with self._lock:
-            size = len(self._entries)
-        return {
-            "capacity": self.capacity,
-            "size": size,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "hit_rate": self.hit_rate,
-        }
+            lookups = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "rekeyed": self.rekeyed,
+                "indexed_edges": len(self._edge_index),
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
 
     def __repr__(self) -> str:
         return (

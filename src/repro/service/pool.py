@@ -16,7 +16,7 @@ updates.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.estimators import (
     Estimator,
@@ -82,6 +82,8 @@ class EstimatorPool:
         self._lock = threading.Lock()
         self.created = 0
         self.reused = 0
+        self.refreshed = 0
+        self.retired = 0
 
     # ------------------------------------------------------------------
     def _pool_key(self, name: str, graph: Graph) -> Hashable:
@@ -129,6 +131,50 @@ class EstimatorPool:
             if key is not None:
                 self._free.setdefault(key, []).append(estimator)
 
+    def refresh(self, graph: Graph) -> int:
+        """Re-prepare pooled state stranded by a traffic epoch.
+
+        Landmark estimators are pooled per graph *fingerprint*, so an
+        epoch's version bump strands every prepared instance under a
+        key no future :meth:`acquire` will ever ask for. Rather than
+        paying a cold rebuild (fresh landmark selection plus one
+        Dijkstra per landmark per direction on a brand-new object) on
+        the next query, this re-runs :meth:`LandmarkEstimator.preprocess`
+        on the *existing* instances — keeping their landmark choice and
+        allocations — and files them under the current fingerprint.
+        Non-landmark pool state is keyed by uid and unaffected.
+
+        Returns the number of instances refreshed. Instances checked
+        out mid-epoch stay keyed to the fingerprint they were prepared
+        for and are retired (dropped) when stale keys are next swept.
+        """
+        current = graph.fingerprint
+        with self._lock:
+            stale_keys = [
+                key
+                for key in self._free
+                if isinstance(key[1], tuple)
+                and key[1][0] == graph.uid
+                and key[1] != current
+            ]
+            stranded: List[Tuple[str, Estimator]] = []
+            for key in stale_keys:
+                stranded.extend((key[0], est) for est in self._free.pop(key))
+        refreshed = 0
+        for name, estimator in stranded:
+            if isinstance(estimator, LandmarkEstimator):
+                # Preprocessing runs outside the pool lock: it is the
+                # expensive part and must not block acquire/release.
+                estimator.preprocess(graph)
+                with self._lock:
+                    self._free.setdefault((name, current), []).append(estimator)
+                    self.refreshed += 1
+                refreshed += 1
+            else:
+                with self._lock:
+                    self.retired += 1
+        return refreshed
+
     def snapshot(self) -> Dict[str, float]:
         """Counter view for the service metrics snapshot."""
         with self._lock:
@@ -136,6 +182,8 @@ class EstimatorPool:
         return {
             "created": self.created,
             "reused": self.reused,
+            "refreshed": self.refreshed,
+            "retired": self.retired,
             "pooled_free": pooled,
         }
 

@@ -10,13 +10,27 @@ regime. A :class:`RouteService` owns
   ``id()``),
 * an LRU :class:`~repro.service.cache.RouteCache` keyed by
   ``(graph fingerprint, source, destination, algorithm, estimator,
-  weight)`` with explicit invalidation for traffic updates,
+  weight)`` with edge-granular invalidation for traffic updates,
 * a :class:`~repro.service.metrics.ServiceMetrics` aggregate plus one
   :class:`~repro.engine.tracing.RequestTrace` per query.
 
 Identical queries arriving concurrently are deduplicated: one thread
 computes, the rest wait on the in-flight entry and read the cached
 answer. :meth:`plan_many` applies the same dedup to a batch.
+
+Two traffic-safety mechanisms work together:
+
+* **Single-epoch pricing.** Every computation is wrapped in an
+  optimistic retry: the graph fingerprint is read before planning and
+  re-checked (together with the epoch-in-progress flag) afterwards. A
+  plan that overlapped an update epoch is discarded and recomputed, so
+  a served route can never sum edge costs from a mix of epochs.
+* **Edge-granular invalidation.** :meth:`handle_epoch` — wired to a
+  :class:`~repro.traffic.feed.TrafficFeed` — evicts only the cached
+  answers a batch of deltas actually affects and re-keys the rest to
+  the new fingerprint, so untouched commutes keep their warm hits
+  across updates. Landmark tables in the estimator pool are refreshed
+  on the same signal.
 
 The cache sits above both execution tiers. For in-memory planning a
 warm hit costs a dictionary lookup; for the relational engine tier
@@ -29,14 +43,20 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.estimators import Estimator
 from repro.core.planner import RoutePlanner
 from repro.core.result import PathResult
 from repro.engine.tracing import RequestTrace
-from repro.graphs.graph import Graph, NodeId
-from repro.service.cache import QueryKey, RouteCache, query_key
+from repro.graphs.graph import CostDelta, Graph, NodeId
+from repro.service.cache import (
+    EdgeKey,
+    InvalidationReport,
+    QueryKey,
+    RouteCache,
+    query_key,
+)
 from repro.service.metrics import QueryMetrics, ServiceMetrics
 from repro.service.pool import EstimatorPool
 
@@ -44,9 +64,27 @@ from repro.service.pool import EstimatorPool
 #: dict with optional ``algorithm`` / ``estimator`` / ``weight`` keys.
 QuerySpec = Union[Tuple[NodeId, NodeId], Dict[str, object]]
 
+#: Estimators that keep A*-family planners optimal (admissible bounds),
+#: which is what lets the invalidator reason from path provenance alone.
+_ADMISSIBLE_ESTIMATORS = frozenset({"zero", "euclidean", "landmark"})
+
+#: Algorithms whose answers are cost-optimal independent of estimator
+#: (bidirectional ignores its estimator argument and runs two Dijkstras).
+_ALWAYS_OPTIMAL_ALGORITHMS = frozenset({"dijkstra", "iterative", "bidirectional"})
+
+#: Estimator-driven algorithms that are optimal under admissible bounds.
+_ESTIMATOR_OPTIMAL_ALGORITHMS = frozenset({"astar"})
+
 
 class RouteService:
-    """Serve single-pair route queries with caching and reuse."""
+    """Serve single-pair route queries with caching and reuse.
+
+    ``invalidation`` selects the traffic-epoch eviction policy:
+    ``"edge"`` (default) uses the cache's inverted edge index to evict
+    only affected answers and re-key the rest; ``"graph"`` restores the
+    pre-traffic behaviour of dropping every answer for the graph (kept
+    for comparison benchmarks and for workloads with no provenance).
+    """
 
     def __init__(
         self,
@@ -55,21 +93,34 @@ class RouteService:
         estimator_pool: Optional[EstimatorPool] = None,
         default_algorithm: str = "astar",
         default_estimator: str = "euclidean",
+        invalidation: str = "edge",
+        decrease_bound: Optional[str] = "euclidean",
         clock=time.perf_counter,
     ) -> None:
+        if invalidation not in ("edge", "graph"):
+            raise ValueError(
+                f"unknown invalidation policy {invalidation!r}; "
+                "expected 'edge' or 'graph'"
+            )
         self.pool = estimator_pool if estimator_pool is not None else EstimatorPool()
         if planner is None:
             planner = RoutePlanner(estimator_pool=self.pool)
         elif planner.estimator_pool is None:
             planner.estimator_pool = self.pool
         self.planner = planner
-        self.cache = RouteCache(cache_capacity)
+        self.cache = RouteCache(cache_capacity, decrease_bound=decrease_bound)
         self.metrics = ServiceMetrics()
         self.default_algorithm = default_algorithm
         self.default_estimator = default_estimator
+        self.invalidation = invalidation
         self._clock = clock
         self._flight_lock = threading.Lock()
         self._in_flight: Dict[QueryKey, threading.Event] = {}
+        self._traffic_lock = threading.Lock()
+        self.epochs_applied = 0
+        self.traffic_evicted = 0
+        self.traffic_retained = 0
+        self.plan_retries = 0
         self.last_trace: Optional[RequestTrace] = None
 
     # ------------------------------------------------------------------
@@ -90,53 +141,109 @@ class RouteService:
         estimator given as an *instance* is keyed by its ``name``
         attribute (callers pooling their own instances must keep names
         distinct per configuration).
+
+        The answer is guaranteed to be priced at a single traffic
+        epoch: if an update lands mid-computation the stale attempt is
+        discarded and the query re-planned on the new costs.
         """
         algorithm = algorithm or self.default_algorithm
         estimator_spec = estimator if estimator is not None else self.default_estimator
         estimator_name = (
             estimator_spec if isinstance(estimator_spec, str) else estimator_spec.name
         )
-        key = query_key(graph, source, destination, algorithm, estimator_name, weight)
         trace = RequestTrace(self._clock)
         started = self._clock()
 
-        with trace.span("cache-lookup"):
-            cached = self.cache.get(key)
-        if cached is not None:
-            return self._finish(key, cached, trace, started, cache_hit=True)
+        while True:
+            # Wait out an in-progress epoch so the fingerprint we key
+            # on describes a settled cost state.
+            while graph.cost_update_in_progress:
+                time.sleep(0)
+            key = query_key(
+                graph, source, destination, algorithm, estimator_name, weight
+            )
+            with trace.span("cache-lookup"):
+                cached = self.cache.get(key)
+            if cached is not None:
+                return self._finish(key, cached, trace, started, cache_hit=True)
 
-        # -------------------------------------------------- in-flight dedup
-        with self._flight_lock:
-            leader_event = self._in_flight.get(key)
-            if leader_event is None:
-                self._in_flight[key] = threading.Event()
-        if leader_event is not None:
-            with trace.span("wait-in-flight"):
-                leader_event.wait()
-            piggybacked = self.cache.get(key)
-            if piggybacked is not None:
-                return self._finish(
-                    key, piggybacked, trace, started,
-                    cache_hit=True, deduplicated=True,
-                )
-            # The leader failed (e.g. raised); fall through and compute.
+            # ---------------------------------------------- in-flight dedup
             with self._flight_lock:
-                if key not in self._in_flight:
+                leader_event = self._in_flight.get(key)
+                if leader_event is None:
                     self._in_flight[key] = threading.Event()
+            if leader_event is not None:
+                with trace.span("wait-in-flight"):
+                    leader_event.wait()
+                piggybacked = self.cache.get(key)
+                if piggybacked is not None:
+                    return self._finish(
+                        key, piggybacked, trace, started,
+                        cache_hit=True, deduplicated=True,
+                    )
+                # The leader failed or its answer was invalidated before
+                # we woke; start over from the current cost state.
+                continue
 
-        try:
-            with trace.span("plan", algorithm=algorithm, estimator=estimator_name):
-                result = self.planner.plan(
-                    graph, source, destination, algorithm, estimator_spec, weight
+            consistent = False
+            try:
+                with trace.span("plan", algorithm=algorithm, estimator=estimator_name):
+                    result = self.planner.plan(
+                        graph, source, destination, algorithm, estimator_spec, weight
+                    )
+                consistent = (
+                    not graph.cost_update_in_progress
+                    and graph.fingerprint == key[0]
                 )
-            with trace.span("cache-store"):
-                self.cache.put(key, result)
-        finally:
-            with self._flight_lock:
-                event = self._in_flight.pop(key, None)
-            if event is not None:
-                event.set()
-        return self._finish(key, result, trace, started, cache_hit=False)
+                if consistent:
+                    with trace.span("cache-store"):
+                        self.cache.put(
+                            key,
+                            result,
+                            edges=self._route_edges(
+                                result, algorithm, estimator_name, weight
+                            ),
+                            cost=getattr(result, "cost", None),
+                        )
+            finally:
+                with self._flight_lock:
+                    event = self._in_flight.pop(key, None)
+                if event is not None:
+                    event.set()
+            if consistent:
+                return self._finish(key, result, trace, started, cache_hit=False)
+            with self._traffic_lock:
+                self.plan_retries += 1
+
+    def _route_edges(
+        self,
+        result: object,
+        algorithm: str,
+        estimator_name: str,
+        weight: float,
+    ) -> Optional[Iterable[EdgeKey]]:
+        """Path provenance for the invalidation index, or None.
+
+        Provenance-based retention is only sound when the answer is the
+        *cost-optimal* route for its query — then an update leaves it
+        valid iff no touched edge lies on it (for increases) and no
+        cheaper edge can beat its cost (for decreases). Weighted A*
+        (weight > 1) and non-admissible estimators may return routes
+        whose identity depends on edges they never crossed, so those
+        entries carry no provenance and are evicted on any change.
+        """
+        optimal = algorithm in _ALWAYS_OPTIMAL_ALGORITHMS or (
+            algorithm in _ESTIMATOR_OPTIMAL_ALGORITHMS
+            and estimator_name in _ADMISSIBLE_ESTIMATORS
+            and weight <= 1.0
+        )
+        if not optimal:
+            return None
+        path = getattr(result, "path", None)
+        if not path:
+            # Unreachable answers have structural, not cost, provenance.
+            return frozenset()
+        return frozenset(zip(path, path[1:]))
 
     def _finish(
         self,
@@ -181,10 +288,13 @@ class RouteService:
 
         Results align index-for-index with ``queries``. Duplicates
         after the first occurrence are served from the cache and
-        counted as deduplicated in the metrics.
+        counted as deduplicated in the metrics. Each answer is priced
+        at a single epoch; a batch that straddles an update may mix
+        epochs *across* answers (documented, observable via the
+        fingerprint), never within one.
         """
         results: List[Optional[PathResult]] = [None] * len(queries)
-        seen: Dict[QueryKey, List[int]] = {}
+        seen: Dict[Tuple, List[int]] = {}
         normalized = []
         for position, spec in enumerate(queries):
             if isinstance(spec, dict):
@@ -201,12 +311,12 @@ class RouteService:
             estimator_name = (
                 estimator if isinstance(estimator, str) else estimator.name
             )
-            key = query_key(
-                graph, source, destination, algorithm, estimator_name, weight
-            )
+            # Dedup on the query itself, not the fingerprint-bearing
+            # cache key: mid-batch epochs must not split a dedup group.
+            dedup = (source, destination, algorithm, estimator_name, weight)
             normalized.append((source, destination, algorithm, estimator, weight))
-            seen.setdefault(key, []).append(position)
-        for key, positions in seen.items():
+            seen.setdefault(dedup, []).append(position)
+        for dedup, positions in seen.items():
             first = positions[0]
             source, destination, algorithm, estimator, weight = normalized[first]
             answer = self.plan(graph, source, destination, algorithm, estimator, weight)
@@ -216,8 +326,8 @@ class RouteService:
                 results[position] = replace(answer, path=list(answer.path))
                 self.metrics.record(
                     QueryMetrics(
-                        algorithm=key[3],
-                        estimator=key[4],
+                        algorithm=dedup[2],
+                        estimator=dedup[3],
                         cache_hit=True,
                         latency_s=0.0,
                         nodes_expanded=0,
@@ -246,30 +356,49 @@ class RouteService:
         :class:`~repro.engine.tracing.RelationalRunResult` without
         touching the simulated database — zero block reads, zero block
         writes — which is the whole point of putting a result cache
-        above a 1993 storage engine.
+        above a 1993 storage engine. A cold run first lets the
+        relational graph re-fetch any adjacency blocks dirtied by
+        traffic epochs (see :meth:`RelationalGraph.sync`), charged at
+        the paper's I/O rates.
         """
         from repro.engine.rel_bestfirst import run_astar, run_dijkstra
 
+        graph = rgraph.graph
         spec = f"engine:{algorithm}" + (f":{version}" if algorithm == "astar" else "")
-        key = query_key(rgraph.graph, source, destination, spec, "engine", 1.0)
         trace = RequestTrace(self._clock)
         started = self._clock()
-        with trace.span("cache-lookup"):
-            cached = self.cache.get(key)
-        if cached is not None:
-            return self._finish(key, cached, trace, started, cache_hit=True)
-        with trace.span("plan-engine", algorithm=algorithm, version=version):
-            if algorithm == "dijkstra":
-                run = run_dijkstra(rgraph, source, destination)
-            elif algorithm == "astar":
-                run = run_astar(rgraph, source, destination, version=version)
-            else:
-                raise ValueError(
-                    f"engine tier serves 'dijkstra' or 'astar', not {algorithm!r}"
-                )
-        with trace.span("cache-store"):
-            self.cache.put(key, run)
-        return self._finish(key, run, trace, started, cache_hit=False)
+        while True:
+            while graph.cost_update_in_progress:
+                time.sleep(0)
+            key = query_key(graph, source, destination, spec, "engine", 1.0)
+            with trace.span("cache-lookup"):
+                cached = self.cache.get(key)
+            if cached is not None:
+                return self._finish(key, cached, trace, started, cache_hit=True)
+            with trace.span("plan-engine", algorithm=algorithm, version=version):
+                if algorithm == "dijkstra":
+                    run = run_dijkstra(rgraph, source, destination)
+                elif algorithm == "astar":
+                    run = run_astar(rgraph, source, destination, version=version)
+                else:
+                    raise ValueError(
+                        f"engine tier serves 'dijkstra' or 'astar', not {algorithm!r}"
+                    )
+            if graph.cost_update_in_progress or graph.fingerprint != key[0]:
+                with self._traffic_lock:
+                    self.plan_retries += 1
+                continue
+            # v1/v2 run euclidean (admissible), dijkstra needs none; v3's
+            # manhattan may overestimate, so its entries carry no
+            # provenance and fall back to evict-on-any-change.
+            precise = algorithm == "dijkstra" or version in ("v1", "v2")
+            edges = None
+            if precise:
+                path = getattr(run, "path", None)
+                edges = frozenset(zip(path, path[1:])) if path else frozenset()
+            with trace.span("cache-store"):
+                self.cache.put(key, run, edges=edges, cost=getattr(run, "cost", None))
+            return self._finish(key, run, trace, started, cache_hit=False)
 
     # ------------------------------------------------------------------
     # invalidation (the dynamic-traffic loop)
@@ -278,17 +407,61 @@ class RouteService:
         """Evict every cached answer computed on any version of ``graph``."""
         return self.cache.invalidate_graph(graph)
 
+    def handle_epoch(self, epoch) -> InvalidationReport:
+        """Absorb one :class:`~repro.traffic.feed.TrafficEpoch`.
+
+        Under the default ``"edge"`` policy this evicts only the cached
+        answers the epoch's deltas can affect and re-keys the rest to
+        the new fingerprint; under ``"graph"`` it drops everything for
+        the graph. Either way the estimator pool refreshes its stranded
+        landmark tables on the same signal. Returns the invalidation
+        report (``evicted`` / ``rekeyed`` counts).
+        """
+        graph = epoch.graph
+        if self.invalidation == "edge":
+            report = self.cache.invalidate_edges(
+                graph, epoch.deltas, epoch.previous_fingerprint
+            )
+        else:
+            report = InvalidationReport(self.cache.invalidate_graph(graph), 0)
+        self.pool.refresh(graph)
+        with self._traffic_lock:
+            self.epochs_applied += 1
+            self.traffic_evicted += report.evicted
+            self.traffic_retained += report.rekeyed
+        return report
+
     def update_edge_cost(
         self, graph: Graph, source: NodeId, target: NodeId, cost: float
-    ) -> None:
+    ) -> int:
         """Apply one traffic update and invalidate affected answers.
 
-        The fingerprint bump inside ``Graph.update_edge_cost`` already
-        guarantees no stale hit; the explicit invalidation reclaims the
-        dead LRU slots immediately.
+        A convenience wrapper for callers without a
+        :class:`~repro.traffic.feed.TrafficFeed`: applies the
+        single-edge epoch, runs the configured invalidation policy and
+        refreshes the estimator pool. Returns the number of cache
+        entries evicted, so callers (and the replay driver) can assert
+        invalidation precision.
         """
+        old_cost = graph.edge_cost(source, target)
+        previous = graph.fingerprint
         graph.update_edge_cost(source, target, cost)
-        self.invalidate(graph)
+        new_cost = graph.edge_cost(source, target)
+        deltas = (
+            [CostDelta(source, target, old_cost, new_cost)]
+            if new_cost != old_cost
+            else []
+        )
+        if self.invalidation == "edge":
+            report = self.cache.invalidate_edges(graph, deltas, previous)
+        else:
+            report = InvalidationReport(self.cache.invalidate_graph(graph), 0)
+        self.pool.refresh(graph)
+        with self._traffic_lock:
+            self.epochs_applied += 1
+            self.traffic_evicted += report.evicted
+            self.traffic_retained += report.rekeyed
+        return report.evicted
 
     # ------------------------------------------------------------------
     # observability
@@ -300,6 +473,11 @@ class RouteService:
         are namespaced ``cache_*`` / ``pool_*``.
         """
         snap = self.metrics.snapshot()
+        with self._traffic_lock:
+            snap["epochs_applied"] = self.epochs_applied
+            snap["traffic_evicted"] = self.traffic_evicted
+            snap["traffic_retained"] = self.traffic_retained
+            snap["plan_retries"] = self.plan_retries
         for name, value in self.cache.snapshot().items():
             snap[f"cache_{name}"] = value
         for name, value in self.pool.snapshot().items():

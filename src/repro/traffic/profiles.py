@@ -1,0 +1,250 @@
+"""Congestion profiles: time-varying multipliers over base edge costs.
+
+The paper's cost models (:mod:`repro.graphs.costmodels`) are static —
+one draw per edge, frozen for the whole experiment. A live ATIS sees
+costs that *move*: rush hours ramp travel times up and back down,
+incidents spike a handful of edges, night traffic flows at free speed.
+This module models that movement as multiplicative profiles over the
+static base costs, so every existing cost model (uniform, variance,
+skewed) doubles as the baseline of a dynamic scenario.
+
+A profile maps ``(edge, minutes-of-day)`` to a multiplier ``>= 0``;
+``1.0`` means the base cost. Profiles compose multiplicatively
+(:class:`CompositeProfile`), and :func:`profile_cost_model` adapts a
+``(base cost model, profile, time)`` triple back into the static
+``CostModel`` protocol so grid builders can snapshot any instant.
+
+Time is minutes since midnight, wrapped modulo 24 h, so replay drivers
+can march a clock forward indefinitely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import NodeId
+
+#: A directed edge, as profiles key them.
+EdgeKey = Tuple[NodeId, NodeId]
+
+MINUTES_PER_DAY = 24 * 60
+
+
+def _wrap(minutes: float) -> float:
+    """Map any clock reading onto [0, 1440)."""
+    return minutes % MINUTES_PER_DAY
+
+
+class ConstantProfile:
+    """The same multiplier at every edge and instant (1.0 = free flow)."""
+
+    def __init__(self, factor: float = 1.0) -> None:
+        if factor < 0 or not math.isfinite(factor):
+            raise ValueError(f"factor must be finite and >= 0, got {factor}")
+        self.factor = factor
+        self.name = f"constant-{factor:g}"
+
+    def multiplier(self, u: NodeId, v: NodeId, minutes: float) -> float:
+        return self.factor
+
+    def __repr__(self) -> str:
+        return f"ConstantProfile(factor={self.factor})"
+
+
+class TimeOfDayProfile:
+    """Piecewise-constant multipliers over the 24-hour clock.
+
+    ``breakpoints`` is a sequence of ``(start_minute, factor)`` pairs;
+    each factor applies from its start minute until the next breakpoint
+    (wrapping past midnight back to the first). A single breakpoint
+    degenerates to a constant profile.
+
+    The default table is the classic commuter shape: free flow
+    overnight, morning peak, midday shoulder, evening peak, evening
+    cool-down.
+    """
+
+    DEFAULT = (
+        (0, 0.9),      # overnight: faster than free-flow baseline
+        (6 * 60, 1.4),   # morning build-up
+        (7 * 60 + 30, 1.8),  # am peak
+        (9 * 60 + 30, 1.1),  # midday shoulder
+        (16 * 60, 1.7),  # pm build-up
+        (18 * 60 + 30, 1.3),  # evening cool-down
+        (21 * 60, 1.0),
+    )
+
+    def __init__(
+        self, breakpoints: Optional[Sequence[Tuple[float, float]]] = None
+    ) -> None:
+        table = sorted(breakpoints if breakpoints is not None else self.DEFAULT)
+        if not table:
+            raise ValueError("at least one (start_minute, factor) is required")
+        for start, factor in table:
+            if not 0 <= start < MINUTES_PER_DAY:
+                raise ValueError(
+                    f"breakpoint minute {start} outside [0, {MINUTES_PER_DAY})"
+                )
+            if factor < 0 or not math.isfinite(factor):
+                raise ValueError(f"factor must be finite and >= 0, got {factor}")
+        self.breakpoints: List[Tuple[float, float]] = list(table)
+        self.name = "time-of-day"
+
+    def multiplier(self, u: NodeId, v: NodeId, minutes: float) -> float:
+        clock = _wrap(minutes)
+        # The factor in force is the last breakpoint at or before the
+        # clock; before the first breakpoint the schedule wraps around
+        # to the previous day's final factor.
+        current = self.breakpoints[-1][1]
+        for start, factor in self.breakpoints:
+            if start <= clock:
+                current = factor
+            else:
+                break
+        return current
+
+    def __repr__(self) -> str:
+        return f"TimeOfDayProfile({len(self.breakpoints)} breakpoints)"
+
+
+class RushHourProfile:
+    """Smooth rush-hour ramps: linear build-up to a peak, linear decay.
+
+    Two peaks (am / pm, minutes since midnight) with a configurable
+    ``peak_factor`` and ``ramp_minutes`` on each side; outside the
+    ramps the multiplier is 1.0. This is the continuous counterpart of
+    :class:`TimeOfDayProfile` — it never jumps, so consecutive replay
+    ticks produce many small deltas instead of a few cliffs, which is
+    exactly the update pattern that punishes whole-graph invalidation.
+    """
+
+    def __init__(
+        self,
+        am_peak: float = 8 * 60,
+        pm_peak: float = 17 * 60 + 30,
+        peak_factor: float = 1.8,
+        ramp_minutes: float = 90.0,
+    ) -> None:
+        if peak_factor < 1.0:
+            raise ValueError(f"peak_factor must be >= 1.0, got {peak_factor}")
+        if ramp_minutes <= 0:
+            raise ValueError(f"ramp_minutes must be positive, got {ramp_minutes}")
+        self.peaks = (_wrap(am_peak), _wrap(pm_peak))
+        self.peak_factor = peak_factor
+        self.ramp_minutes = ramp_minutes
+        self.name = "rush-hour"
+
+    def multiplier(self, u: NodeId, v: NodeId, minutes: float) -> float:
+        clock = _wrap(minutes)
+        excess = 0.0
+        for peak in self.peaks:
+            # Circular distance to the peak (a peak near midnight ramps
+            # across the wrap).
+            distance = abs(clock - peak)
+            distance = min(distance, MINUTES_PER_DAY - distance)
+            if distance < self.ramp_minutes:
+                share = 1.0 - distance / self.ramp_minutes
+                excess = max(excess, share * (self.peak_factor - 1.0))
+        return 1.0 + excess
+
+    def __repr__(self) -> str:
+        return (
+            f"RushHourProfile(peaks={self.peaks}, "
+            f"peak_factor={self.peak_factor}, ramp={self.ramp_minutes}m)"
+        )
+
+
+class IncidentProfile:
+    """A localized spike: named edges cost ``factor``x during a window.
+
+    Models an accident or closure-adjacent congestion on a small edge
+    set — the paper's motivating "traffic incident" scenario. Outside
+    the window, or on other edges, the multiplier is 1.0. A ``factor``
+    of e.g. 8.0 effectively routes traffic around the incident without
+    disconnecting the graph.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[EdgeKey],
+        factor: float = 8.0,
+        start: float = 0.0,
+        duration: float = 60.0,
+    ) -> None:
+        if factor < 0 or not math.isfinite(factor):
+            raise ValueError(f"factor must be finite and >= 0, got {factor}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.edges = frozenset(edges)
+        if not self.edges:
+            raise ValueError("an incident needs at least one edge")
+        self.factor = factor
+        self.start = _wrap(start)
+        self.duration = min(duration, MINUTES_PER_DAY)
+        self.name = "incident"
+
+    def active(self, minutes: float) -> bool:
+        """True while the incident window covers ``minutes``."""
+        offset = (_wrap(minutes) - self.start) % MINUTES_PER_DAY
+        return offset < self.duration
+
+    def multiplier(self, u: NodeId, v: NodeId, minutes: float) -> float:
+        if (u, v) in self.edges and self.active(minutes):
+            return self.factor
+        return 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"IncidentProfile({len(self.edges)} edges, factor={self.factor}, "
+            f"start={self.start}m, duration={self.duration}m)"
+        )
+
+
+class CompositeProfile:
+    """Product of component profiles (rush hour x incident x ...)."""
+
+    def __init__(self, *profiles) -> None:
+        if not profiles:
+            raise ValueError("a composite needs at least one profile")
+        self.profiles = tuple(profiles)
+        self.name = "+".join(p.name for p in self.profiles)
+
+    def multiplier(self, u: NodeId, v: NodeId, minutes: float) -> float:
+        product = 1.0
+        for profile in self.profiles:
+            product *= profile.multiplier(u, v, minutes)
+        return product
+
+    def __repr__(self) -> str:
+        return f"CompositeProfile({', '.join(map(repr, self.profiles))})"
+
+
+class ProfiledCostModel:
+    """A static-``CostModel`` view of ``base`` under ``profile`` at ``minutes``.
+
+    Adapts a dynamic scenario back into the protocol the grid builders
+    understand, so ``make_grid(k, ProfiledCostModel(base, profile, t))``
+    snapshots the network exactly as a traffic feed would have priced
+    it at instant ``t`` — useful for building "the 8am grid" directly.
+    """
+
+    def __init__(self, base, profile, minutes: float) -> None:
+        self.base = base
+        self.profile = profile
+        self.minutes = minutes
+        self.name = f"{base.name}@{profile.name}:{minutes:g}m"
+
+    def cost(self, u: NodeId, v: NodeId) -> float:
+        return self.base.cost(u, v) * self.profile.multiplier(u, v, self.minutes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfiledCostModel({self.base!r}, {self.profile!r}, "
+            f"minutes={self.minutes})"
+        )
+
+
+def profile_cost_model(base, profile, minutes: float) -> ProfiledCostModel:
+    """Convenience constructor mirroring ``make_cost_model``'s shape."""
+    return ProfiledCostModel(base, profile, minutes)

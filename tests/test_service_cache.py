@@ -85,7 +85,7 @@ class TestRouteCache:
         snap = cache.snapshot()
         assert set(snap) == {
             "capacity", "size", "hits", "misses", "evictions",
-            "invalidations", "hit_rate",
+            "invalidations", "rekeyed", "indexed_edges", "hit_rate",
         }
         assert all(isinstance(value, (int, float)) for value in snap.values())
 

@@ -1,0 +1,299 @@
+"""Traffic subsystem: cost validation, batched epochs, feed, profiles."""
+
+import math
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    InvalidEdgeCostError,
+    NegativeEdgeCostError,
+)
+from repro.graphs.graph import CostDelta, Graph
+from repro.traffic import (
+    MINUTES_PER_DAY,
+    CompositeProfile,
+    ConstantProfile,
+    IncidentProfile,
+    ProfiledCostModel,
+    RushHourProfile,
+    TimeOfDayProfile,
+    TrafficFeed,
+    percentile,
+)
+
+pytestmark = pytest.mark.traffic
+
+
+def line_graph() -> Graph:
+    graph = Graph(name="line")
+    for index, name in enumerate("abcd"):
+        graph.add_node(name, index, 0)
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 2.0)
+    graph.add_edge("c", "d", 3.0)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# cost validation (the NaN fix)
+# ----------------------------------------------------------------------
+class TestCostValidation:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_add_edge_rejects_non_finite(self, bad):
+        graph = line_graph()
+        with pytest.raises(InvalidEdgeCostError):
+            graph.add_edge("a", "c", bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_update_edge_cost_rejects_non_finite(self, bad):
+        graph = line_graph()
+        before = graph.fingerprint
+        with pytest.raises(InvalidEdgeCostError):
+            graph.update_edge_cost("a", "b", bad)
+        assert graph.edge_cost("a", "b") == 1.0
+        assert graph.fingerprint == before
+
+    def test_invalid_cost_error_is_a_value_error(self):
+        graph = line_graph()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "c", float("nan"))
+
+    def test_negative_still_rejected_separately(self):
+        graph = line_graph()
+        with pytest.raises(NegativeEdgeCostError):
+            graph.update_edge_cost("a", "b", -1.0)
+
+    def test_apply_cost_updates_rejects_nan_atomically(self):
+        graph = line_graph()
+        before = graph.fingerprint
+        with pytest.raises(InvalidEdgeCostError):
+            graph.apply_cost_updates(
+                [("a", "b", 5.0), ("b", "c", float("nan"))]
+            )
+        # The good half of the batch must not have been applied.
+        assert graph.edge_cost("a", "b") == 1.0
+        assert graph.fingerprint == before
+
+    def test_apply_cost_updates_rejects_unknown_edge_atomically(self):
+        graph = line_graph()
+        before = graph.fingerprint
+        with pytest.raises(EdgeNotFoundError):
+            graph.apply_cost_updates([("a", "b", 5.0), ("a", "d", 2.0)])
+        assert graph.edge_cost("a", "b") == 1.0
+        assert graph.fingerprint == before
+
+
+# ----------------------------------------------------------------------
+# batched epochs at the graph layer
+# ----------------------------------------------------------------------
+class TestApplyCostUpdates:
+    def test_batch_bumps_version_once(self):
+        graph = line_graph()
+        uid, version = graph.fingerprint
+        deltas = graph.apply_cost_updates(
+            [("a", "b", 4.0), ("b", "c", 5.0), ("c", "d", 6.0)]
+        )
+        assert graph.fingerprint == (uid, version + 1)
+        assert len(deltas) == 3
+        assert all(isinstance(d, CostDelta) for d in deltas)
+        assert graph.edge_cost("b", "c") == 5.0
+
+    def test_noop_batch_changes_nothing(self):
+        graph = line_graph()
+        before = graph.fingerprint
+        deltas = graph.apply_cost_updates([("a", "b", 1.0), ("b", "c", 2.0)])
+        assert deltas == []
+        assert graph.fingerprint == before
+
+    def test_deltas_record_old_and_new(self):
+        graph = line_graph()
+        (delta,) = graph.apply_cost_updates([("a", "b", 0.5)])
+        assert (delta.source, delta.target) == ("a", "b")
+        assert delta.old_cost == 1.0
+        assert delta.new_cost == 0.5
+        assert delta.decreased
+
+    def test_repeated_edge_judged_against_batch_value(self):
+        graph = line_graph()
+        # The second write restores the pre-batch value, but each staged
+        # update must be judged against the batch's own prior value, so
+        # both register as effective deltas.
+        deltas = graph.apply_cost_updates([("a", "b", 9.0), ("a", "b", 1.0)])
+        assert len(deltas) == 2
+        assert graph.edge_cost("a", "b") == 1.0
+
+    def test_reverse_adjacency_kept_in_sync(self):
+        graph = line_graph()
+        graph.apply_cost_updates([("b", "c", 7.0)])
+        assert dict(graph.predecessors("c"))["b"] == 7.0
+
+
+# ----------------------------------------------------------------------
+# the feed
+# ----------------------------------------------------------------------
+class TestTrafficFeed:
+    def test_epoch_carries_fingerprint_step(self):
+        graph = line_graph()
+        feed = TrafficFeed(graph)
+        before = graph.fingerprint
+        epoch = feed.apply([("a", "b", 2.5)])
+        assert epoch.previous_fingerprint == before
+        assert epoch.fingerprint == graph.fingerprint
+        assert epoch.edges == (("a", "b"),)
+        assert epoch.number == 1
+
+    def test_listeners_notified_in_order_once(self):
+        graph = line_graph()
+        feed = TrafficFeed(graph)
+        calls = []
+        feed.subscribe(lambda e: calls.append(("first", e.number)))
+        feed.subscribe(lambda e: calls.append(("second", e.number)))
+        feed.apply([("a", "b", 2.0)])
+        assert calls == [("first", 1), ("second", 1)]
+
+    def test_noop_batch_does_not_notify(self):
+        graph = line_graph()
+        feed = TrafficFeed(graph)
+        calls = []
+        feed.subscribe(calls.append)
+        epoch = feed.apply([("a", "b", 1.0)])
+        assert epoch.deltas == ()
+        assert calls == []
+        assert feed.epoch_count == 0
+
+    def test_subscribe_is_idempotent(self):
+        graph = line_graph()
+        feed = TrafficFeed(graph)
+
+        class Listener:
+            def __init__(self):
+                self.seen = 0
+
+            def handle_epoch(self, epoch):
+                self.seen += 1
+
+        listener = Listener()
+        feed.subscribe(listener)
+        feed.subscribe(listener)
+        feed.apply([("a", "b", 3.0)])
+        assert listener.seen == 1
+
+    def test_tick_prices_from_base_not_current(self):
+        graph = line_graph()
+        feed = TrafficFeed(graph)
+        feed.tick(ConstantProfile(2.0), minutes=480)
+        assert graph.edge_cost("a", "b") == 2.0
+        # A second tick multiplies the *base* cost, never the doubled one.
+        feed.tick(ConstantProfile(2.0), minutes=485)
+        assert graph.edge_cost("a", "b") == 2.0
+        feed.tick(ConstantProfile(1.0), minutes=490)
+        assert graph.edge_cost("a", "b") == 1.0
+
+    def test_spike_compounds_on_current(self):
+        graph = line_graph()
+        feed = TrafficFeed(graph)
+        feed.tick(ConstantProfile(2.0), minutes=0)
+        feed.spike([("a", "b")], factor=3.0)
+        assert graph.edge_cost("a", "b") == 6.0
+        assert feed.base_cost("a", "b") == 1.0
+
+    def test_rebase_adopts_current_costs(self):
+        graph = line_graph()
+        feed = TrafficFeed(graph)
+        feed.tick(ConstantProfile(2.0), minutes=0)
+        feed.rebase()
+        assert feed.base_cost("a", "b") == 2.0
+
+    def test_snapshot_counts(self):
+        graph = line_graph()
+        feed = TrafficFeed(graph)
+        feed.apply([("a", "b", 2.0), ("b", "c", 9.0)])
+        snap = feed.snapshot()
+        assert snap == {"epochs": 1, "deltas_applied": 2, "edges_tracked": 3}
+
+
+# ----------------------------------------------------------------------
+# congestion profiles
+# ----------------------------------------------------------------------
+class TestProfiles:
+    def test_time_of_day_lookup_and_wrap(self):
+        profile = TimeOfDayProfile([(0, 1.0), (420, 2.0), (600, 1.5)])
+        assert profile.multiplier("a", "b", 0) == 1.0
+        assert profile.multiplier("a", "b", 450) == 2.0
+        assert profile.multiplier("a", "b", 700) == 1.5
+        # 25:00 wraps to 01:00.
+        assert profile.multiplier("a", "b", 25 * 60) == 1.0
+
+    def test_time_of_day_before_first_breakpoint_uses_last(self):
+        profile = TimeOfDayProfile([(60, 3.0), (120, 1.0)])
+        # 00:30 predates the first breakpoint: the previous day's final
+        # factor is still in force.
+        assert profile.multiplier("a", "b", 30) == 1.0
+
+    def test_rush_hour_peak_ramp_and_offpeak(self):
+        profile = RushHourProfile(
+            am_peak=480, pm_peak=1050, peak_factor=2.0, ramp_minutes=60
+        )
+        assert profile.multiplier("a", "b", 480) == pytest.approx(2.0)
+        assert profile.multiplier("a", "b", 450) == pytest.approx(1.5)
+        assert profile.multiplier("a", "b", 720) == 1.0
+        assert profile.multiplier("a", "b", 1050) == pytest.approx(2.0)
+
+    def test_incident_targets_edges_and_window(self):
+        profile = IncidentProfile(
+            edges=[("a", "b")], factor=8.0, start=100, duration=30
+        )
+        assert profile.multiplier("a", "b", 110) == 8.0
+        assert profile.multiplier("b", "c", 110) == 1.0
+        assert profile.multiplier("a", "b", 140) == 1.0
+
+    def test_incident_window_wraps_midnight(self):
+        profile = IncidentProfile(
+            edges=[("a", "b")], factor=4.0, start=MINUTES_PER_DAY - 10,
+            duration=30,
+        )
+        assert profile.active(MINUTES_PER_DAY - 5)
+        assert profile.active(10)
+        assert not profile.active(30)
+
+    def test_composite_multiplies(self):
+        profile = CompositeProfile(
+            ConstantProfile(2.0),
+            IncidentProfile(edges=[("a", "b")], factor=3.0, start=0,
+                            duration=60),
+        )
+        assert profile.multiplier("a", "b", 30) == 6.0
+        assert profile.multiplier("b", "c", 30) == 2.0
+
+    def test_profiled_cost_model_snapshots_an_instant(self):
+        class UnitModel:
+            name = "unit"
+
+            def cost(self, u, v):
+                return 2.0
+
+        model = ProfiledCostModel(UnitModel(), ConstantProfile(1.5), minutes=0)
+        assert model.cost("a", "b") == 3.0
+        assert "unit" in model.name
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_constant_profile_validates_factor(self, bad):
+        with pytest.raises(ValueError):
+            ConstantProfile(bad)
+
+
+# ----------------------------------------------------------------------
+# replay helpers
+# ----------------------------------------------------------------------
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(samples, 50) == 3.0
+        assert percentile(samples, 95) == 5.0
+        assert percentile(samples, 0) == 1.0
+        assert percentile([], 50) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)

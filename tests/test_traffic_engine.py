@@ -1,0 +1,156 @@
+"""Relational-tier traffic propagation: S must never serve stale costs."""
+
+import pytest
+
+from repro.core.planner import RoutePlanner
+from repro.engine.rel_bestfirst import run_astar, run_dijkstra
+from repro.engine.rel_iterative import run_iterative
+from repro.engine.relational_graph import RelationalGraph
+from repro.graphs.grid import make_paper_grid
+from repro.service import RouteService
+from repro.traffic import TrafficFeed
+
+pytestmark = pytest.mark.traffic
+
+
+@pytest.fixture
+def wired_engine():
+    graph = make_paper_grid(6, "uniform")
+    rgraph = RelationalGraph(graph)
+    feed = TrafficFeed(graph)
+    feed.subscribe(rgraph)
+    return graph, rgraph, feed
+
+
+class TestStalenessRegression:
+    def test_run_after_update_prices_new_costs(self, wired_engine):
+        graph, rgraph, feed = wired_engine
+        before = run_dijkstra(rgraph, (0, 0), (5, 5))
+
+        # Spike an edge on the found path so the route must change
+        # (or at least re-price) if the engine sees the update.
+        u, v = before.path[2], before.path[3]
+        feed.apply([(u, v, graph.edge_cost(u, v) * 100)])
+
+        after = run_dijkstra(rgraph, (0, 0), (5, 5))
+        fresh = RoutePlanner().plan(graph, (0, 0), (5, 5), "dijkstra")
+        assert after.cost == pytest.approx(fresh.cost)
+        assert (u, v) not in set(zip(after.path, after.path[1:]))
+
+    def test_sync_charges_refetch_io(self, wired_engine):
+        graph, rgraph, feed = wired_engine
+        first = run_dijkstra(rgraph, (0, 0), (5, 5))
+        assert first.sync_cost == 0.0
+
+        feed.apply([((0, 0), (0, 1), 3.0)])
+        assert rgraph.stale
+
+        second = run_dijkstra(rgraph, (0, 0), (5, 5))
+        # The dirty adjacency block was re-fetched (hash probe + tuple
+        # rewrite) and billed to this run under the traffic-sync phase.
+        assert second.sync_cost > 0.0
+        assert rgraph.tuples_refreshed == 1
+        assert rgraph.syncs == 1
+        assert rgraph.full_reloads == 0
+        assert not rgraph.stale
+
+    def test_sync_is_granular_not_full_reload(self, wired_engine):
+        graph, rgraph, feed = wired_engine
+        run_dijkstra(rgraph, (0, 0), (5, 5))
+        feed.apply([((1, 1), (1, 2), 4.0), ((3, 3), (3, 4), 4.0)])
+        second = run_dijkstra(rgraph, (0, 0), (5, 5))
+        assert rgraph.full_reloads == 0
+        assert rgraph.tuples_refreshed == 2
+        assert second.sync_cost > 0.0
+
+        # The same update arriving outside the feed forces a full
+        # reload, which costs strictly more than the granular refresh.
+        other_graph = make_paper_grid(6, "uniform")
+        other_rgraph = RelationalGraph(other_graph)
+        run_dijkstra(other_rgraph, (0, 0), (5, 5))
+        other_graph.apply_cost_updates(
+            [(((1, 1)), ((1, 2)), 4.0), (((3, 3)), ((3, 4)), 4.0)]
+        )
+        reloaded = run_dijkstra(other_rgraph, (0, 0), (5, 5))
+        assert other_rgraph.full_reloads == 1
+        assert reloaded.sync_cost > second.sync_cost
+
+    def test_update_bypassing_feed_forces_full_reload(self, wired_engine):
+        graph, rgraph, feed = wired_engine
+        run_dijkstra(rgraph, (0, 0), (5, 5))
+        # The epoch chain breaks: this update never reaches the feed's
+        # subscribers, so the dirty set cannot be trusted.
+        graph.update_edge_cost((0, 0), (0, 1), 7.0)
+        after = run_dijkstra(rgraph, (0, 0), (5, 5))
+        assert rgraph.full_reloads == 1
+        fresh = RoutePlanner().plan(graph, (0, 0), (5, 5), "dijkstra")
+        assert after.cost == pytest.approx(fresh.cost)
+
+    def test_iterative_also_syncs(self, wired_engine):
+        graph, rgraph, feed = wired_engine
+        run_iterative(rgraph, (0, 0), (5, 5))
+        feed.apply([((0, 0), (0, 1), 6.0)])
+        after = run_iterative(rgraph, (0, 0), (5, 5))
+        assert after.sync_cost > 0.0
+        fresh = RoutePlanner().plan(graph, (0, 0), (5, 5), "dijkstra")
+        assert after.cost == pytest.approx(fresh.cost)
+
+    def test_astar_versions_also_sync(self, wired_engine):
+        graph, rgraph, feed = wired_engine
+        run_astar(rgraph, (0, 0), (5, 5), version="v2")
+        feed.apply([((2, 2), (2, 3), 9.0)])
+        after = run_astar(rgraph, (0, 0), (5, 5), version="v2")
+        assert after.sync_cost > 0.0
+        fresh = RoutePlanner().plan(graph, (0, 0), (5, 5), "dijkstra")
+        assert after.cost == pytest.approx(fresh.cost)
+
+    def test_epochs_for_other_graphs_are_ignored(self, wired_engine):
+        graph, rgraph, feed = wired_engine
+        other = make_paper_grid(4, "uniform")
+        other_feed = TrafficFeed(other)
+        other_feed.subscribe(rgraph)
+        other_feed.apply([((0, 0), (0, 1), 8.0)])
+        assert not rgraph.stale
+        result = run_dijkstra(rgraph, (0, 0), (5, 5))
+        assert result.sync_cost == 0.0
+
+
+class TestEngineTierThroughService:
+    def test_cached_engine_answer_invalidated_by_epoch(self, wired_engine):
+        graph, rgraph, feed = wired_engine
+        service = RouteService()
+        feed.subscribe(service)
+
+        first = service.plan_engine(rgraph, (0, 0), (5, 5),
+                                    algorithm="dijkstra")
+        warm = service.plan_engine(rgraph, (0, 0), (5, 5),
+                                   algorithm="dijkstra")
+        assert warm.cost == first.cost
+        assert service.metrics.cache_hits == 1
+
+        u, v = first.path[1], first.path[2]
+        feed.apply([(u, v, graph.edge_cost(u, v) * 100)])
+
+        after = service.plan_engine(rgraph, (0, 0), (5, 5),
+                                    algorithm="dijkstra")
+        assert service.metrics.cache_hits == 1  # recomputed, not served stale
+        fresh = RoutePlanner().plan(graph, (0, 0), (5, 5), "dijkstra")
+        assert after.cost == pytest.approx(fresh.cost)
+
+    def test_untouched_engine_answer_stays_warm(self, wired_engine):
+        graph, rgraph, feed = wired_engine
+        service = RouteService()
+        feed.subscribe(service)
+        first = service.plan_engine(rgraph, (0, 0), (5, 5),
+                                    algorithm="dijkstra")
+        on_path = set(zip(first.path, first.path[1:]))
+        # Find an edge not on the cached path.
+        off_path = next(
+            (edge.source, edge.target)
+            for edge in graph.edges()
+            if (edge.source, edge.target) not in on_path
+        )
+        feed.apply([(off_path[0], off_path[1],
+                     graph.edge_cost(*off_path) + 0.5)])
+        service.plan_engine(rgraph, (0, 0), (5, 5), algorithm="dijkstra")
+        assert service.metrics.cache_hits == 1

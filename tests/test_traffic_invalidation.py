@@ -1,0 +1,237 @@
+"""Edge-granular cache invalidation: precision, re-keying, policies."""
+
+import math
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.grid import make_paper_grid
+from repro.service import RouteService
+from repro.traffic import TrafficFeed
+
+pytestmark = pytest.mark.traffic
+
+
+def two_corridor_graph() -> Graph:
+    """Two disjoint corridors sharing no edges.
+
+    North: a -> n1 -> b (each hop cost 1)
+    South: c -> s1 -> d (each hop cost 1)
+    """
+    graph = Graph(name="corridors")
+    graph.add_node("a", 0, 1)
+    graph.add_node("n1", 1, 1)
+    graph.add_node("b", 2, 1)
+    graph.add_node("c", 0, -1)
+    graph.add_node("s1", 1, -1)
+    graph.add_node("d", 2, -1)
+    graph.add_edge("a", "n1", 1.0)
+    graph.add_edge("n1", "b", 1.0)
+    graph.add_edge("c", "s1", 1.0)
+    graph.add_edge("s1", "d", 1.0)
+    return graph
+
+
+@pytest.fixture
+def wired():
+    graph = two_corridor_graph()
+    service = RouteService()
+    feed = TrafficFeed(graph)
+    feed.subscribe(service)
+    return graph, service, feed
+
+
+class TestPrecision:
+    def test_update_evicts_only_crossing_routes(self, wired):
+        graph, service, feed = wired
+        service.plan(graph, "a", "b")
+        service.plan(graph, "c", "d")
+        hits_before = service.metrics.cache_hits
+
+        feed.apply([("a", "n1", 5.0)])
+
+        # The south corridor's answer survived the epoch (re-keyed to
+        # the new fingerprint) and serves warm with its correct cost.
+        south = service.plan(graph, "c", "d")
+        assert service.metrics.cache_hits == hits_before + 1
+        assert south.cost == 2.0
+        # The north corridor's answer was evicted; the recompute prices
+        # the new epoch.
+        north = service.plan(graph, "a", "b")
+        assert north.cost == 6.0
+        assert service.metrics.cache_hits == hits_before + 1
+
+    def test_increase_off_route_keeps_entry(self, wired):
+        graph, service, feed = wired
+        service.plan(graph, "a", "b")
+        feed.apply([("c", "s1", 50.0)])
+        hits_before = service.metrics.cache_hits
+        assert service.plan(graph, "a", "b").cost == 2.0
+        assert service.metrics.cache_hits == hits_before + 1
+
+    def test_survives_multiple_epochs_via_rekeying(self, wired):
+        graph, service, feed = wired
+        service.plan(graph, "a", "b")
+        for cost in (3.0, 4.0, 5.0):
+            feed.apply([("c", "s1", cost)])
+        hits_before = service.metrics.cache_hits
+        assert service.plan(graph, "a", "b").cost == 2.0
+        assert service.metrics.cache_hits == hits_before + 1
+        assert service.cache.rekeyed >= 3
+
+    def test_wildcard_entries_evicted_on_any_delta(self, wired):
+        graph, service, feed = wired
+        # weight > 1.0 makes the answer non-optimal in general: no
+        # provenance, so any epoch must evict it.
+        service.plan(graph, "a", "b", weight=2.0)
+        feed.apply([("c", "s1", 9.0)])
+        hits_before = service.metrics.cache_hits
+        service.plan(graph, "a", "b", weight=2.0)
+        assert service.metrics.cache_hits == hits_before
+
+
+class TestDecreases:
+    def make_detour_graph(self) -> Graph:
+        """Direct a->b plus a two-hop detour via m, all on one line."""
+        graph = Graph(name="detour")
+        graph.add_node("a", 0, 0)
+        graph.add_node("m", 2, 0)
+        graph.add_node("b", 4, 0)
+        graph.add_node("z", 10, 0)
+        graph.add_edge("a", "b", 10.0)
+        graph.add_edge("a", "m", 6.0)
+        graph.add_edge("m", "b", 6.0)
+        graph.add_edge("b", "z", 30.0)
+        return graph
+
+    def test_decrease_that_can_reroute_evicts(self):
+        graph = self.make_detour_graph()
+        service = RouteService()
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        assert service.plan(graph, "a", "b").cost == 10.0
+
+        # m->b drops to 1: the detour (6 + 1 = 7) now beats the cached
+        # direct route, and the euclidean bound detects the possibility
+        # (2 + 1 + 0 = 3 < 10).
+        feed.apply([("m", "b", 1.0)])
+        hits_before = service.metrics.cache_hits
+        assert service.plan(graph, "a", "b").cost == 7.0
+        assert service.metrics.cache_hits == hits_before
+
+    def test_distant_decrease_retains_entry(self):
+        graph = self.make_detour_graph()
+        service = RouteService()
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        service.plan(graph, "a", "b")
+
+        # b->z points away from the cached query: the admissible bound
+        # euclid(a, b) + new_cost + euclid(z, b) = 4 + 20 + 6 >= 10
+        # proves the decrease cannot improve a->b.
+        feed.apply([("b", "z", 20.0)])
+        hits_before = service.metrics.cache_hits
+        assert service.plan(graph, "a", "b").cost == 10.0
+        assert service.metrics.cache_hits == hits_before + 1
+
+    def test_unreachable_answers_survive_decreases(self):
+        graph = self.make_detour_graph()
+        service = RouteService()
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        # z has no outgoing edges: unreachability is structural and no
+        # cost decrease can change it.
+        unreachable = service.plan(graph, "z", "a")
+        assert not unreachable.found
+        feed.apply([("a", "m", 1.0)])
+        hits_before = service.metrics.cache_hits
+        again = service.plan(graph, "z", "a")
+        assert not again.found
+        assert service.metrics.cache_hits == hits_before + 1
+
+    def test_conservative_mode_evicts_on_decrease(self):
+        graph = self.make_detour_graph()
+        service = RouteService(decrease_bound=None)
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        service.plan(graph, "a", "b")
+        feed.apply([("b", "z", 20.0)])
+        hits_before = service.metrics.cache_hits
+        service.plan(graph, "a", "b")
+        assert service.metrics.cache_hits == hits_before
+
+
+class TestPoliciesAndCounters:
+    def test_graph_policy_drops_everything(self):
+        graph = two_corridor_graph()
+        service = RouteService(invalidation="graph")
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        service.plan(graph, "a", "b")
+        service.plan(graph, "c", "d")
+        feed.apply([("a", "n1", 5.0)])
+        assert len(service.cache) == 0
+        assert service.traffic_evicted == 2
+        assert service.traffic_retained == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RouteService(invalidation="nuke-from-orbit")
+
+    def test_update_edge_cost_returns_eviction_count(self):
+        graph = two_corridor_graph()
+        service = RouteService()
+        service.plan(graph, "a", "b")
+        service.plan(graph, "c", "d")
+        evicted = service.update_edge_cost(graph, "a", "n1", 4.0)
+        assert evicted == 1
+        assert graph.edge_cost("a", "n1") == 4.0
+        # A no-op update evicts nothing and bumps nothing.
+        assert service.update_edge_cost(graph, "a", "n1", 4.0) == 0
+
+    def test_epoch_counters_accumulate(self):
+        graph = two_corridor_graph()
+        service = RouteService()
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        service.plan(graph, "a", "b")
+        service.plan(graph, "c", "d")
+        feed.apply([("a", "n1", 3.0)])
+        snap = service.snapshot()
+        assert snap["epochs_applied"] == 1
+        assert snap["traffic_evicted"] == 1
+        assert snap["traffic_retained"] == 1
+
+    def test_snapshot_and_hit_rate_are_consistent(self):
+        graph = two_corridor_graph()
+        service = RouteService()
+        service.plan(graph, "a", "b")
+        service.plan(graph, "a", "b")
+        snap = service.cache.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+        assert service.cache.hit_rate == 0.5
+
+
+class TestEstimatorPoolRefresh:
+    def test_landmark_tables_refreshed_on_epoch(self):
+        graph = make_paper_grid(6, "uniform")
+        service = RouteService(default_estimator="landmark")
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+
+        first = service.plan(graph, (0, 0), (5, 5))
+        created_before = service.pool.created
+        feed.apply([((2, 2), (2, 3), 5.0)])
+        assert service.pool.snapshot()["refreshed"] >= 1
+
+        # The refreshed instance serves the new epoch: no cold rebuild,
+        # and the answer prices the updated costs.
+        second = service.plan(graph, (0, 0), (5, 5))
+        assert service.pool.created == created_before
+        from repro.core.planner import RoutePlanner
+
+        fresh = RoutePlanner().plan(graph, (0, 0), (5, 5), "dijkstra")
+        assert second.cost == pytest.approx(fresh.cost)
+        assert first.found and second.found

@@ -1,0 +1,121 @@
+"""Concurrent update-vs-plan races: single-epoch pricing guarantees."""
+
+import threading
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.grid import make_paper_grid
+from repro.service import RouteService
+from repro.traffic import ReplayConfig, TrafficFeed, run_replay
+
+pytestmark = pytest.mark.traffic
+
+
+def chain_graph(cost: float) -> Graph:
+    graph = Graph(name="chain")
+    for index in range(4):
+        graph.add_node(index, index, 0)
+    for index in range(3):
+        graph.add_edge(index, index + 1, cost)
+    return graph
+
+
+class TestSingleEpochPricing:
+    def test_no_route_priced_on_a_mix_of_epochs(self):
+        """Epochs swing every edge between 1.0 and 10.0 while readers
+        plan. Any mixed-epoch route would price strictly between the
+        two pure totals (3.0 and 30.0) and is therefore detectable."""
+        graph = chain_graph(1.0)
+        service = RouteService(default_algorithm="dijkstra")
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        legal = {3.0, 30.0}
+        observed = []
+        errors = []
+        stop = threading.Event()
+
+        def updater():
+            flip = True
+            while not stop.is_set():
+                cost = 10.0 if flip else 1.0
+                feed.apply([(i, i + 1, cost) for i in range(3)])
+                flip = not flip
+
+        def reader():
+            try:
+                for _ in range(200):
+                    result = service.plan(graph, 0, 3)
+                    observed.append(result.cost)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        update_thread = threading.Thread(target=updater)
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        update_thread.start()
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join()
+        stop.set()
+        update_thread.join()
+
+        assert not errors
+        assert observed
+        mixed = [cost for cost in observed if cost not in legal]
+        assert mixed == [], f"routes priced on mixed epochs: {mixed[:5]}"
+
+    def test_plan_many_answers_each_single_epoch(self):
+        graph = chain_graph(1.0)
+        service = RouteService(default_algorithm="dijkstra")
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        legal = {1.0, 10.0, 2.0, 20.0, 3.0, 30.0}
+        errors = []
+        stop = threading.Event()
+
+        def updater():
+            flip = True
+            while not stop.is_set():
+                cost = 10.0 if flip else 1.0
+                feed.apply([(i, i + 1, cost) for i in range(3)])
+                flip = not flip
+
+        update_thread = threading.Thread(target=updater)
+        update_thread.start()
+        try:
+            for _ in range(60):
+                batch = [(0, 1), (0, 2), (0, 3), (0, 3)]
+                results = service.plan_many(graph, batch)
+                for result in results:
+                    if result.cost not in legal:
+                        errors.append(result.cost)
+        finally:
+            stop.set()
+            update_thread.join()
+        assert errors == [], f"mixed-epoch batch answers: {errors[:5]}"
+
+    def test_replay_with_mid_round_updates_serves_no_stale(self):
+        graph = make_paper_grid(10, "variance")
+        config = ReplayConfig(
+            rounds=6,
+            queries_per_round=24,
+            distinct_pairs=20,
+            update_fraction=0.02,
+            mid_round_updates=True,
+            seed=5,
+        )
+        report = run_replay(graph, config=config)
+        assert report.queries == 6 * 24
+        assert report.stale_serves == 0
+
+    def test_quiesced_replay_serves_no_stale(self):
+        graph = make_paper_grid(10, "variance")
+        report = run_replay(
+            graph,
+            config=ReplayConfig(rounds=5, queries_per_round=20,
+                                distinct_pairs=16, seed=3),
+        )
+        assert report.stale_serves == 0
+        assert report.cache_hits > 0
+        assert report.epochs == 4
