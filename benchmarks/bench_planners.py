@@ -8,8 +8,18 @@ DESIGN.md calls out:
 * estimator ablation: zero vs euclidean vs manhattan vs landmark (ALT)
   expansions on the road map;
 * buffer-pool ablation: how modern caching would change the 1993
-  conclusions (pass-through vs a pool big enough to hold R).
+  conclusions (pass-through vs a pool big enough to hold R);
+* backend parity: the same kernel configuration on the in-memory vs
+  relational backend.
+
+Besides pytest-benchmark's own output, the module writes the domain
+numbers (iterations, costs, expansions) to ``BENCH_planners.json`` at
+the repo root, so a CI artifact carries the reproduced quantities
+without parsing benchmark JSON.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -26,6 +36,19 @@ from repro.graphs.grid import make_paper_grid
 from repro.graphs.roadmap import make_minneapolis_map, road_queries
 from repro.storage.database import Database
 from repro.storage.iostats import IOStatistics
+
+
+#: Domain numbers collected by every benchmark in this module, dumped
+#: to BENCH_planners.json when the module finishes.
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_results_json():
+    yield
+    if _RESULTS:
+        path = Path(__file__).resolve().parent.parent / "BENCH_planners.json"
+        path.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -58,6 +81,11 @@ def test_bench_core_planner_throughput(benchmark, grid30, algorithm, estimator):
     assert result.found
     benchmark.extra_info["iterations"] = result.iterations
     benchmark.extra_info["cost"] = result.cost
+    _RESULTS[f"throughput/{algorithm}" + (f"-{estimator}" if estimator else "")] = {
+        "iterations": result.iterations,
+        "cost": result.cost,
+        "nodes_expanded": result.stats.nodes_expanded,
+    }
 
 
 def test_bench_estimator_ablation_on_road_map(benchmark, road_map):
@@ -80,6 +108,7 @@ def test_bench_estimator_ablation_on_road_map(benchmark, road_map):
 
     expansions = benchmark.pedantic(sweep, rounds=1, iterations=1)
     benchmark.extra_info["expansions"] = expansions
+    _RESULTS["estimator_ablation/A->B"] = expansions
     print()
     print("A* expansions on A->B by estimator:", expansions)
     # Informed estimators beat blind search; ALT stays admissible AND focused.
@@ -107,6 +136,35 @@ def test_bench_buffer_pool_ablation(benchmark, grid30):
 
     costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
     benchmark.extra_info["costs"] = costs
+    _RESULTS["buffer_pool_ablation/dijkstra"] = costs
     print()
     print("Dijkstra engine cost by buffer capacity:", costs)
     assert costs["capacity=64"] < costs["capacity=0"]
+
+
+def test_bench_backend_parity(benchmark, grid30):
+    """One kernel configuration, both backends.
+
+    The relational run must select the same labels (equal iteration
+    count and path cost); the benchmark records its billed execution
+    units next to the in-memory run's free traversal.
+    """
+
+    def sweep():
+        from repro.core.dijkstra import dijkstra_search
+
+        memory = dijkstra_search(grid30, (0, 0), (29, 29))
+        rgraph = RelationalGraph(grid30)
+        relational = run_dijkstra(rgraph, (0, 0), (29, 29))
+        return memory, relational
+
+    memory, relational = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert relational.iterations == memory.iterations
+    assert abs(relational.cost - memory.cost) < 1e-9
+    parity = {
+        "iterations": memory.iterations,
+        "cost": memory.cost,
+        "relational_execution_units": relational.execution_cost,
+    }
+    benchmark.extra_info["parity"] = parity
+    _RESULTS["backend_parity/dijkstra"] = parity

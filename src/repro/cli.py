@@ -34,7 +34,6 @@ from repro.graphs.graph import Graph, NodeId
 from repro.graphs.grid import make_paper_grid
 from repro.graphs.io import load_json
 from repro.graphs.roadmap import make_minneapolis_map
-from repro.core.kshortest import diverse_alternatives, k_shortest_paths
 from repro.core.planner import RoutePlanner
 
 
@@ -84,15 +83,30 @@ def _resolve_endpoints(graph: Graph, args) -> Tuple[NodeId, NodeId]:
 def _cmd_route(args) -> int:
     graph = _load_graph(args.graph)
     source, destination = _resolve_endpoints(graph, args)
-    planner = RoutePlanner()
-    result = planner.plan(
-        graph, source, destination, args.algorithm, args.estimator, args.weight
-    )
+    if args.backend == "relational":
+        from repro.service import RouteService
+
+        service = RouteService()
+        result = service.plan(
+            graph, source, destination, args.algorithm, args.estimator,
+            args.weight, backend="relational",
+        )
+    else:
+        planner = RoutePlanner()
+        result = planner.plan(
+            graph, source, destination, args.algorithm, args.estimator,
+            args.weight,
+        )
     if not result.found:
         print(f"no route from {source!r} to {destination!r}")
         return 1
-    print(f"cost {result.cost:.4f} over {result.path_length} edges "
-          f"({result.stats.nodes_expanded} nodes expanded)")
+    progress = (f"{result.iterations} iterations" if result.io is not None
+                else f"{result.stats.nodes_expanded} nodes expanded")
+    print(f"cost {result.cost:.4f} over {result.path_length} edges ({progress})")
+    if result.io is not None:
+        print(f"relational execution: {result.execution_cost:.2f} units over "
+              f"{result.iterations} iterations "
+              f"(init {result.init_cost:.2f}, sync {result.sync_cost:.2f})")
     if args.show_path:
         print(" -> ".join(repr(node) for node in result.path))
     return 0
@@ -116,13 +130,15 @@ def _cmd_compare(args) -> int:
 def _cmd_alternatives(args) -> int:
     graph = _load_graph(args.graph)
     source, destination = _resolve_endpoints(graph, args)
+    planner = RoutePlanner()
     if args.diverse:
-        routes = diverse_alternatives(
-            graph, source, destination, count=args.k,
-            max_overlap=args.max_overlap,
+        result = planner.plan(
+            graph, source, destination, "diverse_alternatives",
+            count=args.k, max_overlap=args.max_overlap,
         )
     else:
-        routes = k_shortest_paths(graph, source, destination, args.k)
+        result = planner.plan(graph, source, destination, "kshortest", k=args.k)
+    routes = result.alternatives
     if not routes:
         print(f"no route from {source!r} to {destination!r}")
         return 1
@@ -287,6 +303,11 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--algorithm", default="astar")
     route.add_argument("--estimator", default="euclidean")
     route.add_argument("--weight", type=float, default=1.0)
+    route.add_argument("--backend", choices=("memory", "relational"),
+                       default="memory",
+                       help="execution tier: in-memory planner or the "
+                            "simulated relational engine (prints charged "
+                            "I/O units)")
     route.add_argument("--show-path", action="store_true")
     route.set_defaults(func=_cmd_route)
 

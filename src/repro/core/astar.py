@@ -8,7 +8,8 @@ the optimal path (Lemma 3). The estimator focuses expansion towards the
 destination, which is what lets A* terminate after a handful of
 iterations on short or skew-favoured queries (Tables 6-8).
 
-Two fidelity details from the paper's pseudo-code are preserved:
+Two fidelity details from the paper's pseudo-code are preserved by the
+kernel's heap frontier policy:
 
 * the duplicate test is against the **frontier only** (``not_in(v,
   frontierSet)``) — an already-explored node whose label improves is
@@ -20,18 +21,21 @@ Two fidelity details from the paper's pseudo-code are preserved:
   estimate ``h`` (deepest progress towards the goal), then FIFO. This
   keeps uniform-cost grids cheap for A* — the behaviour behind the
   paper's Table 7 uniform-vs-variance contrast.
+
+``astar_search`` is a thin configuration of :mod:`repro.kernel`: the
+heap frontier policy plus an estimator, on the in-memory backend.
 """
 
 from __future__ import annotations
 
 import heapq
-import math
 from typing import Dict, Optional
 
 from repro.exceptions import NodeNotFoundError
 from repro.graphs.graph import Graph, NodeId
 from repro.core.estimators import Estimator, ZeroEstimator
 from repro.core.result import PathResult, SearchStats, reconstruct_path
+from repro.kernel import search
 
 
 def astar_search(
@@ -53,80 +57,15 @@ def astar_search(
     the default allows |N|^2 expansions, far beyond anything the
     benchmark graphs trigger.
     """
-    if source not in graph:
-        raise NodeNotFoundError(source)
-    if destination not in graph:
-        raise NodeNotFoundError(destination)
-
     estimator = estimator if estimator is not None else ZeroEstimator()
-    estimator.prepare(graph, destination)
-
-    stats = SearchStats()
-    cost: Dict[NodeId, float] = {source: 0.0}
-    predecessor: Dict[NodeId, NodeId] = {}
-    explored = set()
-    in_frontier = {source}
-    counter = 0
-    h_source = estimator.estimate(graph, source, destination)
-    heap = [(h_source, h_source, counter, source, 0.0)]
-    stats.frontier_inserts += 1
-    limit = (
-        max_iterations
-        if max_iterations is not None
-        else max(1000, len(graph) * len(graph))
-    )
-    found = False
-
-    while heap:
-        _f, _h, _, u, g_at_push = heapq.heappop(heap)
-        if u not in in_frontier or g_at_push > cost.get(u, math.inf):
-            continue  # stale lazy-deletion entry
-        in_frontier.discard(u)
-        if u == destination:
-            found = True
-            break
-        if u in explored:
-            stats.nodes_reopened += 1
-        explored.add(u)
-        stats.iterations += 1
-        stats.nodes_expanded += 1
-        stats.observe_frontier(len(in_frontier))
-        if stats.iterations > limit:
-            raise RuntimeError(
-                f"A* exceeded {limit} iterations; the estimator may be "
-                "wildly inconsistent"
-            )
-        g = cost[u]
-        for v, edge_cost in graph.neighbors(u):
-            stats.edges_relaxed += 1
-            candidate = g + edge_cost
-            if candidate < cost.get(v, math.inf):
-                cost[v] = candidate
-                predecessor[v] = u
-                stats.nodes_updated += 1
-                # Figure 3: re-insert only if not already in the frontier;
-                # explored nodes re-enter (reopening).
-                h_v = estimator.estimate(graph, v, destination)
-                counter += 1
-                heapq.heappush(heap, (candidate + h_v, h_v, counter, v, candidate))
-                if v not in in_frontier:
-                    in_frontier.add(v)
-                    stats.frontier_inserts += 1
-
-    result = PathResult(
-        source=source,
-        destination=destination,
+    return search(
+        graph,
+        source,
+        destination,
         algorithm="astar",
-        estimator=estimator.name,
-        stats=stats,
+        estimator=estimator,
+        max_iterations=max_iterations,
     )
-    if found:
-        path = reconstruct_path(predecessor, source, destination)
-        assert path is not None, "destination selected without a path label"
-        result.path = path
-        result.cost = cost[destination]
-        result.found = True
-    return result
 
 
 def greedy_best_first_search(
@@ -140,7 +79,8 @@ def greedy_best_first_search(
     Included as the degenerate end of the speed/optimality spectrum —
     it finds *a* path extremely fast but with no quality bound, a useful
     baseline when the experiments quantify the trade-off the paper
-    leaves as future work.
+    leaves as future work. Not a kernel configuration: it keeps no cost
+    labels, so it falls outside the label-correcting protocol.
     """
     if source not in graph:
         raise NodeNotFoundError(source)

@@ -12,17 +12,18 @@ An *iteration* is one select-and-remove on the frontierSet whose node
 actually gets expanded; the final selection of the destination itself
 terminates the loop and is not counted, matching the paper's counts
 (899 iterations on a 900-node grid).
+
+This module is a thin configuration of :mod:`repro.kernel`: the heap
+frontier policy with no estimator, on the in-memory backend.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
 from typing import Dict, Optional
 
-from repro.exceptions import NodeNotFoundError
 from repro.graphs.graph import Graph, NodeId
-from repro.core.result import PathResult, SearchStats, reconstruct_path
+from repro.core.result import PathResult
+from repro.kernel import fastpath, search
 
 
 def dijkstra_search(
@@ -35,68 +36,13 @@ def dijkstra_search(
     Implements Figure 2 with duplicate *avoidance* (the paper's
     preferred frontier policy): a node enters the frontier only once;
     label improvements for nodes already in the frontier are decrease-
-    key operations, realised here with the standard lazy-deletion
-    binary-heap idiom (stale heap entries are skipped on pop, which
-    leaves the expansion sequence identical to true decrease-key).
+    key operations, realised with the standard lazy-deletion binary-
+    heap idiom (stale heap entries are skipped on pop, which leaves
+    the expansion sequence identical to true decrease-key).
 
     Requires non-negative edge costs (enforced at graph construction).
     """
-    if source not in graph:
-        raise NodeNotFoundError(source)
-    if destination not in graph:
-        raise NodeNotFoundError(destination)
-
-    stats = SearchStats()
-    cost: Dict[NodeId, float] = {source: 0.0}
-    predecessor: Dict[NodeId, NodeId] = {}
-    explored = set()
-    counter = 0
-    heap = [(0.0, counter, source)]
-    frontier_size = 1
-    stats.frontier_inserts += 1
-    found = False
-
-    while heap:
-        g, _, u = heapq.heappop(heap)
-        if u in explored or g > cost.get(u, math.inf):
-            continue  # stale lazy-deletion entry
-        frontier_size -= 1
-        explored.add(u)
-        if u == destination:
-            found = True
-            break
-        stats.iterations += 1
-        stats.nodes_expanded += 1
-        stats.observe_frontier(frontier_size)
-        for v, edge_cost in graph.neighbors(u):
-            stats.edges_relaxed += 1
-            if v in explored:
-                continue
-            candidate = g + edge_cost
-            if candidate < cost.get(v, math.inf):
-                newly_open = v not in cost
-                cost[v] = candidate
-                predecessor[v] = u
-                stats.nodes_updated += 1
-                counter += 1
-                heapq.heappush(heap, (candidate, counter, v))
-                if newly_open:
-                    frontier_size += 1
-                    stats.frontier_inserts += 1
-
-    result = PathResult(
-        source=source,
-        destination=destination,
-        algorithm="dijkstra",
-        stats=stats,
-    )
-    if found:
-        path = reconstruct_path(predecessor, source, destination)
-        assert path is not None, "destination settled without a path label"
-        result.path = path
-        result.cost = cost[destination]
-        result.found = True
-    return result
+    return search(graph, source, destination, algorithm="dijkstra")
 
 
 def dijkstra_sssp(
@@ -108,25 +54,4 @@ def dijkstra_sssp(
     specialises; used by tests, the landmark estimator and the graph
     analysis helpers. ``cutoff`` optionally bounds the explored radius.
     """
-    if source not in graph:
-        raise NodeNotFoundError(source)
-    dist: Dict[NodeId, float] = {source: 0.0}
-    heap = [(0.0, 0, source)]
-    counter = 1
-    settled = set()
-    while heap:
-        d, _, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        if cutoff is not None and d > cutoff:
-            continue
-        for v, edge_cost in graph.neighbors(u):
-            nd = d + edge_cost
-            if nd < dist.get(v, math.inf):
-                dist[v] = nd
-                counter += 1
-                heapq.heappush(heap, (nd, counter, v))
-    if cutoff is not None:
-        return {node: d for node, d in dist.items() if d <= cutoff}
-    return dist
+    return fastpath.sssp(graph, source, cutoff)

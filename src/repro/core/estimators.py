@@ -187,25 +187,15 @@ class LandmarkEstimator:
 
     @staticmethod
     def _sssp(graph: Graph, source: NodeId) -> Dict[NodeId, float]:
-        """Plain single-source Dijkstra used for preprocessing."""
-        import heapq
+        """Single-source distances through the shared kernel loop.
 
-        dist: Dict[NodeId, float] = {source: 0.0}
-        heap = [(0.0, 0, source)]
-        counter = 1
-        settled = set()
-        while heap:
-            d, _, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            for v, cost in graph.neighbors(u):
-                nd = d + cost
-                if nd < dist.get(v, math.inf):
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, counter, v))
-                    counter += 1
-        return dist
+        Landmark-table builds use the same relaxation implementation as
+        every planner (``repro.kernel.fastpath.sssp``) rather than a
+        private inline Dijkstra.
+        """
+        from repro.kernel.fastpath import sssp
+
+        return sssp(graph, source)
 
     def preprocess(self, graph: Graph) -> None:
         """Run the per-landmark Dijkstras; call once per graph state."""

@@ -12,16 +12,18 @@ query pair).
 
 An *iteration* here is one wave (one trip of the outer while loop),
 matching how the paper counts iterations for this algorithm.
+
+This module is a thin configuration of :mod:`repro.kernel`: the wave
+frontier policy on the in-memory backend.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.exceptions import NodeNotFoundError
 from repro.graphs.graph import Graph, NodeId
-from repro.core.result import PathResult, SearchStats, reconstruct_path
+from repro.core.result import PathResult
+from repro.kernel import search
 
 
 def iterative_search(
@@ -43,58 +45,10 @@ def iterative_search(
     adversarial inputs; the natural bound is |N| waves on non-negative
     costs (each wave settles at least one node's final label).
     """
-    if source not in graph:
-        raise NodeNotFoundError(source)
-    if destination not in graph:
-        raise NodeNotFoundError(destination)
-
-    stats = SearchStats()
-    cost: Dict[NodeId, float] = {source: 0.0}
-    predecessor: Dict[NodeId, NodeId] = {}
-    frontier = [source]
-    in_frontier = {source}
-    limit = max_iterations if max_iterations is not None else 4 * len(graph) + 4
-    ever_expanded = set()
-
-    while frontier:
-        stats.iterations += 1
-        if stats.iterations > limit:
-            raise RuntimeError(
-                f"iterative search exceeded {limit} waves; "
-                "graph may have pathological costs"
-            )
-        stats.observe_frontier(len(frontier))
-        next_wave = []
-        next_in_frontier = set()
-        for u in frontier:
-            stats.nodes_expanded += 1
-            if u in ever_expanded:
-                stats.nodes_reopened += 1
-            ever_expanded.add(u)
-            base = cost[u]
-            for v, edge_cost in graph.neighbors(u):
-                stats.edges_relaxed += 1
-                candidate = base + edge_cost
-                if candidate < cost.get(v, math.inf):
-                    cost[v] = candidate
-                    predecessor[v] = u
-                    stats.nodes_updated += 1
-                    if v not in next_in_frontier:
-                        next_wave.append(v)
-                        next_in_frontier.add(v)
-                        stats.frontier_inserts += 1
-        frontier = next_wave
-        in_frontier = next_in_frontier
-
-    result = PathResult(
-        source=source,
-        destination=destination,
+    return search(
+        graph,
+        source,
+        destination,
         algorithm="iterative",
-        stats=stats,
+        max_iterations=max_iterations,
     )
-    path = reconstruct_path(predecessor, source, destination)
-    if path is not None and destination in cost:
-        result.path = path
-        result.cost = cost[destination]
-        result.found = True
-    return result

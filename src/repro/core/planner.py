@@ -17,7 +17,8 @@ experiment harness without modifying it.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import UnknownAlgorithmError
 from repro.graphs.graph import Graph, NodeId
@@ -33,49 +34,113 @@ from repro.core.estimators import (
     make_estimator,
 )
 from repro.core.iterative import iterative_search
+from repro.core.kshortest import diverse_alternatives, k_shortest_paths
 from repro.core.result import PathResult
 
 PlannerFunc = Callable[..., PathResult]
 
 
 def _plan_iterative(
-    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator,
+    **options,
 ) -> PathResult:
     return iterative_search(graph, source, destination)
 
 
 def _plan_dijkstra(
-    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator,
+    **options,
 ) -> PathResult:
     return dijkstra_search(graph, source, destination)
 
 
 def _plan_astar(
-    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator,
+    **options,
 ) -> PathResult:
     return astar_search(graph, source, destination, estimator=estimator)
 
 
 def _plan_greedy(
-    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator,
+    **options,
 ) -> PathResult:
     return greedy_best_first_search(graph, source, destination, estimator)
 
 
 def _plan_bidirectional(
-    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator,
+    **options,
 ) -> PathResult:
     return bidirectional_search(graph, source, destination)
+
+
+def _ranked_result(
+    source: NodeId,
+    destination: NodeId,
+    algorithm: str,
+    estimator: Estimator,
+    routes: List[PathResult],
+) -> PathResult:
+    """Fold a ranked route list into one result carrying alternatives.
+
+    The best route doubles as the result itself (path/cost/stats), with
+    the full ranking in ``alternatives`` — so ranked planners return
+    the same :class:`PathResult` schema every other algorithm does and
+    flow through the service cache unchanged. The registry name
+    replaces the subroutine's algorithm label, which also keeps the
+    service's provenance logic conservative (ranked answers carry no
+    edge provenance and are evicted on any cost change).
+    """
+    if not routes:
+        return PathResult(
+            source=source,
+            destination=destination,
+            algorithm=algorithm,
+            estimator=estimator.name,
+        )
+    return replace(routes[0], algorithm=algorithm, alternatives=list(routes))
+
+
+def _plan_kshortest(
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator,
+    k: int = 3, **options,
+) -> PathResult:
+    routes = k_shortest_paths(graph, source, destination, k=k, estimator=estimator)
+    return _ranked_result(source, destination, "kshortest", estimator, routes)
+
+
+def _plan_diverse(
+    graph: Graph, source: NodeId, destination: NodeId, estimator: Estimator,
+    count: int = 3, max_overlap: float = 0.7, search_width: int = 12,
+    **options,
+) -> PathResult:
+    routes = diverse_alternatives(
+        graph,
+        source,
+        destination,
+        count=count,
+        max_overlap=max_overlap,
+        search_width=search_width,
+        estimator=estimator,
+    )
+    return _ranked_result(
+        source, destination, "diverse_alternatives", estimator, routes
+    )
 
 
 class RoutePlanner:
     """Facade dispatching to registered single-pair path algorithms.
 
     The three paper algorithms are pre-registered under ``iterative``,
-    ``dijkstra`` and ``astar``; the extensions under ``greedy`` and
-    ``bidirectional``. Custom algorithms can be registered with
+    ``dijkstra`` and ``astar``; the extensions under ``greedy``,
+    ``bidirectional``, ``kshortest`` (Yen's K best routes, ``k=``
+    option) and ``diverse_alternatives`` (low-overlap route choices,
+    ``count=`` / ``max_overlap=`` / ``search_width=`` options) — the
+    ranked planners return the best route with the full ranking in
+    ``result.alternatives``. Custom algorithms can be registered with
     :meth:`register`; they receive ``(graph, source, destination,
-    estimator)`` and must return a :class:`PathResult`.
+    estimator, **options)`` and must return a :class:`PathResult`.
 
     The registry is guarded by a lock so a planner instance can be
     shared by concurrent server threads (:mod:`repro.service`); an
@@ -95,6 +160,8 @@ class RoutePlanner:
         self.register("astar", _plan_astar)
         self.register("greedy", _plan_greedy)
         self.register("bidirectional", _plan_bidirectional)
+        self.register("kshortest", _plan_kshortest)
+        self.register("diverse_alternatives", _plan_diverse)
 
     def register(self, name: str, func: PlannerFunc) -> None:
         """Add (or replace) an algorithm under ``name``."""
@@ -139,6 +206,7 @@ class RoutePlanner:
         algorithm: str = "astar",
         estimator: "str | Estimator | None" = None,
         weight: float = 1.0,
+        **options,
     ) -> PathResult:
         """Compute a route from ``source`` to ``destination``.
 
@@ -153,6 +221,10 @@ class RoutePlanner:
             for distance-cost maps.
         weight:
             Optional estimator scaling (weighted A*); 1.0 is exact.
+        options:
+            Passed through to the registered planner function —
+            e.g. ``k=5`` for ``kshortest``, ``count`` / ``max_overlap``
+            / ``search_width`` for ``diverse_alternatives``.
         """
         with self._lock:
             func = self._registry.get(algorithm)
@@ -161,7 +233,7 @@ class RoutePlanner:
         resolved, pooled_name = self._resolve_estimator(estimator, weight, graph)
         pooled_instance = resolved.inner if pooled_name and weight != 1.0 else resolved
         try:
-            return func(graph, source, destination, resolved)
+            return func(graph, source, destination, resolved, **options)
         finally:
             if pooled_name is not None:
                 self.estimator_pool.release(pooled_name, pooled_instance)

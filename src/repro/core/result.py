@@ -1,154 +1,26 @@
 """Result and statistics records shared by every planner.
 
-The paper reports two things per run: the number of *iterations* an
-algorithm performs (Tables 5-8) and its execution cost (Figures 5-12).
-:class:`SearchStats` captures the iteration-level counters every planner
-maintains; :class:`PathResult` bundles the found path with those
-counters so that the experiment harness can regenerate the paper's
-tables directly from planner output.
+Historical home of ``PathResult`` and ``SearchStats``. Both execution
+tiers now return the unified schema defined in
+:mod:`repro.kernel.result`; this module re-exports it under the
+in-memory tier's historical names so existing imports keep working.
+``PathResult`` is the same class as ``RunResult``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from repro.kernel.result import (
+    IterationRecord,
+    PathResult,
+    RunResult,
+    SearchStats,
+    reconstruct_path,
+)
 
-
-@dataclass
-class SearchStats:
-    """Counters accumulated during a single-pair search.
-
-    Attributes
-    ----------
-    iterations:
-        The paper's headline metric. For Dijkstra and A* this is the
-        number of select-and-remove operations on the frontierSet (one
-        node expanded per iteration); for the Iterative algorithm it is
-        the number of whole-frontier waves (the outer while-loop trips),
-        matching how Tables 5-8 count.
-    nodes_expanded:
-        Nodes whose adjacency list was fetched. Equals ``iterations``
-        for Dijkstra/A*; for Iterative each wave expands many nodes.
-    edges_relaxed:
-        Edge relaxations attempted (adjacency entries examined).
-    nodes_updated:
-        Relaxations that improved a label (cost + path updated).
-    nodes_reopened:
-        Nodes re-inserted into the frontier after having been explored
-        (backtracking, in the paper's vocabulary).
-    max_frontier_size:
-        Peak size of the frontierSet, a memory-pressure proxy.
-    frontier_inserts:
-        Total insertions into the frontierSet (drives the frontier-
-        management costs studied in Section 5.3).
-    """
-
-    iterations: int = 0
-    nodes_expanded: int = 0
-    edges_relaxed: int = 0
-    nodes_updated: int = 0
-    nodes_reopened: int = 0
-    max_frontier_size: int = 0
-    frontier_inserts: int = 0
-
-    def observe_frontier(self, size: int) -> None:
-        """Record the current frontier size for the peak statistic."""
-        if size > self.max_frontier_size:
-            self.max_frontier_size = size
-
-    def merged_with(self, other: "SearchStats") -> "SearchStats":
-        """Combine counters from two searches (used by bidirectional)."""
-        return SearchStats(
-            iterations=self.iterations + other.iterations,
-            nodes_expanded=self.nodes_expanded + other.nodes_expanded,
-            edges_relaxed=self.edges_relaxed + other.edges_relaxed,
-            nodes_updated=self.nodes_updated + other.nodes_updated,
-            nodes_reopened=self.nodes_reopened + other.nodes_reopened,
-            max_frontier_size=max(self.max_frontier_size, other.max_frontier_size),
-            frontier_inserts=self.frontier_inserts + other.frontier_inserts,
-        )
-
-
-@dataclass
-class PathResult:
-    """Outcome of a single-pair path computation.
-
-    ``found`` is False when the destination is unreachable; in that case
-    ``path`` is empty and ``cost`` is ``float('inf')``. Planners return
-    this record rather than raising so that experiment sweeps over many
-    pairs need no special-casing; callers who prefer an exception can
-    use :meth:`raise_if_not_found`.
-    """
-
-    source: object
-    destination: object
-    path: List[object] = field(default_factory=list)
-    cost: float = float("inf")
-    found: bool = False
-    algorithm: str = ""
-    estimator: str = ""
-    stats: SearchStats = field(default_factory=SearchStats)
-
-    @property
-    def path_length(self) -> int:
-        """Number of edges in the path (the paper's L); 0 if not found."""
-        return max(0, len(self.path) - 1)
-
-    @property
-    def iterations(self) -> int:
-        """Shortcut to the headline iteration count."""
-        return self.stats.iterations
-
-    def raise_if_not_found(self) -> "PathResult":
-        """Return self, or raise :class:`PathNotFoundError`."""
-        if not self.found:
-            from repro.exceptions import PathNotFoundError
-
-            raise PathNotFoundError(self.source, self.destination)
-        return self
-
-    def edge_sequence(self) -> List[Tuple[object, object]]:
-        """Consecutive ``(u, v)`` pairs along the path."""
-        return list(zip(self.path, self.path[1:]))
-
-    def __repr__(self) -> str:
-        status = f"cost={self.cost:.4g}" if self.found else "not-found"
-        return (
-            f"PathResult({self.source!r} -> {self.destination!r}, {status}, "
-            f"edges={self.path_length}, iterations={self.stats.iterations}, "
-            f"algorithm={self.algorithm!r})"
-        )
-
-
-def reconstruct_path(
-    predecessor: dict, source: object, destination: object
-) -> Optional[List[object]]:
-    """Walk a predecessor map back from ``destination`` to ``source``.
-
-    This is the paper's "path field in R points to a neighboring node on
-    the best path to the source node... the complete path can be
-    constructed by traversing this pointer starting at the destination".
-
-    Returns None when the destination was never labelled. Raises
-    ``ValueError`` on a corrupt predecessor map (cycle or walk that
-    misses the source), which would indicate a planner bug.
-    """
-    if destination == source:
-        return [source]
-    if destination not in predecessor:
-        return None
-    path = [destination]
-    seen = {destination}
-    current = destination
-    while current != source:
-        current = predecessor[current]
-        if current in seen:
-            raise ValueError(
-                f"predecessor map contains a cycle through {current!r}"
-            )
-        seen.add(current)
-        path.append(current)
-        if len(path) > len(predecessor) + 2:
-            raise ValueError("predecessor walk exceeded map size; map is corrupt")
-    path.reverse()
-    return path
+__all__ = [
+    "IterationRecord",
+    "PathResult",
+    "RunResult",
+    "SearchStats",
+    "reconstruct_path",
+]

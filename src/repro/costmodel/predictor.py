@@ -6,10 +6,11 @@ cost models and simulation we were able to predict actual execution
 time within ten percent."
 
 :func:`predict_from_iterations` reproduces Table 4B (iteration counts in,
-predicted units out); :func:`predict_run` takes a live
-:class:`~repro.engine.tracing.RelationalRunResult` and predicts what the
-engine should have charged, letting tests quantify the model-vs-engine
-agreement the paper claims.
+predicted units out); :func:`predict_run` takes a completed
+:class:`~repro.kernel.result.RunResult` — both execution tiers return
+the same schema, though only relational runs carry the charged units —
+and predicts what the engine should have charged, letting tests
+quantify the model-vs-engine agreement the paper claims.
 """
 
 from __future__ import annotations
@@ -79,9 +80,13 @@ def predict_from_iterations(
 
 
 def predict_run(run, params: CostParameters) -> CostPrediction:
-    """Predict the cost of a completed relational engine run.
+    """Predict the cost of a completed run (a unified ``RunResult``).
 
-    For the Iterative algorithm, the average current-node count is
+    Any traced run works — the kernel emits the same
+    ``algorithm`` / ``iterations`` / ``trace`` schema from both
+    backends — but the predicted units are only comparable to a
+    *relational* run's ledger, since the in-memory backend charges
+    nothing. For the Iterative algorithm, the average current-node count is
     taken from the run's trace when available (the paper's simulation
     likewise read the dynamic quantities off the EQUEL execution
     trace); without a trace the no-backtracking estimate |R| / B(L)

@@ -1,7 +1,8 @@
 """Relational best-first execution: Dijkstra and the A* versions.
 
-This module runs Figure 2 / Figure 3 as database programs over the
-S and R relations, following the ten cost steps of Table 3:
+This module configures the kernel loop (:mod:`repro.kernel`) to run
+Figure 2 / Figure 3 as database programs over the S and R relations,
+following the ten cost steps of Table 3:
 
 1-3. create, populate and index R (skipped by A* version 1, which
      builds R lazily);
@@ -15,7 +16,11 @@ per iteration:
 10.  reconstruct the path by chasing R.path pointers, then drop the
      temporaries.
 
-The paper's three A* versions map onto two orthogonal switches:
+Steps 1-4 happen in :class:`RelationalBestFirstPolicy`'s construction
+(inside the kernel's init phase), 5-9 are the kernel loop driving that
+policy over :class:`RelationalBackend`, and 10 is the policy's
+finalize. The paper's three A* versions map onto two orthogonal
+switches:
 
 ========  ====================  ==========
 version   frontier              estimator
@@ -30,11 +35,10 @@ Dijkstra is the status-attribute frontier with the zero estimator.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.exceptions import NodeNotFoundError, PlannerError
-from repro.graphs.graph import Graph, NodeId
+from repro.graphs.graph import NodeId
 from repro.core.estimators import (
     Estimator,
     EuclideanEstimator,
@@ -45,8 +49,10 @@ from repro.engine.frontier import (
     SeparateRelationFrontier,
     StatusAttributeFrontier,
 )
-from repro.engine.relational_graph import RelationalGraph, UNLABELLED
-from repro.engine.tracing import IterationRecord, RelationalRunResult
+from repro.engine.relational_graph import RelationalGraph
+from repro.engine.tracing import RelationalRunResult
+from repro.kernel.backends import RelationalBackend, RelationalBestFirstPolicy
+from repro.kernel.loop import SearchConfig, run_search
 
 #: variant name -> (frontier kind, estimator factory)
 ASTAR_VERSIONS = {
@@ -79,123 +85,42 @@ def run_best_first(
     if destination not in graph:
         raise NodeNotFoundError(destination)
 
-    stats = rgraph.stats
-    stats.reset()
-    # Absorb any traffic epochs first: the run must price this epoch's
-    # costs, and the re-fetch I/O is part of this run's bill.
-    rgraph.sync()
     estimator = estimator if estimator is not None else ZeroEstimator()
-    estimator.prepare(graph, destination)
 
-    def key_of(node_tuple: dict) -> float:
-        return node_tuple["path_cost"] + estimator.estimate(
-            graph, node_tuple["node_id"], destination
-        )
+    def make_policy(backend, stats, dest):
+        def key_of(node_tuple: dict) -> float:
+            return node_tuple["path_cost"] + estimator.estimate(
+                graph, node_tuple["node_id"], dest
+            )
 
-    # ------------------------------------------------------------ init
-    with stats.phase("init"):
         if frontier_kind == "status-attribute":
             R = rgraph.fresh_node_relation(populate=True)  # C1-C3
-            frontier = StatusAttributeFrontier(R, stats, key_of)
+            frontier = StatusAttributeFrontier(R, rgraph.stats, key_of)
         elif frontier_kind == "separate-relation":
             R = rgraph.fresh_node_relation(populate=False)  # C1 only
             frontier = SeparateRelationFrontier(
-                rgraph.db.create_relation, R, graph, stats, key_of
+                rgraph.db.create_relation, R, graph, rgraph.stats, key_of
             )
         else:
             raise PlannerError(f"unknown frontier kind {frontier_kind!r}")
-        frontier.open_node(source, 0.0, None)  # C4
+        return RelationalBestFirstPolicy(rgraph, R, frontier)
 
-    result = RelationalRunResult(
+    config = SearchConfig(
         algorithm=algorithm,
         variant=variant or frontier_kind,
-        source=source,
-        destination=destination,
-        io=stats,
+        estimator=estimator,
+        make_policy=make_policy,
+        limit=(
+            max_iterations
+            if max_iterations is not None
+            else 20 * len(graph) + 100
+        ),
+        limit_error=lambda bound: PlannerError(
+            f"relational best-first exceeded {bound} iterations"
+        ),
+        trace=True,
     )
-    limit = max_iterations if max_iterations is not None else 20 * len(graph) + 100
-
-    # --------------------------------------------------------- iterate
-    found_tuple: Optional[dict] = None
-    while True:
-        with stats.phase("iterate"):
-            best = frontier.select_best()  # C5
-            if best is None:
-                break
-            if best["node_id"] == destination:
-                found_tuple = best
-                break
-            frontier.close(best)  # C6
-            result.iterations += 1
-            if result.iterations > limit:
-                raise PlannerError(
-                    f"relational best-first exceeded {limit} iterations"
-                )
-            outer = [{k: v for k, v in best.items() if k != "_rid"}]
-            joined, plan = rgraph.adjacency_join(outer)  # C7
-            updates = 0
-            for row in joined:  # C8
-                neighbor = row["end"]
-                new_cost = best["path_cost"] + row["cost"]
-                if frontier.relax(neighbor, new_cost, best["node_id"]):
-                    updates += 1
-            result.trace.append(
-                IterationRecord(
-                    index=result.iterations,
-                    expanded_nodes=1,
-                    join_result_tuples=len(joined),
-                    join_strategy=plan.strategy_name,
-                    updates_applied=updates,
-                    frontier_size_after=frontier.size(),
-                    cumulative_cost=stats.cost,
-                )
-            )
-
-    # --------------------------------------------------------- cleanup
-    with stats.phase("cleanup"):
-        if found_tuple is not None:
-            result.found = True
-            result.cost = found_tuple["path_cost"]
-            result.path = _chase_path_pointers(
-                frontier, source, destination, len(graph)
-            )
-        rgraph.drop_node_relation(R)
-        if isinstance(frontier, SeparateRelationFrontier):
-            rgraph.db.drop_relation(frontier.F.name)
-
-    result.init_cost = stats.phase_cost("init")
-    result.iteration_cost = stats.phase_cost("iterate")
-    result.cleanup_cost = stats.phase_cost("cleanup")
-    result.sync_cost = stats.phase_cost("traffic-sync")
-    return result
-
-
-def _chase_path_pointers(
-    frontier, source: NodeId, destination: NodeId, node_count: int
-) -> list:
-    """Reconstruct the path by keyed fetches along R.path (step 10)."""
-    path = [destination]
-    current = destination
-    hops = 0
-    while current != source:
-        label = _read_label(frontier, current)
-        if label is None or label["path"] is None:
-            raise PlannerError(
-                f"path pointer chain broken at {current!r}"
-            )
-        current = label["path"]
-        path.append(current)
-        hops += 1
-        if hops > node_count + 1:
-            raise PlannerError("path pointer chain exceeds node count")
-    path.reverse()
-    return path
-
-
-def _read_label(frontier, node_id: NodeId) -> Optional[dict]:
-    if isinstance(frontier, StatusAttributeFrontier):
-        return frontier.R.fetch_by_key(node_id)
-    return frontier._read_node(node_id)
+    return run_search(RelationalBackend(rgraph), source, destination, config)
 
 
 # ----------------------------------------------------------------------

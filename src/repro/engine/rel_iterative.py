@@ -15,6 +15,10 @@ One *iteration* is one wave of the outer loop:
 The algorithm runs until no current nodes remain — it cannot stop at
 the destination (Lemma 1 gives optimality only at full exploration),
 which is exactly why its iteration count is path-length-insensitive.
+
+This module is a thin configuration of :mod:`repro.kernel`: the
+relational wave policy (:class:`RelationalWavePolicy` holds steps 5-8)
+on :class:`RelationalBackend`.
 """
 
 from __future__ import annotations
@@ -24,13 +28,9 @@ from typing import Optional
 from repro.exceptions import NodeNotFoundError, PlannerError
 from repro.graphs.graph import NodeId
 from repro.engine.relational_graph import RelationalGraph
-from repro.engine.tracing import IterationRecord, RelationalRunResult
-from repro.storage.schema import (
-    STATUS_CLOSED,
-    STATUS_CURRENT,
-    STATUS_NULL,
-    STATUS_OPEN,
-)
+from repro.engine.tracing import RelationalRunResult
+from repro.kernel.backends import RelationalBackend, RelationalWavePolicy
+from repro.kernel.loop import SearchConfig, run_search
 
 
 def run_iterative(
@@ -46,136 +46,22 @@ def run_iterative(
     if destination not in graph:
         raise NodeNotFoundError(destination)
 
-    stats = rgraph.stats
-    stats.reset()
-    # Absorb any traffic epochs first: the run must price this epoch's
-    # costs, and the re-fetch I/O is part of this run's bill.
-    rgraph.sync()
-
-    with stats.phase("init"):
+    def make_policy(backend, stats, dest):
         R = rgraph.fresh_node_relation(populate=True)  # C1-C3
-        # C4: mark the start node current via a keyed replace.
-        rid = R.isam.probe(source)
-        if rid is None:
-            raise PlannerError(f"source {source!r} missing from R")
-        row = dict(R.read(rid))
-        row.update(status=STATUS_CURRENT, path_cost=0.0, path=None)
-        R.heap.update(rid, row)
+        return RelationalWavePolicy(rgraph, R)
 
-    result = RelationalRunResult(
+    config = SearchConfig(
         algorithm="iterative",
         variant="status-attribute",
-        source=source,
-        destination=destination,
-        io=stats,
+        make_policy=make_policy,
+        limit=(
+            max_iterations
+            if max_iterations is not None
+            else 4 * len(graph) + 4
+        ),
+        limit_error=lambda bound: PlannerError(
+            f"relational iterative exceeded {bound} waves"
+        ),
+        trace=True,
     )
-    limit = max_iterations if max_iterations is not None else 4 * len(graph) + 4
-
-    while True:
-        with stats.phase("iterate"):
-            # Step 5: fetch all current nodes (scan of R).
-            current = [
-                dict(values)
-                for _rid, values in R.scan()
-                if values["status"] == STATUS_CURRENT
-            ]
-            if not current:
-                break
-            result.iterations += 1
-            if result.iterations > limit:
-                raise PlannerError(
-                    f"relational iterative exceeded {limit} waves"
-                )
-
-            # Step 6: one join fetches every current node's adjacency list.
-            joined, plan = rgraph.adjacency_join(current)
-
-            # Reduce the join result to the best improvement per
-            # neighbor (CPU work on the materialised join output).
-            best_improvement = {}
-            for path_tuple in joined:
-                neighbor = repr(path_tuple["end"])
-                new_cost = path_tuple["path_cost"] + path_tuple["cost"]
-                prior = best_improvement.get(neighbor)
-                if prior is None or new_cost < prior[0]:
-                    best_improvement[neighbor] = (
-                        new_cost,
-                        path_tuple["node_id"],
-                    )
-
-            # Step 7: one set-oriented REPLACE pass applies the label
-            # improvements and flips statuses (current -> closed,
-            # improved -> current for the next wave). This is the
-            # paper's batch update charged at 2 * B_r * t_update.
-            updates = 0
-
-            def flip(values):
-                nonlocal updates
-                improvement = best_improvement.get(repr(values["node_id"]))
-                improved = (
-                    improvement is not None
-                    and values["path_cost"] > improvement[0]
-                )
-                if improved:
-                    values = dict(values)
-                    values["path_cost"], values["path"] = improvement
-                    values["status"] = STATUS_CURRENT
-                    updates += 1
-                    return values
-                if values["status"] == STATUS_CURRENT:
-                    values = dict(values)
-                    values["status"] = STATUS_CLOSED
-                    return values
-                return None
-
-            R.heap.batch_update(flip)
-
-            # Step 8: scan R to count current nodes (termination test).
-            count = sum(
-                1
-                for _rid, values in R.scan()
-                if values["status"] == STATUS_CURRENT
-            )
-
-            result.trace.append(
-                IterationRecord(
-                    index=result.iterations,
-                    expanded_nodes=len(current),
-                    join_result_tuples=len(joined),
-                    join_strategy=plan.strategy_name,
-                    updates_applied=updates,
-                    frontier_size_after=count,
-                    cumulative_cost=stats.cost,
-                )
-            )
-
-    with stats.phase("cleanup"):
-        label = R.fetch_by_key(destination)
-        if label is not None and label["path_cost"] != float("inf"):
-            result.found = True
-            result.cost = label["path_cost"]
-            result.path = _walk_pointers(R, source, destination, len(graph))
-        rgraph.drop_node_relation(R)
-
-    result.init_cost = stats.phase_cost("init")
-    result.iteration_cost = stats.phase_cost("iterate")
-    result.cleanup_cost = stats.phase_cost("cleanup")
-    result.sync_cost = stats.phase_cost("traffic-sync")
-    return result
-
-
-def _walk_pointers(R, source: NodeId, destination: NodeId, node_count: int) -> list:
-    path = [destination]
-    current = destination
-    hops = 0
-    while current != source:
-        label = R.fetch_by_key(current)
-        if label is None or label["path"] is None:
-            raise PlannerError(f"path pointer chain broken at {current!r}")
-        current = label["path"]
-        path.append(current)
-        hops += 1
-        if hops > node_count + 1:
-            raise PlannerError("path pointer chain exceeds node count")
-    path.reverse()
-    return path
+    return run_search(RelationalBackend(rgraph), source, destination, config)

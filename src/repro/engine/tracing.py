@@ -2,10 +2,15 @@
 
 The paper extracts iteration counts "from the trace of the actual
 execution of the algorithms" and feeds them to the analytical cost
-model. :class:`IterationRecord` is one line of that trace;
-:class:`RelationalRunResult` is everything a run produces — the path,
-the trace, the raw I/O counters and the phase-attributed cost in the
-paper's units.
+model. :class:`IterationRecord` is one line of that trace and
+:class:`RelationalRunResult` everything a run produces — both now
+defined once in :mod:`repro.kernel.result` (the engine and the
+in-memory planners share one result schema) and re-exported here under
+their historical import path.
+
+This module keeps the serving-layer tracing primitives
+(:class:`TraceSpan`, :class:`RequestTrace`) used by
+:class:`repro.service.RouteService`.
 """
 
 from __future__ import annotations
@@ -13,9 +18,21 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
-from repro.storage.iostats import IOStatistics
+from repro.kernel.result import (  # noqa: F401  (re-exported)
+    IterationRecord,
+    RelationalRunResult,
+    RunResult,
+)
+
+__all__ = [
+    "IterationRecord",
+    "RelationalRunResult",
+    "RequestTrace",
+    "RunResult",
+    "TraceSpan",
+]
 
 
 @dataclass
@@ -87,73 +104,3 @@ class RequestTrace:
     def __repr__(self) -> str:
         names = " > ".join(span.name for span in self.spans) or "(empty)"
         return f"RequestTrace({names}, {self.total_duration_s:.6f}s)"
-
-
-@dataclass
-class IterationRecord:
-    """One iteration of a relational algorithm run."""
-
-    index: int
-    expanded_nodes: int  # |C|: current nodes this iteration
-    join_result_tuples: int  # |JOIN|: neighbor paths produced
-    join_strategy: str
-    updates_applied: int  # labels improved and written back
-    frontier_size_after: int
-    cumulative_cost: float
-
-
-@dataclass
-class RelationalRunResult:
-    """Outcome of one DB-backed single-pair computation."""
-
-    algorithm: str
-    variant: str
-    source: object
-    destination: object
-    path: List[object] = field(default_factory=list)
-    cost: float = float("inf")
-    found: bool = False
-    iterations: int = 0
-    trace: List[IterationRecord] = field(default_factory=list)
-    io: Optional[IOStatistics] = None
-    init_cost: float = 0.0
-    iteration_cost: float = 0.0
-    cleanup_cost: float = 0.0
-    #: Cost of re-fetching traffic-dirtied adjacency blocks before the
-    #: run (0.0 when S was already current).
-    sync_cost: float = 0.0
-
-    @property
-    def execution_cost(self) -> float:
-        """Total weighted cost — the paper's "execution time" axis."""
-        if self.io is None:
-            return self.init_cost + self.iteration_cost + self.cleanup_cost
-        return self.io.cost
-
-    @property
-    def path_length(self) -> int:
-        return max(0, len(self.path) - 1)
-
-    def average_iteration_cost(self) -> float:
-        """The model's Gamma_average."""
-        if not self.iterations:
-            return 0.0
-        return self.iteration_cost / self.iterations
-
-    def join_strategy_histogram(self) -> Dict[str, int]:
-        """How often each join plan was chosen across iterations."""
-        histogram: Dict[str, int] = {}
-        for record in self.trace:
-            histogram[record.join_strategy] = (
-                histogram.get(record.join_strategy, 0) + 1
-            )
-        return histogram
-
-    def __repr__(self) -> str:
-        status = f"cost={self.cost:.4g}" if self.found else "not-found"
-        return (
-            f"RelationalRunResult({self.algorithm}/{self.variant}, "
-            f"{self.source!r} -> {self.destination!r}, {status}, "
-            f"iterations={self.iterations}, "
-            f"exec={self.execution_cost:.2f} units)"
-        )

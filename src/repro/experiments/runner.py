@@ -4,7 +4,11 @@ The harness runs every measurement through the *relational engine*
 (that is what the paper measured: EQUEL programs on INGRES) and
 cross-checks the found path cost against the in-memory planner tier,
 so a disagreement between tiers fails loudly rather than skewing a
-table.
+table. Both tiers are configurations of the same
+:mod:`repro.kernel` loop and return the unified
+:class:`~repro.kernel.result.RunResult` schema, so a measurement
+reads ``iterations`` / ``execution_cost`` / ``init_cost`` off the run
+without caring which backend produced it.
 """
 
 from __future__ import annotations

@@ -1,0 +1,299 @@
+"""The unified result schema shared by both execution tiers.
+
+The paper reports the same quantities for every algorithm — iteration
+counts (Tables 5-8) and execution cost (Figures 5-12) — regardless of
+whether the run happened in memory or as an EQUEL program. The repo
+used to mirror that split with two result types
+(``core.result.PathResult`` and ``engine.tracing.RelationalRunResult``);
+:class:`RunResult` merges them: path, cost, per-iteration counters,
+optional per-iteration trace records, and optional I/O statistics. The
+old names remain importable as aliases so every consumer
+(:mod:`repro.costmodel.predictor`, :mod:`repro.experiments.runner`,
+:mod:`repro.service.service`) reads one schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.iostats import IOStatistics
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during a single-pair search.
+
+    Attributes
+    ----------
+    iterations:
+        The paper's headline metric. For Dijkstra and A* this is the
+        number of select-and-remove operations on the frontierSet (one
+        node expanded per iteration); for the Iterative algorithm it is
+        the number of whole-frontier waves (the outer while-loop trips),
+        matching how Tables 5-8 count.
+    nodes_expanded:
+        Nodes whose adjacency list was fetched. Equals ``iterations``
+        for Dijkstra/A*; for Iterative each wave expands many nodes.
+    edges_relaxed:
+        Edge relaxations attempted (adjacency entries examined).
+    nodes_updated:
+        Relaxations that improved a label (cost + path updated).
+    nodes_reopened:
+        Nodes re-inserted into the frontier after having been explored
+        (backtracking, in the paper's vocabulary).
+    max_frontier_size:
+        Peak size of the frontierSet, a memory-pressure proxy.
+    frontier_inserts:
+        Total insertions into the frontierSet (drives the frontier-
+        management costs studied in Section 5.3).
+    """
+
+    iterations: int = 0
+    nodes_expanded: int = 0
+    edges_relaxed: int = 0
+    nodes_updated: int = 0
+    nodes_reopened: int = 0
+    max_frontier_size: int = 0
+    frontier_inserts: int = 0
+
+    def observe_frontier(self, size: int) -> None:
+        """Record the current frontier size for the peak statistic."""
+        if size > self.max_frontier_size:
+            self.max_frontier_size = size
+
+    def merged_with(self, other: "SearchStats") -> "SearchStats":
+        """Combine counters from two searches (used by bidirectional)."""
+        return SearchStats(
+            iterations=self.iterations + other.iterations,
+            nodes_expanded=self.nodes_expanded + other.nodes_expanded,
+            edges_relaxed=self.edges_relaxed + other.edges_relaxed,
+            nodes_updated=self.nodes_updated + other.nodes_updated,
+            nodes_reopened=self.nodes_reopened + other.nodes_reopened,
+            max_frontier_size=max(self.max_frontier_size, other.max_frontier_size),
+            frontier_inserts=self.frontier_inserts + other.frontier_inserts,
+        )
+
+
+@dataclass
+class IterationRecord:
+    """One iteration of a traced algorithm run.
+
+    For relational runs the record carries the database quantities the
+    paper reads off the EQUEL trace (join output size, chosen plan,
+    cumulative cost). For in-memory runs through the generic kernel
+    loop the I/O-free analogues are recorded, which is what lets the
+    equivalence tests compare the two tiers iteration by iteration.
+    """
+
+    index: int
+    expanded_nodes: int  # |C|: current nodes this iteration
+    join_result_tuples: int  # |JOIN|: neighbor paths produced
+    join_strategy: str
+    updates_applied: int  # labels improved and written back
+    frontier_size_after: int
+    cumulative_cost: float
+    #: ``(node_id, path_cost)`` labels selected this iteration — one
+    #: pair for best-first, the whole wave for Iterative. Empty for
+    #: runs predating the kernel or traced without labels.
+    labels: Tuple = ()
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single-pair path computation on either tier.
+
+    ``found`` is False when the destination is unreachable; in that case
+    ``path`` is empty and ``cost`` is ``float('inf')``. Planners return
+    this record rather than raising so that experiment sweeps over many
+    pairs need no special-casing; callers who prefer an exception can
+    use :meth:`raise_if_not_found`.
+
+    In-memory runs populate ``stats`` (and leave ``io`` None, so
+    :attr:`execution_cost` is 0 — memory is free in the paper's cost
+    model); relational runs additionally carry the per-iteration
+    ``trace``, the ``io`` ledger, and the phase-attributed costs in
+    Table 4A units.
+    """
+
+    source: object
+    destination: object
+    path: List[object] = field(default_factory=list)
+    cost: float = float("inf")
+    found: bool = False
+    algorithm: str = ""
+    estimator: str = ""
+    stats: SearchStats = field(default_factory=SearchStats)
+    #: Algorithm variant (the relational frontier kind or A* version).
+    variant: str = ""
+    #: Per-iteration records (populated by traced kernel runs).
+    trace: List[IterationRecord] = field(default_factory=list)
+    #: The run's I/O ledger (relational backend only).
+    io: Optional[IOStatistics] = None
+    init_cost: float = 0.0
+    iteration_cost: float = 0.0
+    cleanup_cost: float = 0.0
+    #: Cost of re-fetching traffic-dirtied adjacency blocks before the
+    #: run (0.0 when S was already current).
+    sync_cost: float = 0.0
+    #: Ranked alternative routes (k-shortest / diverse planners); the
+    #: best route is duplicated as the result itself.
+    alternatives: List["RunResult"] = field(default_factory=list)
+
+    @property
+    def path_length(self) -> int:
+        """Number of edges in the path (the paper's L); 0 if not found."""
+        return max(0, len(self.path) - 1)
+
+    @property
+    def iterations(self) -> int:
+        """Shortcut to the headline iteration count."""
+        return self.stats.iterations
+
+    @iterations.setter
+    def iterations(self, value: int) -> None:
+        self.stats.iterations = value
+
+    @property
+    def execution_cost(self) -> float:
+        """Total weighted cost — the paper's "execution time" axis."""
+        if self.io is None:
+            return self.init_cost + self.iteration_cost + self.cleanup_cost
+        return self.io.cost
+
+    def raise_if_not_found(self) -> "RunResult":
+        """Return self, or raise :class:`PathNotFoundError`."""
+        if not self.found:
+            from repro.exceptions import PathNotFoundError
+
+            raise PathNotFoundError(self.source, self.destination)
+        return self
+
+    def edge_sequence(self) -> List[Tuple[object, object]]:
+        """Consecutive ``(u, v)`` pairs along the path."""
+        return list(zip(self.path, self.path[1:]))
+
+    def average_iteration_cost(self) -> float:
+        """The model's Gamma_average."""
+        if not self.iterations:
+            return 0.0
+        return self.iteration_cost / self.iterations
+
+    def join_strategy_histogram(self) -> Dict[str, int]:
+        """How often each join plan was chosen across iterations."""
+        histogram: Dict[str, int] = {}
+        for record in self.trace:
+            histogram[record.join_strategy] = (
+                histogram.get(record.join_strategy, 0) + 1
+            )
+        return histogram
+
+    def __repr__(self) -> str:
+        status = f"cost={self.cost:.4g}" if self.found else "not-found"
+        return (
+            f"PathResult({self.source!r} -> {self.destination!r}, {status}, "
+            f"edges={self.path_length}, iterations={self.stats.iterations}, "
+            f"algorithm={self.algorithm!r})"
+        )
+
+
+#: The in-memory planners' historical name for the unified schema.
+PathResult = RunResult
+
+
+class RelationalRunResult(RunResult):
+    """Outcome of one DB-backed single-pair computation.
+
+    A :class:`RunResult` whose constructor keeps the relational tier's
+    historical keyword order (``algorithm`` / ``variant`` first, plain
+    ``iterations`` count) so engine callers and tests are source-
+    compatible, and whose repr leads with the engine quantities. Every
+    field — including ``stats`` — is accepted by keyword, which keeps
+    :func:`dataclasses.replace` working on instances (the service's
+    cache handout path relies on that).
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "",
+        variant: str = "",
+        source: object = None,
+        destination: object = None,
+        path: Optional[List[object]] = None,
+        cost: float = float("inf"),
+        found: bool = False,
+        iterations: int = 0,
+        trace: Optional[List[IterationRecord]] = None,
+        io: Optional[IOStatistics] = None,
+        init_cost: float = 0.0,
+        iteration_cost: float = 0.0,
+        cleanup_cost: float = 0.0,
+        sync_cost: float = 0.0,
+        estimator: str = "",
+        stats: Optional[SearchStats] = None,
+        alternatives: Optional[List[RunResult]] = None,
+    ) -> None:
+        RunResult.__init__(
+            self,
+            source=source,
+            destination=destination,
+            path=path if path is not None else [],
+            cost=cost,
+            found=found,
+            algorithm=algorithm,
+            estimator=estimator,
+            stats=stats if stats is not None else SearchStats(),
+            variant=variant,
+            trace=trace if trace is not None else [],
+            io=io,
+            init_cost=init_cost,
+            iteration_cost=iteration_cost,
+            cleanup_cost=cleanup_cost,
+            sync_cost=sync_cost,
+            alternatives=alternatives if alternatives is not None else [],
+        )
+        if iterations:
+            self.stats.iterations = iterations
+
+    def __repr__(self) -> str:
+        status = f"cost={self.cost:.4g}" if self.found else "not-found"
+        return (
+            f"RelationalRunResult({self.algorithm}/{self.variant}, "
+            f"{self.source!r} -> {self.destination!r}, {status}, "
+            f"iterations={self.iterations}, "
+            f"exec={self.execution_cost:.2f} units)"
+        )
+
+
+def reconstruct_path(
+    predecessor: dict, source: object, destination: object
+) -> Optional[List[object]]:
+    """Walk a predecessor map back from ``destination`` to ``source``.
+
+    This is the paper's "path field in R points to a neighboring node on
+    the best path to the source node... the complete path can be
+    constructed by traversing this pointer starting at the destination".
+
+    Returns None when the destination was never labelled. Raises
+    ``ValueError`` on a corrupt predecessor map (cycle or walk that
+    misses the source), which would indicate a planner bug.
+    """
+    if destination == source:
+        return [source]
+    if destination not in predecessor:
+        return None
+    path = [destination]
+    seen = {destination}
+    current = destination
+    while current != source:
+        current = predecessor[current]
+        if current in seen:
+            raise ValueError(
+                f"predecessor map contains a cycle through {current!r}"
+            )
+        seen.add(current)
+        path.append(current)
+        if len(path) > len(predecessor) + 2:
+            raise ValueError("predecessor walk exceeded map size; map is corrupt")
+    path.reverse()
+    return path

@@ -33,9 +33,15 @@ Two traffic-safety mechanisms work together:
   on the same signal.
 
 The cache sits above both execution tiers. For in-memory planning a
-warm hit costs a dictionary lookup; for the relational engine tier
-(:meth:`plan_engine`) a warm hit performs **zero block reads and
-writes** — the database is never touched.
+warm hit costs a dictionary lookup; for relational execution — either
+the ``backend="relational"`` knob on :meth:`plan` or the lower-level
+:meth:`plan_engine` — a warm hit performs **zero block reads and
+writes**: the database is never touched. On the relational backend the
+service owns one :class:`~repro.engine.relational_graph.RelationalGraph`
+per served graph, forwards traffic epochs to it (so dirtied adjacency
+blocks are re-fetched and billed as ``sync_cost`` on the next cold
+run), and keys cached answers under a ``rel:`` spec so the two tiers
+never alias each other's results.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, U
 from repro.core.estimators import Estimator
 from repro.core.planner import RoutePlanner
 from repro.core.result import PathResult
+from repro.exceptions import UnknownAlgorithmError
 from repro.engine.tracing import RequestTrace
 from repro.graphs.graph import CostDelta, Graph, NodeId
 from repro.service.cache import (
@@ -61,7 +68,8 @@ from repro.service.metrics import QueryMetrics, ServiceMetrics
 from repro.service.pool import EstimatorPool
 
 #: A batch entry: ``(source, destination)`` with service defaults, or a
-#: dict with optional ``algorithm`` / ``estimator`` / ``weight`` keys.
+#: dict with optional ``algorithm`` / ``estimator`` / ``weight`` /
+#: ``backend`` keys.
 QuerySpec = Union[Tuple[NodeId, NodeId], Dict[str, object]]
 
 #: Estimators that keep A*-family planners optimal (admissible bounds),
@@ -74,6 +82,12 @@ _ALWAYS_OPTIMAL_ALGORITHMS = frozenset({"dijkstra", "iterative", "bidirectional"
 
 #: Estimator-driven algorithms that are optimal under admissible bounds.
 _ESTIMATOR_OPTIMAL_ALGORITHMS = frozenset({"astar"})
+
+#: Execution backends :meth:`RouteService.plan` can route a query to.
+_BACKENDS = ("memory", "relational")
+
+#: Algorithms the relational backend can execute (the paper's three).
+_RELATIONAL_ALGORITHMS = ("astar", "dijkstra", "iterative")
 
 
 class RouteService:
@@ -93,6 +107,7 @@ class RouteService:
         estimator_pool: Optional[EstimatorPool] = None,
         default_algorithm: str = "astar",
         default_estimator: str = "euclidean",
+        default_backend: str = "memory",
         invalidation: str = "edge",
         decrease_bound: Optional[str] = "euclidean",
         clock=time.perf_counter,
@@ -101,6 +116,11 @@ class RouteService:
             raise ValueError(
                 f"unknown invalidation policy {invalidation!r}; "
                 "expected 'edge' or 'graph'"
+            )
+        if default_backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {default_backend!r}; "
+                f"expected one of {', '.join(_BACKENDS)}"
             )
         self.pool = estimator_pool if estimator_pool is not None else EstimatorPool()
         if planner is None:
@@ -112,10 +132,20 @@ class RouteService:
         self.metrics = ServiceMetrics()
         self.default_algorithm = default_algorithm
         self.default_estimator = default_estimator
+        self.default_backend = default_backend
         self.invalidation = invalidation
         self._clock = clock
         self._flight_lock = threading.Lock()
         self._in_flight: Dict[QueryKey, threading.Event] = {}
+        # One DB-resident mirror per served graph, created on first
+        # relational query (keyed by Graph.uid so a rebuilt graph with
+        # a recycled name cannot alias a stale mirror).
+        self._rgraph_lock = threading.Lock()
+        self._rgraphs: Dict[int, object] = {}
+        # The simulated DBMS charges I/O to a shared per-rgraph ledger;
+        # serialize relational runs so concurrent queries cannot
+        # interleave their cost attribution.
+        self._engine_lock = threading.Lock()
         self._traffic_lock = threading.Lock()
         self.epochs_applied = 0
         self.traffic_evicted = 0
@@ -134,23 +164,41 @@ class RouteService:
         algorithm: Optional[str] = None,
         estimator: "str | Estimator | None" = None,
         weight: float = 1.0,
+        backend: Optional[str] = None,
     ) -> PathResult:
         """Answer one query, through the cache when possible.
 
         Accepts the same arguments as :meth:`RoutePlanner.plan`; an
         estimator given as an *instance* is keyed by its ``name``
         attribute (callers pooling their own instances must keep names
-        distinct per configuration).
+        distinct per configuration). ``backend`` selects the execution
+        tier — ``"memory"`` dispatches through the planner registry,
+        ``"relational"`` runs the same algorithm as a database program
+        against the service's :class:`RelationalGraph` mirror (cache,
+        dedup, epoch pricing and invalidation all behave identically;
+        ``sync_cost`` on the returned run bills any traffic-dirtied
+        adjacency blocks re-fetched before the search).
 
         The answer is guaranteed to be priced at a single traffic
         epoch: if an update lands mid-computation the stale attempt is
         discarded and the query re-planned on the new costs.
         """
         algorithm = algorithm or self.default_algorithm
+        backend = backend or self.default_backend
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                f"expected one of {', '.join(_BACKENDS)}"
+            )
         estimator_spec = estimator if estimator is not None else self.default_estimator
         estimator_name = (
             estimator_spec if isinstance(estimator_spec, str) else estimator_spec.name
         )
+        # Relational answers live under their own cache spec: the two
+        # tiers return bit-identical routes but different cost ledgers,
+        # and a caller asking for the relational run's I/O accounting
+        # must not be handed a cached in-memory result (or vice versa).
+        key_spec = f"rel:{algorithm}" if backend == "relational" else algorithm
         trace = RequestTrace(self._clock)
         started = self._clock()
 
@@ -160,7 +208,7 @@ class RouteService:
             while graph.cost_update_in_progress:
                 time.sleep(0)
             key = query_key(
-                graph, source, destination, algorithm, estimator_name, weight
+                graph, source, destination, key_spec, estimator_name, weight
             )
             with trace.span("cache-lookup"):
                 cached = self.cache.get(key)
@@ -187,10 +235,22 @@ class RouteService:
 
             consistent = False
             try:
-                with trace.span("plan", algorithm=algorithm, estimator=estimator_name):
-                    result = self.planner.plan(
-                        graph, source, destination, algorithm, estimator_spec, weight
-                    )
+                with trace.span(
+                    "plan",
+                    algorithm=algorithm,
+                    estimator=estimator_name,
+                    backend=backend,
+                ):
+                    if backend == "relational":
+                        result = self._plan_relational(
+                            graph, source, destination, algorithm,
+                            estimator_spec, weight,
+                        )
+                    else:
+                        result = self.planner.plan(
+                            graph, source, destination, algorithm,
+                            estimator_spec, weight,
+                        )
                 consistent = (
                     not graph.cost_update_in_progress
                     and graph.fingerprint == key[0]
@@ -214,6 +274,77 @@ class RouteService:
                 return self._finish(key, result, trace, started, cache_hit=False)
             with self._traffic_lock:
                 self.plan_retries += 1
+
+    # ------------------------------------------------------------------
+    # relational backend plumbing
+    # ------------------------------------------------------------------
+    def _rgraph_for(self, graph: Graph):
+        """The service-owned DB mirror of ``graph``, created on demand.
+
+        Mirrors are keyed by :attr:`Graph.uid`; a different graph
+        object under a recycled uid slot (only possible through object
+        identity games) is detected by identity and rebuilt.
+        """
+        from repro.engine.relational_graph import RelationalGraph
+
+        with self._rgraph_lock:
+            rgraph = self._rgraphs.get(graph.uid)
+            if rgraph is None or rgraph.graph is not graph:
+                rgraph = RelationalGraph(graph)
+                self._rgraphs[graph.uid] = rgraph
+            return rgraph
+
+    def _plan_relational(
+        self,
+        graph: Graph,
+        source: NodeId,
+        destination: NodeId,
+        algorithm: str,
+        estimator_spec: "str | Estimator",
+        weight: float,
+    ) -> PathResult:
+        """One cold query on the relational tier.
+
+        Dijkstra and Iterative take no estimator (matching their
+        in-memory planner adapters); A* resolves the estimator through
+        the planner — including the pool, so a landmark table prepared
+        for in-memory serving is reused by relational runs — and
+        executes the paper's status-attribute frontier. The run begins
+        with :meth:`RelationalGraph.sync`, so adjacency blocks dirtied
+        by traffic epochs are re-fetched and billed as ``sync_cost``.
+        """
+        from repro.engine.rel_bestfirst import run_best_first, run_dijkstra
+        from repro.engine.rel_iterative import run_iterative
+
+        rgraph = self._rgraph_for(graph)
+        if algorithm == "dijkstra":
+            with self._engine_lock:
+                return run_dijkstra(rgraph, source, destination)
+        if algorithm == "iterative":
+            with self._engine_lock:
+                return run_iterative(rgraph, source, destination)
+        if algorithm != "astar":
+            raise UnknownAlgorithmError(algorithm, _RELATIONAL_ALGORITHMS)
+        resolved, pooled_name = self.planner._resolve_estimator(
+            estimator_spec, weight, graph
+        )
+        pooled_instance = (
+            resolved.inner if pooled_name and weight != 1.0 else resolved
+        )
+        try:
+            with self._engine_lock:
+                return run_best_first(
+                    rgraph,
+                    source,
+                    destination,
+                    estimator=resolved,
+                    frontier_kind="status-attribute",
+                    algorithm="astar",
+                    variant="status-attribute",
+                )
+        finally:
+            if pooled_name is not None:
+                self.planner.estimator_pool.release(pooled_name, pooled_instance)
 
     def _route_edges(
         self,
@@ -303,23 +434,32 @@ class RouteService:
                 algorithm = spec.get("algorithm") or self.default_algorithm
                 estimator = spec.get("estimator") or self.default_estimator
                 weight = float(spec.get("weight", 1.0))
+                backend = spec.get("backend") or self.default_backend
             else:
                 source, destination = spec
                 algorithm = self.default_algorithm
                 estimator = self.default_estimator
                 weight = 1.0
+                backend = self.default_backend
             estimator_name = (
                 estimator if isinstance(estimator, str) else estimator.name
             )
             # Dedup on the query itself, not the fingerprint-bearing
             # cache key: mid-batch epochs must not split a dedup group.
-            dedup = (source, destination, algorithm, estimator_name, weight)
-            normalized.append((source, destination, algorithm, estimator, weight))
+            dedup = (source, destination, algorithm, estimator_name, weight, backend)
+            normalized.append(
+                (source, destination, algorithm, estimator, weight, backend)
+            )
             seen.setdefault(dedup, []).append(position)
         for dedup, positions in seen.items():
             first = positions[0]
-            source, destination, algorithm, estimator, weight = normalized[first]
-            answer = self.plan(graph, source, destination, algorithm, estimator, weight)
+            source, destination, algorithm, estimator, weight, backend = (
+                normalized[first]
+            )
+            answer = self.plan(
+                graph, source, destination, algorithm, estimator, weight,
+                backend=backend,
+            )
             results[first] = answer
             for position in positions[1:]:
                 # Identical in-flight query: reuse the answer, count the dedup.
@@ -414,8 +554,10 @@ class RouteService:
         answers the epoch's deltas can affect and re-keys the rest to
         the new fingerprint; under ``"graph"`` it drops everything for
         the graph. Either way the estimator pool refreshes its stranded
-        landmark tables on the same signal. Returns the invalidation
-        report (``evicted`` / ``rekeyed`` counts).
+        landmark tables on the same signal, and a relational mirror
+        owned for the graph records the dirtied adjacency lists so its
+        next run re-fetches (and bills) exactly those blocks. Returns
+        the invalidation report (``evicted`` / ``rekeyed`` counts).
         """
         graph = epoch.graph
         if self.invalidation == "edge":
@@ -425,6 +567,10 @@ class RouteService:
         else:
             report = InvalidationReport(self.cache.invalidate_graph(graph), 0)
         self.pool.refresh(graph)
+        with self._rgraph_lock:
+            rgraph = self._rgraphs.get(graph.uid)
+        if rgraph is not None:
+            rgraph.handle_epoch(epoch)
         with self._traffic_lock:
             self.epochs_applied += 1
             self.traffic_evicted += report.evicted
@@ -457,6 +603,20 @@ class RouteService:
         else:
             report = InvalidationReport(self.cache.invalidate_graph(graph), 0)
         self.pool.refresh(graph)
+        with self._rgraph_lock:
+            rgraph = self._rgraphs.get(graph.uid)
+        if rgraph is not None and deltas:
+            from repro.traffic.feed import TrafficEpoch
+
+            rgraph.handle_epoch(
+                TrafficEpoch(
+                    number=self.epochs_applied + 1,
+                    graph=graph,
+                    deltas=tuple(deltas),
+                    previous_fingerprint=previous,
+                    fingerprint=graph.fingerprint,
+                )
+            )
         with self._traffic_lock:
             self.epochs_applied += 1
             self.traffic_evicted += report.evicted

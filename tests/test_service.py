@@ -172,6 +172,94 @@ class TestEngineTier:
             service.plan_engine(rgraph, (0, 0), (9, 9), algorithm="greedy")
 
 
+class TestRelationalBackendKnob:
+    @pytest.mark.parametrize("algorithm", ["astar", "dijkstra", "iterative"])
+    def test_matches_memory_backend(self, service, grid, algorithm):
+        relational = service.plan(
+            grid, (0, 0), (9, 9), algorithm=algorithm, backend="relational"
+        )
+        memory = service.plan(grid, (0, 0), (9, 9), algorithm=algorithm)
+        assert relational.found
+        assert relational.cost == pytest.approx(memory.cost)
+        assert relational.io is not None
+        assert relational.execution_cost > 0
+        assert memory.io is None
+
+    def test_warm_hit_performs_zero_block_io(self, service, grid):
+        cold = service.plan(grid, (0, 0), (9, 9), backend="relational")
+        rgraph = service._rgraphs[grid.uid]
+        before = rgraph.stats.snapshot()
+        warm = service.plan(grid, (0, 0), (9, 9), backend="relational")
+        assert rgraph.stats.snapshot() == before
+        assert warm.cost == pytest.approx(cold.cost)
+        assert service.metrics.cache_hits == 1
+
+    def test_tiers_do_not_alias_in_the_cache(self, service, grid):
+        service.plan(grid, (0, 0), (9, 9), algorithm="dijkstra")
+        relational = service.plan(
+            grid, (0, 0), (9, 9), algorithm="dijkstra", backend="relational"
+        )
+        # The second query must be a cold relational run, not a warm
+        # in-memory hit with no I/O ledger.
+        assert service.metrics.cache_hits == 0
+        assert relational.io is not None
+
+    def test_epoch_invalidation_and_sync_billing(self, grid):
+        from repro.traffic.feed import TrafficFeed
+
+        service = RouteService()
+        feed = TrafficFeed(grid)
+        feed.subscribe(service.handle_epoch)
+        first = service.plan(grid, (0, 0), (9, 9), backend="relational")
+        assert first.sync_cost == 0.0
+        edge = (first.path[0], first.path[1])
+        feed.apply([(edge[0], edge[1], grid.edge_cost(*edge) + 50.0)])
+        replanned = service.plan(grid, (0, 0), (9, 9), backend="relational")
+        # The touched edge lay on the cached route: the entry was
+        # evicted, the mirror re-fetched the dirtied adjacency blocks
+        # (billed as sync), and the new route avoids the repriced edge.
+        assert service.metrics.cache_hits == 0
+        assert replanned.sync_cost > 0
+        assert edge not in set(zip(replanned.path, replanned.path[1:]))
+
+    def test_update_edge_cost_reaches_the_mirror(self, service, grid):
+        first = service.plan(grid, (0, 0), (9, 9), backend="relational")
+        edge = (first.path[0], first.path[1])
+        service.update_edge_cost(grid, edge[0], edge[1], 99.0)
+        replanned = service.plan(grid, (0, 0), (9, 9), backend="relational")
+        assert replanned.sync_cost > 0
+        assert replanned.cost == pytest.approx(
+            service.plan(grid, (0, 0), (9, 9), algorithm="dijkstra").cost
+        )
+
+    def test_plan_many_accepts_backend_key(self, service, grid):
+        results = service.plan_many(
+            grid,
+            [
+                {"source": (0, 0), "destination": (9, 9),
+                 "backend": "relational", "algorithm": "dijkstra"},
+                {"source": (0, 0), "destination": (9, 9),
+                 "algorithm": "dijkstra"},
+            ],
+        )
+        assert results[0].io is not None
+        assert results[1].io is None
+        assert results[0].cost == pytest.approx(results[1].cost)
+
+    def test_unknown_backend_rejected(self, service, grid):
+        with pytest.raises(ValueError):
+            service.plan(grid, (0, 0), (9, 9), backend="quantum")
+        with pytest.raises(ValueError):
+            RouteService(default_backend="quantum")
+
+    def test_relational_unknown_algorithm_rejected(self, service, grid):
+        from repro.exceptions import UnknownAlgorithmError
+
+        with pytest.raises(UnknownAlgorithmError):
+            service.plan(grid, (0, 0), (9, 9), algorithm="greedy",
+                         backend="relational")
+
+
 class TestObservability:
     def test_snapshot_shape_matches_iostatistics_style(self, service, grid):
         service.plan(grid, (0, 0), (9, 9))
