@@ -44,6 +44,7 @@ from repro.graphs import (
     make_paper_grid,
     paper_queries,
 )
+from repro.faults import ChaosConfig, FaultInjector, FaultPlan, run_chaos
 from repro.service import EstimatorPool, RouteCache, RouteService
 from repro.traffic import TrafficFeed, run_replay
 
@@ -77,5 +78,9 @@ __all__ = [
     "EstimatorPool",
     "TrafficFeed",
     "run_replay",
+    "ChaosConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "run_chaos",
     "__version__",
 ]

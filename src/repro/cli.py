@@ -14,7 +14,10 @@ Commands
                snapshot;
 ``bench-traffic`` replay a mixed query/update workload through the
                traffic subsystem, audit for stale serves, and compare
-               edge-granular vs whole-graph cache invalidation.
+               edge-granular vs whole-graph cache invalidation;
+``bench-chaos`` replay a query/update workload with deterministic
+               storage faults injected into the relational tier and
+               audit that every answer is exact or explicitly degraded.
 
 Graphs are specified with ``--graph``: ``grid:K[:costmodel[:seed]]``
 (e.g. ``grid:30:variance``), ``minneapolis[:seed]``, or ``json:PATH``
@@ -264,6 +267,35 @@ def _cmd_bench_traffic(args) -> int:
     return 1 if report.stale_serves else 0
 
 
+def _cmd_bench_chaos(args) -> int:
+    from repro.faults import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        rounds=args.rounds,
+        queries_per_round=args.queries,
+        distinct_pairs=args.pairs,
+        concurrency=args.concurrency,
+        batch_size=args.batch_size,
+        algorithm=args.algorithm,
+        update_period=args.update_period,
+        update_fraction=args.update_fraction,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        read_error_rate=args.read_error_rate,
+        write_error_rate=args.write_error_rate,
+        torn_page_rate=args.torn_page_rate,
+        latency_rate=args.latency_rate,
+        max_retries=args.max_retries,
+    )
+    report = run_chaos(_load_graph(args.graph), config=config)
+    for line in report.summary_lines():
+        print(line)
+    if report.wrong_unflagged:
+        print(f"UNFLAGGED WRONG ANSWERS: {report.wrong_unflagged}")
+        return 1
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.graphs.analysis import (
         degree_statistics,
@@ -397,6 +429,40 @@ def build_parser() -> argparse.ArgumentParser:
                                help="skip the per-answer staleness audit")
     bench_traffic.add_argument("--seed", type=int, default=1993)
     bench_traffic.set_defaults(func=_cmd_bench_traffic)
+
+    bench_chaos = commands.add_parser(
+        "bench-chaos",
+        help="replay a faulted query/update workload and audit that "
+             "every answer is exact or explicitly degraded",
+    )
+    bench_chaos.add_argument("--graph", default="grid:8:variance",
+                             help="grid:K[:model[:seed]] | minneapolis[:seed] | json:PATH")
+    bench_chaos.add_argument("--rounds", type=int, default=6)
+    bench_chaos.add_argument("--queries", type=int, default=10,
+                             help="queries per round")
+    bench_chaos.add_argument("--pairs", type=int, default=8,
+                             help="size of the recurring OD-pair pool")
+    bench_chaos.add_argument("--concurrency", type=int, default=1,
+                             help="1 = sequential (deterministic replay)")
+    bench_chaos.add_argument("--batch-size", type=int, default=3,
+                             help="queries served via plan_many per round")
+    bench_chaos.add_argument("--algorithm",
+                             choices=("dijkstra", "astar", "iterative"),
+                             default="dijkstra")
+    bench_chaos.add_argument("--update-period", type=int, default=2,
+                             help="apply an epoch before every Nth round "
+                                  "(0 disables traffic)")
+    bench_chaos.add_argument("--update-fraction", type=float, default=0.1)
+    bench_chaos.add_argument("--seed", type=int, default=1993,
+                             help="workload seed (pairs, epoch sweeps)")
+    bench_chaos.add_argument("--fault-seed", type=int, default=7,
+                             help="fault-schedule seed")
+    bench_chaos.add_argument("--read-error-rate", type=float, default=0.0005)
+    bench_chaos.add_argument("--write-error-rate", type=float, default=0.0002)
+    bench_chaos.add_argument("--torn-page-rate", type=float, default=0.0002)
+    bench_chaos.add_argument("--latency-rate", type=float, default=0.001)
+    bench_chaos.add_argument("--max-retries", type=int, default=3)
+    bench_chaos.set_defaults(func=_cmd_bench_chaos)
 
     return parser
 

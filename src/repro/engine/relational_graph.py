@@ -162,6 +162,13 @@ class RelationalGraph:
         every change since the last sync (updates bypassed the feed),
         S is dropped and bulk-reloaded instead. Returns the number of
         tuples refreshed; 0 when S is already current.
+
+        Fault-atomic: the dirty set is read without being cleared, so
+        an injected fault mid-refresh leaves it intact and a retry sees
+        the same work list. The per-tuple refresh is idempotent (a
+        tuple already at the new cost is skipped), so partially-applied
+        work is simply completed on retry. State is only advanced after
+        the refresh fully succeeds.
         """
         current = self.graph.fingerprint
         if current == self._synced_fingerprint:
@@ -169,10 +176,9 @@ class RelationalGraph:
         with self._dirty_lock:
             dirty = sorted(self._dirty_begins, key=repr)
             covered = self._covered_fingerprint
-            self._dirty_begins.clear()
-            self._covered_fingerprint = current
-        self.syncs += 1
         refreshed = 0
+        # The refresh below may raise (injected fault): nothing has
+        # been cleared yet, so the retry re-reads an intact dirty set.
         with self.stats.phase("traffic-sync"):
             if covered == current and self.S.hash_index is not None:
                 for begin in dirty:
@@ -184,10 +190,21 @@ class RelationalGraph:
                             self.S.heap.update(rid, row)
                             refreshed += 1
             else:
-                self.db.drop_relation(self.S.name)
+                if self.db.has_relation(self.S.name):
+                    self.db.drop_relation(self.S.name)
                 self.S = self._load_edge_relation()
                 refreshed = self.S.tuple_count
                 self.full_reloads += 1
+        with self._dirty_lock:
+            self._dirty_begins.difference_update(dirty)
+            if self._covered_fingerprint == covered:
+                # No epoch arrived during the refresh; the chain now
+                # covers exactly what we just absorbed.
+                self._covered_fingerprint = current
+            # else: an epoch extended the chain mid-refresh — keep its
+            # coverage claim; its begin-nodes are still in the dirty
+            # set and the next sync picks them up.
+        self.syncs += 1
         self._synced_fingerprint = current
         self.tuples_refreshed += refreshed
         return refreshed

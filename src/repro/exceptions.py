@@ -133,6 +133,60 @@ class IndexError_(StorageError):
     """
 
 
+class FaultError(StorageError):
+    """Base class for injected storage faults (the chaos subsystem).
+
+    Raised only when a :class:`repro.faults.FaultInjector` is attached;
+    a database without an injector can never raise these.
+    """
+
+
+class TransientIOError(FaultError):
+    """A block read or write failed transiently; a retry may succeed."""
+
+    def __init__(self, site: str, operation: str = "read") -> None:
+        super().__init__(
+            f"transient {operation} error at {site} (injected fault)"
+        )
+        self.site = site
+        self.operation = operation
+
+
+class TornPageError(FaultError):
+    """A page checksum mismatch was detected on read (torn page).
+
+    The simulated re-read restores the block before this propagates,
+    so retrying the access succeeds — the error models *detection*,
+    which is what the per-page checksum buys.
+    """
+
+    def __init__(self, file_name: str, page_no: int) -> None:
+        super().__init__(
+            f"torn page detected: checksum mismatch on {file_name!r} "
+            f"page {page_no} (injected fault)"
+        )
+        self.file_name = file_name
+        self.page_no = page_no
+
+
+class RetriesExhaustedError(FaultError):
+    """Bounded retry gave up; the operation failed permanently.
+
+    Carries the phase the retries were attributed to and the last
+    underlying fault, so the serving layer can count degradations per
+    phase and surface the root cause.
+    """
+
+    def __init__(self, phase: str, attempts: int, cause: Exception = None) -> None:
+        super().__init__(
+            f"{phase}: {attempts} attempts failed; retries exhausted"
+            + (f" (last fault: {cause})" if cause is not None else "")
+        )
+        self.phase = phase
+        self.attempts = attempts
+        self.cause = cause
+
+
 class QueryError(ReproError):
     """Base class for query-processing errors (selects and joins)."""
 

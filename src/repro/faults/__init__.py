@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+The subsystem has three pieces:
+
+* :class:`FaultPlan` — the seedable *policy*: one RNG draw per storage
+  operation decides whether it faults (transient read/write error, torn
+  page, latency), with every decision recorded so schedules can be
+  compared across runs;
+* :class:`FaultInjector` — the *mechanism*: raises the fault at the
+  storage site before any state or cost changes, bills injected latency
+  and retry backoff through :class:`IOStatistics`, and wraps engine
+  phases in bounded retry (:meth:`FaultInjector.protect`);
+* :func:`run_chaos` — the *proof*: a replay of faults × traffic epochs
+  × concurrent serving that audits every answer as exact-or-flagged
+  and distils the run into a single determinism key.
+
+A database without an injector — or with a rate-0 plan — runs the
+exact seed code path: zero extra charges, zero behaviour change.
+"""
+
+from repro.faults.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.faults.injector import DEFAULT_BACKOFF_UNITS, FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "DEFAULT_BACKOFF_UNITS",
+    "FaultInjector",
+    "FaultPlan",
+    "run_chaos",
+]

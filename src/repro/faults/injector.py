@@ -1,0 +1,185 @@
+"""The mechanism half of fault injection.
+
+A :class:`FaultInjector` sits at the storage boundary (buffer pool,
+heap files, index probes) and turns the :class:`FaultPlan`'s decisions
+into effects:
+
+* ``read-error`` / ``write-error`` → raise
+  :class:`~repro.exceptions.TransientIOError` *before* the operation
+  charges or mutates anything, so a retry starts from clean state;
+* ``torn-page`` → corrupt the page in memory, detect it via the
+  :meth:`Page.verify` checksum, restore the content (the simulated
+  re-read), and let :class:`~repro.exceptions.TornPageError` propagate
+  so the caller's retry path is exercised end to end;
+* ``latency`` → bill a stall through
+  :meth:`IOStatistics.charge_latency` and carry on.
+
+It also owns the *recovery* policy: :meth:`protect` wraps a phase of
+work in bounded retry with exponential backoff, each backoff billed as
+latency so injected trouble shows up on the paper's execution-time
+axis, and raises :class:`~repro.exceptions.RetriesExhaustedError` when
+the budget runs out — the signal the serving layer degrades on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.exceptions import (
+    FaultError,
+    RetriesExhaustedError,
+    TransientIOError,
+)
+from repro.faults.plan import FaultPlan
+from repro.storage.iostats import IOStatistics
+from repro.storage.page import Page
+
+T = TypeVar("T")
+
+#: Backoff charged for the first retry, doubling each further retry.
+DEFAULT_BACKOFF_UNITS = 0.1
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` at storage sites and retries phases."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        stats: IOStatistics,
+        max_retries: int = 3,
+        backoff_units: float = DEFAULT_BACKOFF_UNITS,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_units < 0:
+            raise ValueError("backoff_units must be non-negative")
+        self.plan = plan
+        self.stats = stats
+        self.max_retries = max_retries
+        self.backoff_units = backoff_units
+        self._lock = threading.Lock()
+        self.faults_injected = 0
+        self.faults_by_kind: Dict[str, int] = {}
+        self.retries = 0
+        self.retries_by_phase: Dict[str, int] = {}
+        self.retries_exhausted = 0
+
+    # ------------------------------------------------------------------
+    # storage-site hooks
+    # ------------------------------------------------------------------
+    def on_page_access(self, file_name: str, page: Page, for_write: bool) -> None:
+        """Hook for every :meth:`BufferPool.access` (may raise)."""
+        if self.plan.is_noop:
+            return
+        kind = "write" if for_write else "read"
+        fault = self.plan.decide(f"page:{file_name}", kind)
+        if fault:
+            self._apply(fault, f"page:{file_name}", kind, page=page, file_name=file_name)
+
+    def on_read(self, site: str) -> None:
+        """Hook for page-less read sites (index probes)."""
+        if self.plan.is_noop:
+            return
+        fault = self.plan.decide(site, "read")
+        if fault:
+            self._apply(fault, site, "read")
+
+    def on_write(self, site: str) -> None:
+        """Hook for page-less write sites (heap mutations, flushes)."""
+        if self.plan.is_noop:
+            return
+        fault = self.plan.decide(site, "write")
+        if fault:
+            self._apply(fault, site, "write")
+
+    def _apply(
+        self,
+        fault: str,
+        site: str,
+        kind: str,
+        page: Optional[Page] = None,
+        file_name: str = "?",
+    ) -> None:
+        self._count_fault(fault)
+        if fault == "latency":
+            self.stats.charge_latency(self.plan.latency_units)
+            return
+        if fault == "torn-page" and page is not None:
+            # Seal the good content, tear the block, detect the tear
+            # through the checksum, then restore (the simulated
+            # successful re-read) so the caller's retry can succeed.
+            sealed = page.checksum()
+            saved = list(page.slots)
+            page.slots.append(("__torn__",))
+            try:
+                page.verify(sealed, file_name)
+            finally:
+                page.slots[:] = saved
+            return  # unreachable: verify always raises here
+        # read-error / write-error, and torn-page at page-less sites,
+        # surface as transient I/O errors.
+        raise TransientIOError(site, operation=kind)
+
+    def _count_fault(self, fault: str) -> None:
+        with self._lock:
+            self.faults_injected += 1
+            self.faults_by_kind[fault] = self.faults_by_kind.get(fault, 0) + 1
+
+    # ------------------------------------------------------------------
+    # recovery policy
+    # ------------------------------------------------------------------
+    def protect(self, phase: str, fn: Callable[[], T]) -> T:
+        """Run ``fn`` with bounded retry and exponential backoff.
+
+        Only :class:`FaultError` is retried — real bugs propagate
+        unchanged on the first throw. Each retry bills
+        ``backoff_units * 2**(retry-1)`` of latency attributed to
+        ``phase``. ``fn`` must be idempotent: injection happens before
+        state changes at every storage site, and the engine's protected
+        phases (epoch sync, adjacency joins) are read-only or
+        skip-if-already-applied.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except RetriesExhaustedError:
+                raise  # never re-wrap an inner exhaustion
+            except FaultError as fault:
+                attempt += 1
+                if attempt > self.max_retries:
+                    with self._lock:
+                        self.retries_exhausted += 1
+                    raise RetriesExhaustedError(phase, attempt, fault) from fault
+                with self._lock:
+                    self.retries += 1
+                    self.retries_by_phase[phase] = (
+                        self.retries_by_phase.get(phase, 0) + 1
+                    )
+                with self.stats.phase(phase):
+                    self.stats.charge_latency(
+                        self.backoff_units * (2 ** (attempt - 1))
+                    )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Counter view for service snapshots and determinism tests."""
+        with self._lock:
+            return {
+                "faults_injected": self.faults_injected,
+                "faults_by_kind": dict(self.faults_by_kind),
+                "retries": self.retries,
+                "retries_by_phase": dict(self.retries_by_phase),
+                "retries_exhausted": self.retries_exhausted,
+                "schedule_length": len(self.plan.schedule),
+                "schedule_digest": self.plan.schedule_digest(),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.plan.seed}, "
+            f"faults={self.faults_injected}, retries={self.retries}, "
+            f"exhausted={self.retries_exhausted})"
+        )

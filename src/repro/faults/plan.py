@@ -1,0 +1,123 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is the *policy* half of fault injection: given a
+seed and per-kind rates, it decides — one cheap RNG draw per storage
+operation, under a lock, against a monotonically increasing operation
+counter — whether that operation faults and how. The decisions depend
+only on ``(seed, op_index, site kind)``, never on wall-clock time or
+thread identity, so two runs that issue the same operation sequence see
+the *same* fault schedule (the determinism tier's contract).
+
+The plan also records every decision it makes (`schedule`) so tests can
+assert two runs faulted at identical points, and exposes ``is_noop`` so
+a rate-0 plan can short-circuit to exactly the seed code path.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: One recorded decision: (operation index, site label, fault kind).
+#: Kind is one of "read-error", "write-error", "torn-page", "latency".
+ScheduleEntry = Tuple[int, str, str]
+
+
+@dataclass
+class FaultPlan:
+    """Seedable fault policy shared by every injector site.
+
+    Rates are independent per-operation probabilities in ``[0, 1]``.
+    They are plain mutable attributes on purpose: chaos tests warm a
+    service up fault-free, then raise a rate mid-run to target a single
+    phase. ``latency_units`` is the stall charged (via
+    :meth:`IOStatistics.charge_latency`) when a latency fault fires.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    torn_page_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_units: float = 0.25
+
+    op_index: int = field(default=0, init=False, repr=False)
+    schedule: List[ScheduleEntry] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_error_rate",
+            "write_error_rate",
+            "torn_page_rate",
+            "latency_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.latency_units < 0:
+            raise ValueError("latency_units must be non-negative")
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_noop(self) -> bool:
+        """True when no fault can ever fire (all rates zero).
+
+        The injector checks this on every operation so a rate-0 plan
+        never draws from the RNG, never takes the lock on the schedule,
+        and leaves costs byte-identical to a run with no injector.
+        """
+        return (
+            self.read_error_rate == 0.0
+            and self.write_error_rate == 0.0
+            and self.torn_page_rate == 0.0
+            and self.latency_rate == 0.0
+        )
+
+    def decide(self, site: str, kind: str) -> str:
+        """Draw one decision for a storage operation.
+
+        ``kind`` is "read" or "write" (the operation's nature, which
+        selects the applicable rates). Returns "" for no fault, or one
+        of "read-error" / "write-error" / "torn-page" / "latency".
+        Torn pages only apply to reads (a torn *write* surfaces on the
+        next read in a real system; modelling it at read time keeps the
+        failure observable).
+        """
+        with self._lock:
+            index = self.op_index
+            self.op_index += 1
+            draw = self._rng.random()
+            fault = ""
+            if kind == "read":
+                if draw < self.read_error_rate:
+                    fault = "read-error"
+                elif draw < self.read_error_rate + self.torn_page_rate:
+                    fault = "torn-page"
+                elif draw < (
+                    self.read_error_rate + self.torn_page_rate + self.latency_rate
+                ):
+                    fault = "latency"
+            else:
+                if draw < self.write_error_rate:
+                    fault = "write-error"
+                elif draw < self.write_error_rate + self.latency_rate:
+                    fault = "latency"
+            if fault:
+                self.schedule.append((index, site, fault))
+            return fault
+
+    def schedule_digest(self) -> int:
+        """Stable CRC32 over the recorded schedule, for equality tests."""
+        import zlib
+
+        return zlib.crc32(repr(self.schedule).encode("utf-8"))
+
+    def reset(self) -> None:
+        """Rewind to the initial state: same seed ⇒ same schedule again."""
+        self._rng = random.Random(self.seed)
+        self.op_index = 0
+        self.schedule.clear()

@@ -109,18 +109,39 @@ class RelationalBackend:
         self.rgraph = rgraph
         self.graph = rgraph.graph
         self.stats = rgraph.stats
+        # The fault injector (if any) rides on the database; faults at
+        # retry-safe points — the epoch sync and the read-only adjacency
+        # joins — are absorbed here with bounded backoff. Faults inside
+        # the frontier policies' mutation steps are NOT retried: a
+        # half-applied wave REPLACE is not idempotent, so those escape
+        # to the service layer's degradation ladder instead.
+        self.injector = getattr(rgraph.db, "injector", None)
+        self._retries_start: dict = {}
 
     def begin_run(self) -> None:
         self.stats.reset()
-        # Absorb any traffic epochs first: the run must price this
-        # epoch's costs, and the re-fetch I/O is part of this run's bill.
-        self.rgraph.sync()
+        if self.injector is not None:
+            self._retries_start = dict(self.injector.retries_by_phase)
+            # Absorb any traffic epochs first: the run must price this
+            # epoch's costs, and the re-fetch I/O is part of this run's
+            # bill. sync() is fault-atomic (dirty set cleared only on
+            # success), so retrying it is safe.
+            self.injector.protect("traffic-sync", self.rgraph.sync)
+        else:
+            self.rgraph.sync()
 
     def phase(self, name: str):
         return self.stats.phase(name)
 
     def neighbors(self, outer: List[dict]) -> Tuple[List[dict], str]:
-        joined, plan = self.rgraph.adjacency_join(outer)
+        if self.injector is not None:
+            # The optimizer's joins are read-only (no temporaries), so
+            # a faulted join can simply be re-run.
+            joined, plan = self.injector.protect(
+                "iterate", lambda: self.rgraph.adjacency_join(outer)
+            )
+        else:
+            joined, plan = self.rgraph.adjacency_join(outer)
         return joined, plan.strategy_name
 
     @property
@@ -144,6 +165,17 @@ class RelationalBackend:
         result.iteration_cost = self.stats.phase_cost("iterate")
         result.cleanup_cost = self.stats.phase_cost("cleanup")
         result.sync_cost = self.stats.phase_cost("traffic-sync")
+        if self.injector is not None:
+            # Per-phase retry deltas since begin_run: what THIS run
+            # absorbed, not the injector's lifetime totals.
+            current = self.injector.retries_by_phase
+            delta = {
+                phase: count - self._retries_start.get(phase, 0)
+                for phase, count in current.items()
+                if count - self._retries_start.get(phase, 0) > 0
+            }
+            if delta:
+                result.retries_by_phase = delta
 
 
 # ----------------------------------------------------------------------

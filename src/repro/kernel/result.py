@@ -139,6 +139,21 @@ class RunResult:
     #: Ranked alternative routes (k-shortest / diverse planners); the
     #: best route is duplicated as the result itself.
     alternatives: List["RunResult"] = field(default_factory=list)
+    #: True when this answer was produced by a degradation fallback
+    #: (relational retries exhausted → in-memory backend or last-known-
+    #: good cache) rather than the requested backend. Degraded answers
+    #: are correct-for-an-earlier-state or cost-unpriced, never wrong
+    #: silently — ``degraded_reason`` says which rung served it.
+    degraded: bool = False
+    degraded_reason: str = ""
+    #: Fault-injection retries spent per phase during this run (empty
+    #: when no injector is active — the common case).
+    retries_by_phase: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fault_retries(self) -> int:
+        """Total injected-fault retries this run absorbed."""
+        return sum(self.retries_by_phase.values())
 
     @property
     def path_length(self) -> int:
@@ -232,6 +247,9 @@ class RelationalRunResult(RunResult):
         estimator: str = "",
         stats: Optional[SearchStats] = None,
         alternatives: Optional[List[RunResult]] = None,
+        degraded: bool = False,
+        degraded_reason: str = "",
+        retries_by_phase: Optional[Dict[str, int]] = None,
     ) -> None:
         RunResult.__init__(
             self,
@@ -251,6 +269,11 @@ class RelationalRunResult(RunResult):
             cleanup_cost=cleanup_cost,
             sync_cost=sync_cost,
             alternatives=alternatives if alternatives is not None else [],
+            degraded=degraded,
+            degraded_reason=degraded_reason,
+            retries_by_phase=(
+                retries_by_phase if retries_by_phase is not None else {}
+            ),
         )
         if iterations:
             self.stats.iterations = iterations

@@ -28,6 +28,9 @@ class QueryMetrics:
     cost: float = float("inf")
     found: bool = False
     deduplicated: bool = False
+    #: Answer came from a degradation fallback (relational retries
+    #: exhausted → in-memory backend or last-known-good cache).
+    degraded: bool = False
     spans: Dict[str, float] = field(default_factory=dict)
 
 
@@ -42,6 +45,7 @@ class ServiceMetrics:
         self.cache_misses = 0
         self.deduplicated = 0
         self.not_found = 0
+        self.degraded = 0
         self.total_latency_s = 0.0
         self.total_nodes_expanded = 0
         self.total_iterations = 0
@@ -59,6 +63,8 @@ class ServiceMetrics:
                 self.deduplicated += 1
             if not query.found:
                 self.not_found += 1
+            if query.degraded:
+                self.degraded += 1
             self.total_latency_s += query.latency_s
             self.total_nodes_expanded += query.nodes_expanded
             self.total_iterations += query.iterations
@@ -84,6 +90,7 @@ class ServiceMetrics:
                 "cache_hit_rate": self.cache_hit_rate,
                 "deduplicated": self.deduplicated,
                 "not_found": self.not_found,
+                "degraded": self.degraded,
                 "total_latency_s": self.total_latency_s,
                 "average_latency_s": self.average_latency_s,
                 "nodes_expanded": self.total_nodes_expanded,
@@ -98,6 +105,7 @@ class ServiceMetrics:
             self.cache_misses = 0
             self.deduplicated = 0
             self.not_found = 0
+            self.degraded = 0
             self.total_latency_s = 0.0
             self.total_nodes_expanded = 0
             self.total_iterations = 0

@@ -54,7 +54,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, U
 from repro.core.estimators import Estimator
 from repro.core.planner import RoutePlanner
 from repro.core.result import PathResult
-from repro.exceptions import UnknownAlgorithmError
+from repro.exceptions import FaultError, UnknownAlgorithmError
 from repro.engine.tracing import RequestTrace
 from repro.graphs.graph import CostDelta, Graph, NodeId
 from repro.service.cache import (
@@ -111,12 +111,21 @@ class RouteService:
         invalidation: str = "edge",
         decrease_bound: Optional[str] = "euclidean",
         clock=time.perf_counter,
+        fault_plan=None,
+        max_retries: int = 3,
+        degradation: Sequence[str] = ("memory", "last-good"),
     ) -> None:
         if invalidation not in ("edge", "graph"):
             raise ValueError(
                 f"unknown invalidation policy {invalidation!r}; "
                 "expected 'edge' or 'graph'"
             )
+        for rung in degradation:
+            if rung not in ("memory", "last-good"):
+                raise ValueError(
+                    f"unknown degradation rung {rung!r}; "
+                    "expected 'memory' or 'last-good'"
+                )
         if default_backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {default_backend!r}; "
@@ -152,6 +161,22 @@ class RouteService:
         self.traffic_retained = 0
         self.plan_retries = 0
         self.last_trace: Optional[RequestTrace] = None
+        # Fault tolerance: an optional FaultPlan wires a FaultInjector
+        # into every relational mirror this service builds; when the
+        # injector's bounded retries are exhausted, the degradation
+        # ladder answers the query anyway — from the in-memory backend
+        # ("memory") or the last-known-good route for the same query
+        # ("last-good") — with the result flagged ``degraded``.
+        self.fault_plan = fault_plan
+        self.max_retries = max_retries
+        self.degradation = tuple(degradation)
+        self._last_good_lock = threading.Lock()
+        self._last_good: Dict[Tuple, PathResult] = {}
+        self._last_good_capacity = max(64, cache_capacity)
+        self.relational_faults = 0
+        self.memory_fallbacks = 0
+        self.last_good_served = 0
+        self.degraded_served = 0
 
     # ------------------------------------------------------------------
     # single-query API
@@ -242,20 +267,31 @@ class RouteService:
                     backend=backend,
                 ):
                     if backend == "relational":
-                        result = self._plan_relational(
-                            graph, source, destination, algorithm,
-                            estimator_spec, weight,
-                        )
+                        try:
+                            result = self._plan_relational(
+                                graph, source, destination, algorithm,
+                                estimator_spec, weight,
+                            )
+                        except FaultError as fault:
+                            result = self._degrade(
+                                graph, source, destination, algorithm,
+                                estimator_spec, estimator_name, weight, fault,
+                            )
                     else:
                         result = self.planner.plan(
                             graph, source, destination, algorithm,
                             estimator_spec, weight,
                         )
-                consistent = (
+                degraded = bool(getattr(result, "degraded", False))
+                # A degraded answer is explicitly second-class: it is
+                # returned flagged, never cached as the query's answer
+                # and never retried against the epoch check (the caller
+                # sees the flag and the reason instead).
+                consistent = degraded or (
                     not graph.cost_update_in_progress
                     and graph.fingerprint == key[0]
                 )
-                if consistent:
+                if consistent and not degraded:
                     with trace.span("cache-store"):
                         self.cache.put(
                             key,
@@ -265,6 +301,10 @@ class RouteService:
                             ),
                             cost=getattr(result, "cost", None),
                         )
+                    self._record_last_good(
+                        graph, source, destination, algorithm,
+                        estimator_name, weight, result,
+                    )
             finally:
                 with self._flight_lock:
                     event = self._in_flight.pop(key, None)
@@ -283,16 +323,60 @@ class RouteService:
 
         Mirrors are keyed by :attr:`Graph.uid`; a different graph
         object under a recycled uid slot (only possible through object
-        identity games) is detected by identity and rebuilt.
+        identity games) is detected by identity and rebuilt. When the
+        service carries a :class:`FaultPlan`, the mirror's database is
+        built with a :class:`FaultInjector` attached, so every storage
+        operation of every relational run is fault-eligible.
         """
-        from repro.engine.relational_graph import RelationalGraph
-
         with self._rgraph_lock:
             rgraph = self._rgraphs.get(graph.uid)
             if rgraph is None or rgraph.graph is not graph:
-                rgraph = RelationalGraph(graph)
+                rgraph = self._build_rgraph(graph)
                 self._rgraphs[graph.uid] = rgraph
             return rgraph
+
+    def _build_rgraph(self, graph: Graph):
+        from repro.engine.relational_graph import RelationalGraph
+
+        if self.fault_plan is None:
+            return RelationalGraph(graph)
+        from repro.faults.injector import FaultInjector
+        from repro.storage.database import Database
+        from repro.storage.iostats import IOStatistics
+
+        stats = IOStatistics()
+        injector = FaultInjector(
+            self.fault_plan, stats, max_retries=self.max_retries
+        )
+        database = Database(
+            name=f"db-{graph.name}", stats=stats, injector=injector
+        )
+        return RelationalGraph(graph, database=database)
+
+    def _run_guarded(self, rgraph, run):
+        """Execute one engine run; on an escaping fault, drop leaked
+        temporaries.
+
+        A fault escaping mid-run means the run's ``finalize`` never
+        dropped its R (and possibly F) relations; left behind they
+        would accumulate across degraded queries and shadow the next
+        run's accounting. The relation catalog is diffed around the run
+        and any leak is cleaned up before the fault propagates to the
+        degradation ladder.
+        """
+        with self._engine_lock:
+            before = set(rgraph.db.relation_names())
+            try:
+                return run()
+            except FaultError:
+                leaked = [
+                    name
+                    for name in list(rgraph.db.relation_names())
+                    if name not in before
+                ]
+                for name in leaked:
+                    rgraph.db.drop_relation(name)
+                raise
 
     def _plan_relational(
         self,
@@ -318,11 +402,13 @@ class RouteService:
 
         rgraph = self._rgraph_for(graph)
         if algorithm == "dijkstra":
-            with self._engine_lock:
-                return run_dijkstra(rgraph, source, destination)
+            return self._run_guarded(
+                rgraph, lambda: run_dijkstra(rgraph, source, destination)
+            )
         if algorithm == "iterative":
-            with self._engine_lock:
-                return run_iterative(rgraph, source, destination)
+            return self._run_guarded(
+                rgraph, lambda: run_iterative(rgraph, source, destination)
+            )
         if algorithm != "astar":
             raise UnknownAlgorithmError(algorithm, _RELATIONAL_ALGORITHMS)
         resolved, pooled_name = self.planner._resolve_estimator(
@@ -332,8 +418,9 @@ class RouteService:
             resolved.inner if pooled_name and weight != 1.0 else resolved
         )
         try:
-            with self._engine_lock:
-                return run_best_first(
+            return self._run_guarded(
+                rgraph,
+                lambda: run_best_first(
                     rgraph,
                     source,
                     destination,
@@ -341,10 +428,84 @@ class RouteService:
                     frontier_kind="status-attribute",
                     algorithm="astar",
                     variant="status-attribute",
-                )
+                ),
+            )
         finally:
             if pooled_name is not None:
                 self.planner.estimator_pool.release(pooled_name, pooled_instance)
+
+    # ------------------------------------------------------------------
+    # degradation ladder
+    # ------------------------------------------------------------------
+    def _degrade(
+        self,
+        graph: Graph,
+        source: NodeId,
+        destination: NodeId,
+        algorithm: str,
+        estimator_spec: "str | Estimator",
+        estimator_name: str,
+        weight: float,
+        fault: Exception,
+    ) -> PathResult:
+        """Answer a query whose relational run died on exhausted retries.
+
+        Walks the configured ladder: ``"memory"`` re-plans on the
+        in-memory backend (same algorithm, no I/O accounting — correct
+        route, unpriced); ``"last-good"`` serves the most recent
+        successful answer for the same query (correct for an earlier
+        cost state). Either way the result is flagged ``degraded`` with
+        the rung and root cause in ``degraded_reason``. Re-raises the
+        fault when every rung comes up empty.
+        """
+        with self._traffic_lock:
+            self.relational_faults += 1
+        for rung in self.degradation:
+            if rung == "memory":
+                result = self.planner.plan(
+                    graph, source, destination, algorithm,
+                    estimator_spec, weight,
+                )
+                result.degraded = True
+                result.degraded_reason = f"memory-fallback: {fault}"
+                with self._traffic_lock:
+                    self.memory_fallbacks += 1
+                return result
+            lg_key = (graph.uid, source, destination, algorithm, estimator_name, weight)
+            with self._last_good_lock:
+                known_good = self._last_good.get(lg_key)
+            if known_good is not None:
+                result = replace(known_good, path=list(known_good.path))
+                result.degraded = True
+                result.degraded_reason = f"last-good: {fault}"
+                with self._traffic_lock:
+                    self.last_good_served += 1
+                return result
+        raise fault
+
+    def _record_last_good(
+        self,
+        graph: Graph,
+        source: NodeId,
+        destination: NodeId,
+        algorithm: str,
+        estimator_name: str,
+        weight: float,
+        result: PathResult,
+    ) -> None:
+        """Remember a consistent answer for the last-good fallback rung.
+
+        Keyed *without* the fingerprint: the rung's whole point is to
+        serve a route from an earlier cost state when the current one
+        is unreachable, flagged as degraded.
+        """
+        if not getattr(result, "found", False):
+            return
+        lg_key = (graph.uid, source, destination, algorithm, estimator_name, weight)
+        with self._last_good_lock:
+            self._last_good[lg_key] = result
+            while len(self._last_good) > self._last_good_capacity:
+                self._last_good.pop(next(iter(self._last_good)))
 
     def _route_edges(
         self,
@@ -387,6 +548,10 @@ class RouteService:
     ) -> PathResult:
         latency = max(0.0, self._clock() - started)
         self.last_trace = trace
+        degraded = bool(getattr(result, "degraded", False))
+        if degraded:
+            with self._traffic_lock:
+                self.degraded_served += 1
         self.metrics.record(
             QueryMetrics(
                 algorithm=key[3],
@@ -400,6 +565,7 @@ class RouteService:
                 cost=getattr(result, "cost", float("inf")),
                 found=bool(getattr(result, "found", False)),
                 deduplicated=deduplicated,
+                degraded=degraded,
                 spans=trace.durations(),
             )
         )
@@ -638,6 +804,27 @@ class RouteService:
             snap["traffic_evicted"] = self.traffic_evicted
             snap["traffic_retained"] = self.traffic_retained
             snap["plan_retries"] = self.plan_retries
+            snap["relational_faults"] = self.relational_faults
+            snap["memory_fallbacks"] = self.memory_fallbacks
+            snap["last_good_served"] = self.last_good_served
+            snap["degraded_served"] = self.degraded_served
+        # Aggregate fault-injection counters across every relational
+        # mirror this service owns (all zero without a fault plan).
+        faults_injected = 0
+        fault_retries = 0
+        retries_exhausted = 0
+        with self._rgraph_lock:
+            mirrors = list(self._rgraphs.values())
+        for rgraph in mirrors:
+            injector = getattr(rgraph.db, "injector", None)
+            if injector is not None:
+                counters = injector.snapshot()
+                faults_injected += counters["faults_injected"]
+                fault_retries += counters["retries"]
+                retries_exhausted += counters["retries_exhausted"]
+        snap["faults_injected"] = faults_injected
+        snap["fault_retries"] = fault_retries
+        snap["retries_exhausted"] = retries_exhausted
         for name, value in self.cache.snapshot().items():
             snap[f"cache_{name}"] = value
         for name, value in self.pool.snapshot().items():

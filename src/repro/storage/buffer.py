@@ -11,6 +11,13 @@ realistic setting for 1993 hardware. The engine therefore defaults to
 ``capacity=0`` (pass-through: every access is a miss and dirty pages
 write straight through), while larger capacities let the benchmarks
 explore how modern buffering would change the paper's conclusions.
+
+The pool is also the primary fault-injection boundary: when an
+``injector`` (:class:`repro.faults.FaultInjector`) is attached, every
+access consults it *before* any accounting, so a faulted access charges
+nothing and leaves the pool's counters and frames untouched — the
+retry's successful access is the one that pays. With no injector (or a
+no-op plan) the code path is byte-for-byte the seed behaviour.
 """
 
 from __future__ import annotations
@@ -32,11 +39,17 @@ class BufferPool:
     — matching the algebraic cost model's assumptions exactly).
     """
 
-    def __init__(self, stats: IOStatistics, capacity: int = 0) -> None:
+    def __init__(
+        self,
+        stats: IOStatistics,
+        capacity: int = 0,
+        injector: Optional[object] = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError("buffer capacity must be non-negative")
         self.stats = stats
         self.capacity = capacity
+        self.injector = injector
         self._frames: "OrderedDict[PageKey, Page]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -49,7 +62,14 @@ class BufferPool:
         The storage layer owns the actual :class:`Page` objects (there
         is no real disk); the pool's job is purely to decide what each
         access costs. ``for_write`` marks the page dirty.
+
+        With an injector attached the access may raise
+        :class:`~repro.exceptions.TransientIOError` or
+        :class:`~repro.exceptions.TornPageError` *before* any counter
+        moves, so a failed access is never half-accounted.
         """
+        if self.injector is not None:
+            self.injector.on_page_access(file_name, page, for_write)
         key = (file_name, page.page_no)
         if self.capacity == 0:
             # Pass-through mode: every access is a miss; mutations are
@@ -81,24 +101,40 @@ class BufferPool:
             victim.dirty = False
 
     def flush(self) -> int:
-        """Write out all dirty cached pages; return how many were dirty."""
+        """Write out all dirty cached pages; return how many were dirty.
+
+        Idempotent: a second flush finds no dirty pages and charges
+        nothing. Under fault injection each page's write is checked
+        individually; a fault leaves the already-flushed prefix clean,
+        so retrying the flush writes only the remainder.
+        """
         flushed = 0
         for page in self._frames.values():
             if page.dirty:
+                if self.injector is not None:
+                    self.injector.on_write(f"flush:{page.page_no}")
                 self.stats.charge_write()
                 page.dirty = False
                 flushed += 1
         return flushed
 
-    def invalidate(self, file_name: str) -> None:
+    def invalidate(self, file_name: str) -> int:
         """Drop (without writing) all cached pages of one file.
 
         Used when a relation is destroyed; its pages are gone, so
-        flushing them would charge phantom writes.
+        flushing them would charge phantom writes. Returns the number
+        of *dirty* pages dropped — updates that would otherwise vanish
+        from the ledger unaccounted. Callers destroying a relation can
+        assert this is zero (the engine's temporaries are written
+        through, never left dirty in the pool).
         """
         doomed = [key for key in self._frames if key[0] == file_name]
+        dropped_dirty = 0
         for key in doomed:
+            if self._frames[key].dirty:
+                dropped_dirty += 1
             del self._frames[key]
+        return dropped_dirty
 
     @property
     def hit_rate(self) -> float:

@@ -36,12 +36,21 @@ class Database:
         buffer_capacity: int = 0,
         block_size: int = DEFAULT_BLOCK_SIZE,
         stats: Optional[IOStatistics] = None,
+        injector: Optional[object] = None,
     ) -> None:
         self.name = name
         self.block_size = block_size
         self.stats = stats if stats is not None else IOStatistics()
-        self.buffer_pool = BufferPool(self.stats, capacity=buffer_capacity)
+        self.injector = injector
+        self.buffer_pool = BufferPool(
+            self.stats, capacity=buffer_capacity, injector=injector
+        )
         self._relations: Dict[str, Relation] = {}
+        #: Dirty pages silently discarded by relation drops. The engine
+        #: writes its temporaries through (capacity-0 pool) or flushes
+        #: before dropping, so a non-zero value means cost-ledger
+        #: charges were lost — tests assert it stays 0.
+        self.dirty_pages_dropped = 0
 
     # ------------------------------------------------------------------
     def create_relation(self, schema: Schema, name: Optional[str] = None) -> Relation:
@@ -67,7 +76,9 @@ class Database:
         if name not in self._relations:
             raise RelationNotFoundError(name)
         relation = self._relations.pop(name)
-        self.buffer_pool.invalidate(relation.heap.name)
+        self.dirty_pages_dropped += self.buffer_pool.invalidate(
+            relation.heap.name
+        )
         self.stats.charge_delete()
 
     def has_relation(self, name: str) -> bool:

@@ -43,6 +43,7 @@ class HashIndex:
         stats: IOStatistics,
         bucket_count: int = 0,
         bucket_capacity: int = DEFAULT_BUCKET_CAPACITY,
+        injector: Optional[object] = None,
     ) -> None:
         if bucket_capacity < 1:
             raise IndexError_("bucket capacity must be at least 1")
@@ -50,6 +51,7 @@ class HashIndex:
         self.key_field = key_field
         self.stats = stats
         self.bucket_capacity = bucket_capacity
+        self.injector = injector
         self._requested_buckets = bucket_count
         self._buckets: List[List[List[Tuple[object, RecordId]]]] = []
         self._built = False
@@ -99,6 +101,9 @@ class HashIndex:
         up to and including the last page containing a match, or the
         whole chain when the key is absent)."""
         self._require_built()
+        if self.injector is not None:
+            # Before any chain-page read is charged.
+            self.injector.on_read(f"hash:{self.heap.name}")
         chain = self._buckets[_stable_hash(key) % len(self._buckets)]
         matches: List[RecordId] = []
         for page in chain:

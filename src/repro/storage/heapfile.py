@@ -61,6 +61,17 @@ class HeapFile:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def _check_write_fault(self) -> None:
+        """Consult the fault injector (if any) before mutating.
+
+        Raised faults happen *before* any page or counter changes, so a
+        failed mutation leaves the file exactly as it was and a retry
+        starts clean.
+        """
+        injector = self.buffer_pool.injector
+        if injector is not None:
+            injector.on_write(f"heap:{self.name}")
+
     def insert(self, values: Mapping[str, object]) -> RecordId:
         """Validate and append a tuple; returns its record id.
 
@@ -69,6 +80,7 @@ class HeapFile:
         APPEND+DELETE frontier management dearer than REPLACE: 0.05 +
         0.085 units per node transition versus a single 0.085 update.)
         """
+        self._check_write_fault()
         record_id = self._append(values)
         self.stats.charge_write()
         return record_id
@@ -97,6 +109,7 @@ class HeapFile:
         term C2 = B_s * t_read + B_r * t_write: the source is scanned
         and the result written out block by block.
         """
+        self._check_write_fault()
         pages_before = len(self.pages)
         tail_was_open = bool(self.pages) and not self.pages[-1].is_full
         count = 0
@@ -126,6 +139,7 @@ class HeapFile:
         Charges one ``t_update`` (the paper's read-tuple + write-tuple
         unit), not a whole-block read/write pair.
         """
+        self._check_write_fault()
         row = self.schema.validate(values)
         page = self._page(record_id[0])
         page.update(record_id[1], row)
@@ -133,6 +147,7 @@ class HeapFile:
 
     def delete(self, record_id: RecordId) -> None:
         """Tombstone one tuple (charged as an update)."""
+        self._check_write_fault()
         page = self._page(record_id[0])
         page.delete(record_id[1])
         self._tuple_count -= 1

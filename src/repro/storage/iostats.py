@@ -52,6 +52,10 @@ class IOStatistics:
     tuple_updates: int = 0
     relations_created: int = 0
     relations_deleted: int = 0
+    #: Cost units charged directly for stalls — injected device latency
+    #: and retry backoff. Zero unless a fault injector is active.
+    latency_units: float = 0.0
+    latency_events: int = 0
 
     phase_costs: Dict[str, float] = field(default_factory=dict)
     _phase: Optional[str] = None
@@ -86,6 +90,20 @@ class IOStatistics:
         self.tuple_updates += tuples
         self._attribute(tuples * self.t_update)
 
+    def charge_latency(self, units: float) -> None:
+        """Charge ``units`` of stall time (injected latency / backoff).
+
+        Latency is billed in the same cost units as block I/O so that
+        injected retries show up on the paper's execution-time axis,
+        but it is kept in its own counter: a fault-free run must report
+        exactly zero latency.
+        """
+        if units < 0:
+            raise ValueError("cannot charge negative latency")
+        self.latency_units += units
+        self.latency_events += 1
+        self._attribute(units)
+
     def charge_create(self) -> None:
         """Charge the fixed temporary-relation creation cost I."""
         self.relations_created += 1
@@ -108,6 +126,7 @@ class IOStatistics:
             + self.tuple_updates * self.t_update
             + self.relations_created * self.create_cost
             + self.relations_deleted * self.delete_cost
+            + self.latency_units
         )
 
     def phase_cost(self, phase: str) -> float:
@@ -137,6 +156,8 @@ class IOStatistics:
             "tuple_updates": self.tuple_updates,
             "relations_created": self.relations_created,
             "relations_deleted": self.relations_deleted,
+            "latency_units": self.latency_units,
+            "latency_events": self.latency_events,
             "cost": self.cost,
         }
 
@@ -147,6 +168,8 @@ class IOStatistics:
         self.tuple_updates = 0
         self.relations_created = 0
         self.relations_deleted = 0
+        self.latency_units = 0.0
+        self.latency_events = 0
         self.phase_costs.clear()
 
     def __repr__(self) -> str:

@@ -35,6 +35,7 @@ class ISAMIndex:
         key_field: str,
         stats: IOStatistics,
         fanout: int = DEFAULT_FANOUT,
+        injector: Optional[object] = None,
     ) -> None:
         if fanout < 2:
             raise IndexError_("ISAM fanout must be at least 2")
@@ -42,6 +43,7 @@ class ISAMIndex:
         self.key_field = key_field
         self.stats = stats
         self.fanout = fanout
+        self.injector = injector
         # Each level is a list of pages; a page is a list of keys. Level 0
         # is the leaf level, whose parallel list carries the record ids.
         self._levels: List[List[List[object]]] = []
@@ -133,6 +135,10 @@ class ISAMIndex:
     def probe(self, key: object) -> Optional[RecordId]:
         """Find the record id for ``key`` (None if absent)."""
         self._require_built()
+        if self.injector is not None:
+            # Consulted before the descent charges anything, so a
+            # faulted probe charges no index-page reads.
+            self.injector.on_read(f"isam:{self.heap.name}")
         leaf_no = self._descend(key)
         keys = self._levels[0][leaf_no]
         for i, k in enumerate(keys):

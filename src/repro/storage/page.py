@@ -7,10 +7,17 @@ dirty bit so the buffer manager knows when eviction costs a write.
 
 Tuples are stored positionally (validated against the schema at the
 relation layer); a slot holds either a tuple or None after deletion.
+
+Pages also carry a content checksum (:meth:`Page.checksum`) so the
+fault-injection layer can model torn pages: a reader records the
+checksum the block was written with and :meth:`Page.verify` detects any
+corruption between write and read. The checksum is computed on demand —
+fault-free runs never pay for it.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterator, List, Optional, Tuple
 
 #: Table 4A block size in bytes.
@@ -75,6 +82,28 @@ class Page:
             raise ValueError(f"slot {slot} out of range on page {self.page_no}")
         self.slots[slot] = None
         self.dirty = True
+
+    def checksum(self) -> int:
+        """Deterministic CRC32 over the page content.
+
+        Stable across processes (no reliance on ``hash()`` and its
+        per-process randomization), so fault schedules and detection
+        behaviour replay identically run to run.
+        """
+        return zlib.crc32(repr(self.slots).encode("utf-8"))
+
+    def verify(self, expected: int, file_name: str = "?") -> None:
+        """Raise :class:`TornPageError` unless the content matches.
+
+        ``expected`` is the checksum recorded when the block was last
+        known good (in the simulation: just before the injector tore
+        it). This is the detection half of torn-page handling; recovery
+        is the caller re-reading the block.
+        """
+        if self.checksum() != expected:
+            from repro.exceptions import TornPageError
+
+            raise TornPageError(file_name, self.page_no)
 
     def rows(self) -> Iterator[Tuple[int, Row]]:
         """Yield ``(slot, row)`` for live tuples in slot order."""

@@ -64,7 +64,13 @@ class Relation:
         from repro.storage.isam import ISAMIndex
 
         self.schema.field(key_field)  # validates the field exists
-        index = ISAMIndex(self.heap, key_field, self.stats, fanout=fanout)
+        index = ISAMIndex(
+            self.heap,
+            key_field,
+            self.stats,
+            fanout=fanout,
+            injector=self.heap.buffer_pool.injector,
+        )
         index.build()
         self.isam = index
         return index
@@ -75,7 +81,11 @@ class Relation:
         """Build a primary hash index (the paper's index on S.Begin-node)."""
         self.schema.field(key_field)
         index = HashIndex(
-            self.heap, key_field, self.stats, bucket_count=bucket_count
+            self.heap,
+            key_field,
+            self.stats,
+            bucket_count=bucket_count,
+            injector=self.heap.buffer_pool.injector,
         )
         index.build()
         self.hash_index = index

@@ -132,8 +132,22 @@ class TrafficFeed:
             self.epoch_count = epoch.number
             self.deltas_applied += len(deltas)
             self.last_epoch = epoch
+            # Notify every subscriber even when one raises (a fault
+            # injected inside a handler must not starve the rest of the
+            # epoch — a skipped RelationalGraph would serve stale costs
+            # with nothing recording the gap, whereas a handler that
+            # misses an epoch entirely breaks its fingerprint chain and
+            # conservatively full-reloads). The first failure is
+            # re-raised after the fan-out completes.
+            first_failure: Optional[BaseException] = None
             for listener in self._listeners:
-                listener(epoch)
+                try:
+                    listener(epoch)
+                except BaseException as exc:  # noqa: BLE001 - refanned below
+                    if first_failure is None:
+                        first_failure = exc
+            if first_failure is not None:
+                raise first_failure
             return epoch
 
     def tick(

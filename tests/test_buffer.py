@@ -89,6 +89,52 @@ class TestFlushInvalidate:
         assert pool.flush() == 0
         assert stats.block_writes == 0
 
+    def test_invalidate_returns_dirty_drop_count(self):
+        """Regression: invalidate() must report how many dirty pages it
+        silently dropped (it used to return None, hiding lost updates)."""
+        pool, _stats = make_pool(4)
+        pool.access("f", Page(0, 4), for_write=True)
+        pool.access("f", Page(1, 4), for_write=True)
+        pool.access("f", Page(2, 4))  # clean
+        pool.access("g", Page(0, 4), for_write=True)  # other file
+        assert pool.invalidate("f") == 2
+        # The other file's dirty page is untouched.
+        assert pool.flush() == 1
+
+    def test_invalidate_of_clean_file_drops_nothing_dirty(self):
+        pool, _stats = make_pool(4)
+        pool.access("f", Page(0, 4))
+        assert pool.invalidate("f") == 0
+        assert pool.invalidate("f") == 0  # already gone
+
+    def test_flush_before_drop_leaves_nothing_unaccounted(self):
+        """A buffered database that flushes before dropping discards no
+        dirty page — drop only ever loses what the caller skipped."""
+        from repro.storage.database import Database
+        from repro.storage.schema import ANY, FLOAT, Field, Schema
+
+        db = Database(buffer_capacity=8)
+        schema = Schema("t", [Field("k", ANY, 8), Field("v", FLOAT, 8)])
+        relation = db.create_relation(schema, name="t")
+        for key in range(20):
+            relation.insert({"k": key, "v": float(key)})
+        db.buffer_pool.flush()
+        db.drop_relation("t")
+        assert db.dirty_pages_dropped == 0
+
+    def test_relational_run_drops_no_dirty_pages(self):
+        """Regression: the engine's relation-destroy path (dropping the
+        R/F temporaries after a run) must account for every write — a
+        pass-through pool writes through, so drops find nothing dirty."""
+        from repro.engine import RelationalGraph
+        from repro.engine.rel_bestfirst import run_dijkstra
+        from repro.graphs.grid import make_paper_grid
+
+        rgraph = RelationalGraph(make_paper_grid(4, "variance"))
+        result = run_dijkstra(rgraph, (0, 0), (3, 3))
+        assert result.found
+        assert rgraph.db.dirty_pages_dropped == 0
+
     def test_hit_rate(self):
         pool, _stats = make_pool(2)
         page = Page(0, 4)

@@ -1,0 +1,202 @@
+"""The determinism tier: chaos replay contracts.
+
+Three properties anchor the fault subsystem:
+
+* **Replayability** — the same config (workload seed + fault seed)
+  produces the identical fault schedule, retry counters and answer log,
+  distilled into one determinism key.
+* **No-op proof** — a rate-0 plan is indistinguishable from no injector
+  at all: same routes, same I/O ledger, zero faults, zero schedule.
+* **Exact-or-flagged** — under injected faults every served answer is
+  either exact for its epoch or explicitly ``degraded``; the ladder's
+  rungs each serve what they promise.
+"""
+
+import pytest
+
+from repro.exceptions import FaultError
+from repro.faults import ChaosConfig, FaultPlan, run_chaos
+from repro.graphs.grid import make_paper_grid
+from repro.service import RouteService
+from repro.traffic import TrafficFeed
+
+pytestmark = pytest.mark.chaos
+
+
+def small_config(**overrides):
+    base = dict(
+        rounds=4,
+        queries_per_round=6,
+        distinct_pairs=6,
+        update_period=2,
+        read_error_rate=0.002,
+        write_error_rate=0.001,
+        torn_page_rate=0.001,
+        latency_rate=0.003,
+        seed=1993,
+        fault_seed=7,
+    )
+    base.update(overrides)
+    return ChaosConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# replayability
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_same_seeds_reproduce_schedule_retries_and_answers(self):
+        config = small_config()
+        first = run_chaos(make_paper_grid(6, "variance"), config)
+        second = run_chaos(make_paper_grid(6, "variance"), small_config())
+        assert first.determinism_key == second.determinism_key
+        assert first.schedule_digest == second.schedule_digest
+        assert first.schedule_length == second.schedule_length
+        assert first.fault_retries == second.fault_retries
+        assert first.retries_exhausted == second.retries_exhausted
+        assert first.records == second.records
+        # The rates are high enough that the run actually faulted.
+        assert first.faults_injected > 0
+
+    def test_different_fault_seed_changes_the_schedule(self):
+        first = run_chaos(make_paper_grid(6, "variance"), small_config())
+        second = run_chaos(
+            make_paper_grid(6, "variance"), small_config(fault_seed=8)
+        )
+        assert first.schedule_digest != second.schedule_digest
+
+    def test_every_answer_exact_or_flagged(self):
+        report = run_chaos(make_paper_grid(6, "variance"), small_config())
+        assert report.wrong_unflagged == 0
+        assert report.unserved == 0  # the default ladder always answers
+        assert report.queries == 4 * 6
+        assert report.exact + report.degraded == report.queries
+
+
+# ----------------------------------------------------------------------
+# the rate-0 no-op proof
+# ----------------------------------------------------------------------
+class TestRateZeroIsNoop:
+    def test_chaos_run_matches_injector_free_service(self):
+        zero = small_config(
+            read_error_rate=0.0,
+            write_error_rate=0.0,
+            torn_page_rate=0.0,
+            latency_rate=0.0,
+        )
+        with_noop_plan = run_chaos(make_paper_grid(6, "variance"), zero)
+
+        bare_service = RouteService(
+            fault_plan=None,
+            default_algorithm=zero.algorithm,
+            default_backend=zero.backend,
+        )
+        bare = run_chaos(
+            make_paper_grid(6, "variance"), zero, service=bare_service
+        )
+        assert with_noop_plan.records == bare.records
+        assert with_noop_plan.faults_injected == 0
+        assert with_noop_plan.schedule_length == 0
+        assert with_noop_plan.fault_retries == 0
+        assert with_noop_plan.degraded == 0
+
+    def test_relational_run_results_byte_identical(self):
+        """Same route, same ledger, same phase costs — the injector with
+        a rate-0 plan never charges, never draws, never appears."""
+
+        def one_run(fault_plan):
+            graph = make_paper_grid(5, "variance")
+            service = RouteService(
+                fault_plan=fault_plan,
+                default_algorithm="dijkstra",
+                default_backend="relational",
+            )
+            result = service.plan(graph, (0, 0), (4, 4))
+            return result, service
+
+        bare, _ = one_run(None)
+        noop, noop_service = one_run(FaultPlan(seed=99))
+        assert noop.cost == bare.cost
+        assert noop.path == bare.path
+        assert noop.execution_cost == bare.execution_cost
+        assert noop.io is not None and bare.io is not None
+        assert noop.io.snapshot() == bare.io.snapshot()
+        assert noop.retries_by_phase == {} and not noop.degraded
+        snap = noop_service.snapshot()
+        assert snap["faults_injected"] == 0
+        assert snap["fault_retries"] == 0
+        assert snap["relational_faults"] == 0
+
+
+# ----------------------------------------------------------------------
+# the degradation ladder
+# ----------------------------------------------------------------------
+class TestDegradationLadder:
+    def make_service(self, degradation):
+        plan = FaultPlan(seed=5)  # all rates 0 until the test flips one
+        service = RouteService(
+            fault_plan=plan,
+            max_retries=1,
+            degradation=degradation,
+            default_algorithm="dijkstra",
+            default_backend="relational",
+        )
+        return service, plan
+
+    def test_memory_rung_serves_a_correct_unpriced_route(self):
+        graph = make_paper_grid(5, "variance")
+        service, plan = self.make_service(("memory",))
+        expected = RouteService(default_algorithm="dijkstra").plan(
+            graph, (0, 0), (4, 4)
+        )
+        plan.read_error_rate = 1.0  # every relational read now faults
+        result = service.plan(graph, (0, 0), (4, 4))
+        assert result.degraded
+        assert result.degraded_reason.startswith("memory-fallback:")
+        assert result.cost == expected.cost  # correct, just unpriced
+        snap = service.snapshot()
+        assert snap["relational_faults"] == 1
+        assert snap["memory_fallbacks"] == 1
+        assert snap["degraded_served"] == 1
+
+    def test_last_good_rung_replays_the_cached_answer(self):
+        graph = make_paper_grid(5, "variance")
+        service, plan = self.make_service(("last-good",))
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        # Warm up fault-free: this run seeds the last-known-good store.
+        good = service.plan(graph, (0, 0), (4, 4))
+        assert not good.degraded
+        # A traffic epoch touches an edge *on the cached route* (edge-
+        # granular invalidation keeps untouched routes alive), so the
+        # cache cannot answer — then the relational tier starts failing.
+        u, v = good.edge_sequence()[0]
+        feed.apply([(u, v, graph.edge_cost(u, v) * 3.0)])
+        plan.read_error_rate = 1.0
+        result = service.plan(graph, (0, 0), (4, 4))
+        assert result.degraded
+        assert result.degraded_reason.startswith("last-good:")
+        assert result.cost == good.cost  # the earlier answer, flagged
+        assert service.snapshot()["last_good_served"] == 1
+
+    def test_empty_ladder_fails_loudly_never_wrong(self):
+        graph = make_paper_grid(5, "variance")
+        service, plan = self.make_service(())
+        plan.read_error_rate = 1.0
+        with pytest.raises(FaultError):
+            service.plan(graph, (0, 0), (4, 4))
+        snap = service.snapshot()
+        assert snap["relational_faults"] == 1
+        assert snap["degraded_served"] == 0
+
+    def test_degraded_answers_are_never_cached(self):
+        graph = make_paper_grid(5, "variance")
+        service, plan = self.make_service(("memory",))
+        plan.read_error_rate = 1.0
+        degraded = service.plan(graph, (0, 0), (4, 4))
+        assert degraded.degraded
+        # Heal the storage: the same query must run fresh (and price
+        # itself), not replay the degraded answer from the cache.
+        plan.read_error_rate = 0.0
+        healed = service.plan(graph, (0, 0), (4, 4))
+        assert not healed.degraded
+        assert healed.execution_cost > 0.0

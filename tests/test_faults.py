@@ -1,0 +1,227 @@
+"""Unit tests for the fault-injection subsystem (plan + injector)."""
+
+import pytest
+
+from repro.exceptions import (
+    FaultError,
+    RetriesExhaustedError,
+    TornPageError,
+    TransientIOError,
+)
+from repro.faults import DEFAULT_BACKOFF_UNITS, FaultInjector, FaultPlan
+from repro.storage.iostats import IOStatistics
+from repro.storage.page import Page
+
+pytestmark = pytest.mark.chaos
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: the policy
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(read_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(write_error_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(latency_units=-1.0)
+
+    def test_is_noop_only_when_all_rates_zero(self):
+        assert FaultPlan().is_noop
+        assert not FaultPlan(read_error_rate=0.1).is_noop
+        assert not FaultPlan(latency_rate=0.1).is_noop
+        plan = FaultPlan()
+        plan.torn_page_rate = 0.5  # rates are deliberately mutable
+        assert not plan.is_noop
+
+    def test_same_seed_same_schedule(self):
+        def drive(plan):
+            for index in range(200):
+                plan.decide(f"site{index % 3}", "read" if index % 2 else "write")
+            return list(plan.schedule)
+
+        first = drive(FaultPlan(seed=42, read_error_rate=0.2,
+                                write_error_rate=0.2, torn_page_rate=0.1,
+                                latency_rate=0.1))
+        second = drive(FaultPlan(seed=42, read_error_rate=0.2,
+                                 write_error_rate=0.2, torn_page_rate=0.1,
+                                 latency_rate=0.1))
+        assert first == second
+        assert first  # the rates are high enough that something fired
+
+    def test_different_seeds_diverge(self):
+        kwargs = dict(read_error_rate=0.3, latency_rate=0.3)
+
+        def drive(seed):
+            plan = FaultPlan(seed=seed, **kwargs)
+            for _ in range(100):
+                plan.decide("s", "read")
+            return list(plan.schedule)
+
+        assert drive(1) != drive(2)
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan(seed=7, read_error_rate=0.25, latency_rate=0.25)
+        for _ in range(80):
+            plan.decide("s", "read")
+        first = list(plan.schedule)
+        digest = plan.schedule_digest()
+        plan.reset()
+        assert plan.op_index == 0 and plan.schedule == []
+        for _ in range(80):
+            plan.decide("s", "read")
+        assert plan.schedule == first
+        assert plan.schedule_digest() == digest
+
+    def test_torn_pages_only_on_reads(self):
+        plan = FaultPlan(seed=3, torn_page_rate=1.0)
+        assert plan.decide("s", "read") == "torn-page"
+        assert plan.decide("s", "write") == ""  # torn rate ignores writes
+
+    def test_schedule_records_index_site_kind(self):
+        plan = FaultPlan(seed=0, read_error_rate=1.0)
+        plan.decide("alpha", "read")
+        plan.decide("beta", "read")
+        assert plan.schedule == [(0, "alpha", "read-error"),
+                                 (1, "beta", "read-error")]
+
+
+# ----------------------------------------------------------------------
+# FaultInjector: the mechanism
+# ----------------------------------------------------------------------
+def make_injector(max_retries=3, **rates):
+    stats = IOStatistics()
+    plan = FaultPlan(seed=0, **rates)
+    return FaultInjector(plan, stats, max_retries=max_retries), stats, plan
+
+
+class TestFaultInjector:
+    def test_noop_plan_touches_nothing(self):
+        injector, stats, plan = make_injector()
+        page = Page(0, 4)
+        injector.on_page_access("f", page, for_write=True)
+        injector.on_read("isam:t")
+        injector.on_write("heap:t")
+        assert plan.op_index == 0  # is_noop short-circuits before the RNG
+        assert injector.faults_injected == 0
+        assert stats.cost == 0.0
+
+    def test_read_error_raises_before_any_charge(self):
+        injector, stats, _plan = make_injector(read_error_rate=1.0)
+        with pytest.raises(TransientIOError) as excinfo:
+            injector.on_read("isam:t")
+        assert excinfo.value.site == "isam:t"
+        assert stats.cost == 0.0
+        assert injector.faults_by_kind == {"read-error": 1}
+
+    def test_latency_fault_charges_and_continues(self):
+        injector, stats, plan = make_injector(latency_rate=1.0)
+        injector.on_read("hash:t")  # no raise
+        assert stats.latency_units == pytest.approx(plan.latency_units)
+        assert stats.latency_events == 1
+        assert injector.faults_by_kind == {"latency": 1}
+
+    def test_torn_page_detected_and_restored(self):
+        injector, _stats, _plan = make_injector(torn_page_rate=1.0)
+        page = Page(0, 4)
+        page.slots.append(("row",))
+        before = list(page.slots)
+        with pytest.raises(TornPageError) as excinfo:
+            injector.on_page_access("f", page, for_write=False)
+        assert excinfo.value.file_name == "f"
+        # The corruption was detected via the checksum, then restored
+        # (the simulated successful re-read).
+        assert page.slots == before
+
+    def test_protect_retries_and_bills_exponential_backoff(self):
+        injector, stats, _plan = make_injector()
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] <= 2:
+                raise TransientIOError("s")
+            return "ok"
+
+        assert injector.protect("iterate", flaky) == "ok"
+        assert attempts["n"] == 3
+        assert injector.retries == 2
+        assert injector.retries_by_phase == {"iterate": 2}
+        # Backoff doubles: 0.1 + 0.2 units, attributed to the phase.
+        expected = DEFAULT_BACKOFF_UNITS * (1 + 2)
+        assert stats.latency_units == pytest.approx(expected)
+        assert stats.phase_cost("iterate") == pytest.approx(expected)
+
+    def test_protect_exhausts_into_retries_exhausted_error(self):
+        injector, _stats, _plan = make_injector(max_retries=2)
+
+        def always_fails():
+            raise TransientIOError("s")
+
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            injector.protect("traffic-sync", always_fails)
+        assert excinfo.value.phase == "traffic-sync"
+        assert excinfo.value.attempts == 3  # initial try + 2 retries
+        assert injector.retries == 2
+        assert injector.retries_exhausted == 1
+        assert isinstance(excinfo.value.__cause__, TransientIOError)
+
+    def test_protect_never_rewraps_inner_exhaustion(self):
+        injector, _stats, _plan = make_injector()
+
+        def inner_exhausted():
+            raise RetriesExhaustedError("inner", 4)
+
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            injector.protect("outer", inner_exhausted)
+        assert excinfo.value.phase == "inner"
+        assert injector.retries == 0
+
+    def test_protect_lets_real_bugs_through(self):
+        injector, _stats, _plan = make_injector()
+
+        def buggy():
+            raise ZeroDivisionError
+
+        with pytest.raises(ZeroDivisionError):
+            injector.protect("iterate", buggy)
+        assert injector.retries == 0
+
+    def test_snapshot_counters(self):
+        injector, _stats, plan = make_injector(read_error_rate=1.0)
+        with pytest.raises(FaultError):
+            injector.on_read("s")
+        snap = injector.snapshot()
+        assert snap["faults_injected"] == 1
+        assert snap["faults_by_kind"] == {"read-error": 1}
+        assert snap["schedule_length"] == 1
+        assert snap["schedule_digest"] == plan.schedule_digest()
+
+    def test_invalid_construction_rejected(self):
+        stats = IOStatistics()
+        with pytest.raises(ValueError):
+            FaultInjector(FaultPlan(), stats, max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultInjector(FaultPlan(), stats, backoff_units=-0.5)
+
+
+# ----------------------------------------------------------------------
+# RunResult carries the degradation/retry fields
+# ----------------------------------------------------------------------
+class TestRunResultFaultFields:
+    def test_defaults_are_fault_free(self):
+        from repro.kernel.result import RunResult
+
+        result = RunResult(source=0, destination=1, algorithm="dijkstra")
+        assert result.degraded is False
+        assert result.degraded_reason == ""
+        assert result.retries_by_phase == {}
+        assert result.fault_retries == 0
+
+    def test_fault_retries_sums_phases(self):
+        from repro.kernel.result import RunResult
+
+        result = RunResult(source=0, destination=1, algorithm="dijkstra",
+                           retries_by_phase={"traffic-sync": 2, "iterate": 1})
+        assert result.fault_retries == 3

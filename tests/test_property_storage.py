@@ -129,6 +129,125 @@ def test_buffer_pool_invariants(capacity, accesses):
     assert len(pool._frames) <= max(capacity, 0)
 
 
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(1, 6),
+    accesses=st.lists(
+        st.tuples(st.integers(0, 9), st.booleans()), max_size=60
+    ),
+)
+def test_buffer_pool_write_charges_match_dirty_pages(capacity, accesses):
+    """Every write charged is a dirty page leaving the pool.
+
+    A reference LRU model predicts exactly which evictions write (the
+    victim was dirty) and how many pages a flush finds dirty; the pool's
+    ledger must match the model write for write, and a second flush must
+    be a free no-op.
+    """
+    from collections import OrderedDict
+
+    from repro.storage.page import Page
+
+    stats = IOStatistics()
+    pool = BufferPool(stats, capacity=capacity)
+    pages = {i: Page(i, 4) for i in range(10)}
+
+    frames = OrderedDict()  # page_no -> dirty (the reference model)
+    expected_reads = expected_writes = expected_hits = 0
+    for page_no, for_write in accesses:
+        pool.access("f", pages[page_no], for_write=for_write)
+        if page_no in frames:
+            expected_hits += 1
+            frames.move_to_end(page_no)
+        else:
+            expected_reads += 1
+            frames[page_no] = False
+            if len(frames) > capacity:
+                _victim, victim_dirty = frames.popitem(last=False)
+                if victim_dirty:
+                    expected_writes += 1
+        if for_write:
+            frames[page_no] = True
+
+    assert pool.hits == expected_hits
+    assert stats.block_reads == expected_reads
+    # Eviction writes: exactly the dirty victims, no more, no less.
+    assert stats.block_writes == expected_writes
+
+    # Flush writes exactly the pages the model says are dirty...
+    dirty_remaining = sum(1 for dirty in frames.values() if dirty)
+    assert pool.flush() == dirty_remaining
+    assert stats.block_writes == expected_writes + dirty_remaining
+    # ...and is idempotent: a second flush finds nothing and is free.
+    assert pool.flush() == 0
+    assert stats.block_writes == expected_writes + dirty_remaining
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(0, 4),
+    fault_seed=st.integers(0, 1000),
+    accesses=st.lists(
+        st.tuples(st.integers(0, 9), st.booleans()), max_size=50
+    ),
+)
+def test_buffer_pool_invariants_hold_under_fault_injection(
+    capacity, fault_seed, accesses
+):
+    """With a FaultInjector attached, only successful accesses count.
+
+    A faulted access must charge nothing and move no counter (injection
+    happens before accounting), torn pages must be restored after
+    detection, and replaying the same access sequence under the same
+    seed must reproduce the identical fault schedule.
+    """
+    from repro.exceptions import FaultError
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.storage.page import Page
+
+    def drive(plan):
+        stats = IOStatistics()
+        injector = FaultInjector(plan, stats)
+        pool = BufferPool(stats, capacity=capacity, injector=injector)
+        pages = {i: Page(i, 4) for i in range(10)}
+        succeeded = 0
+        for page_no, for_write in accesses:
+            before = list(pages[page_no].slots)
+            try:
+                pool.access("f", pages[page_no], for_write=for_write)
+                succeeded += 1
+            except FaultError:
+                # Torn pages are restored after detection; nothing else
+                # about the page changes on a failed access.
+                assert pages[page_no].slots == before
+        return pool, stats, injector, succeeded
+
+    plan = FaultPlan(
+        seed=fault_seed,
+        read_error_rate=0.15,
+        write_error_rate=0.15,
+        torn_page_rate=0.10,
+        latency_rate=0.20,
+    )
+    pool, stats, injector, succeeded = drive(plan)
+
+    # Conservation holds over *successful* accesses only.
+    assert pool.hits + pool.misses == succeeded
+    assert stats.block_reads == pool.misses
+    assert len(pool._frames) <= max(capacity, 0)
+    # The only stalls billed are the latency faults themselves
+    # (protect() was never involved, so no backoff).
+    assert stats.latency_units == pytest.approx(
+        injector.faults_by_kind.get("latency", 0) * plan.latency_units
+    )
+
+    # Same seed, same access sequence -> identical fault schedule.
+    first_schedule = list(plan.schedule)
+    plan.reset()
+    drive(plan)
+    assert plan.schedule == first_schedule
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     tuples=st.lists(

@@ -109,6 +109,124 @@ class TestSingleEpochPricing:
         assert report.queries == 6 * 24
         assert report.stale_serves == 0
 
+    def test_faulting_listener_does_not_starve_later_subscribers(self):
+        """Crash consistency of apply(): a handler that faults mid
+        fan-out must not skip the remaining subscribers, and the epoch
+        itself (costs + fingerprint) must land fully applied."""
+        from repro.exceptions import TransientIOError
+
+        graph = chain_graph(1.0)
+        feed = TrafficFeed(graph)
+        seen = []
+
+        def flaky(epoch):
+            raise TransientIOError("listener", operation="write")
+
+        feed.subscribe(flaky)
+        feed.subscribe(lambda epoch: seen.append(epoch))
+        before = graph.fingerprint
+        with pytest.raises(TransientIOError):
+            feed.apply([(i, i + 1, 10.0) for i in range(3)])
+        # The batch applied fully: every cost changed, exactly one
+        # fingerprint bump, and the later subscriber saw the epoch.
+        assert [graph.edge_cost(i, i + 1) for i in range(3)] == [10.0] * 3
+        assert graph.fingerprint != before
+        assert feed.epoch_count == 1
+        assert len(seen) == 1
+        assert seen[0].deltas and seen[0].fingerprint == graph.fingerprint
+
+    def test_faulting_listener_never_yields_mixed_epoch_routes(self):
+        """Readers racing an updater whose epochs sometimes fault in a
+        subscriber must still never see a partial batch: every route
+        prices a pure epoch (3.0 or 30.0), never a mix."""
+        from repro.exceptions import FaultError, TransientIOError
+
+        graph = chain_graph(1.0)
+        service = RouteService(default_algorithm="dijkstra")
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+
+        counter = {"n": 0}
+
+        def flaky(epoch):
+            counter["n"] += 1
+            if counter["n"] % 3 == 0:
+                raise TransientIOError("listener", operation="write")
+
+        feed.subscribe(flaky)
+        legal = {3.0, 30.0}
+        observed, errors = [], []
+        stop = threading.Event()
+
+        def updater():
+            flip = True
+            while not stop.is_set():
+                cost = 10.0 if flip else 1.0
+                try:
+                    feed.apply([(i, i + 1, cost) for i in range(3)])
+                except FaultError:
+                    pass  # the epoch still applied; only the fan-out raised
+                flip = not flip
+
+        def reader():
+            try:
+                for _ in range(150):
+                    observed.append(service.plan(graph, 0, 3).cost)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        update_thread = threading.Thread(target=updater)
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        update_thread.start()
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join()
+        stop.set()
+        update_thread.join()
+
+        assert not errors
+        mixed = [cost for cost in observed if cost not in legal]
+        assert mixed == [], f"routes priced on mixed epochs: {mixed[:5]}"
+
+    def test_fault_mid_sync_leaves_dirty_set_intact(self):
+        """Crash consistency of sync(): an injected fault mid-refresh
+        leaves the dirty set and fingerprints untouched, so the retry
+        sees the same work list and completes it."""
+        from repro.engine import RelationalGraph
+        from repro.exceptions import FaultError
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.storage.database import Database
+        from repro.storage.iostats import IOStatistics
+
+        graph = chain_graph(1.0)
+        stats = IOStatistics()
+        plan = FaultPlan(seed=11)  # all rates 0 while we set up
+        db = Database(stats=stats, injector=FaultInjector(plan, stats))
+        rgraph = RelationalGraph(graph, database=db)
+        feed = TrafficFeed(graph)
+        feed.subscribe(rgraph)
+        feed.apply([(0, 1, 5.0), (1, 2, 6.0)])
+        assert rgraph.stale
+
+        plan.read_error_rate = 1.0  # every index probe now faults
+        with pytest.raises(FaultError):
+            rgraph.sync()
+        # Nothing was consumed: the dirty set and staleness survive.
+        assert rgraph._dirty_begins == {0, 1}
+        assert rgraph.stale
+
+        plan.read_error_rate = 0.0
+        assert rgraph.sync() == 2
+        assert not rgraph.stale
+        assert rgraph._dirty_begins == set()
+        # S now agrees with the graph edge for edge.
+        costs = {
+            (row["begin"], row["end"]): row["cost"]
+            for _rid, row in rgraph.S.heap.scan()
+        }
+        assert costs[(0, 1)] == 5.0 and costs[(1, 2)] == 6.0
+
     def test_quiesced_replay_serves_no_stale(self):
         graph = make_paper_grid(10, "variance")
         report = run_replay(
