@@ -1,0 +1,69 @@
+"""Benchmark: the full kill-at-op-N crash matrix.
+
+Runs every workload in the matrix — heap mutations with a mid-stream
+checkpoint, index builds mutated through both index kinds, traffic
+epochs journaled through a serving stack — and kills each one at
+*every* operation index (well over the 200-point acceptance floor).
+Each kill point recovers from the write-ahead log alone and is audited
+for committed-tuple survival, index ``verify()`` sweeps, and
+stale/corrupt-answer freedom on the recovered service.
+
+The acceptance bar: 100% of kill points recover clean, and a second
+run of the identical config reproduces the identical determinism key.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import CrashMatrixConfig, run_crash_matrix
+
+from conftest import run_once
+
+pytestmark = pytest.mark.chaos
+
+_CONFIG = dict(
+    kill_points=0,  # exhaustive: every operation index in every workload
+    tuples=24,
+    updates=6,
+    deletes=3,
+    grid=4,
+    epochs=3,
+    queries_per_epoch=2,
+    audit_pairs=4,
+    seed=1993,
+    fault_seed=7,
+)
+
+
+def test_bench_crash_matrix(benchmark, tmp_path):
+    """Exhaustive kill sweep: every committed op survives recovery."""
+    report = run_once(benchmark, run_crash_matrix, CrashMatrixConfig(**_CONFIG))
+
+    benchmark.extra_info["kill_points_run"] = report.kill_points_run
+    benchmark.extra_info["crashes"] = report.crashes
+    benchmark.extra_info["recoveries_clean"] = report.recoveries_clean
+    benchmark.extra_info["survival"] = report.survival
+    benchmark.extra_info["total_ops"] = dict(report.total_ops)
+    benchmark.extra_info["determinism_key"] = report.determinism_key
+
+    print()
+    for line in report.summary_lines():
+        print(line)
+
+    # The sweep must clear the acceptance floor and recover everywhere.
+    assert report.kill_points_run >= 200
+    assert report.crashes == report.kill_points_run
+    assert report.failures == []
+    assert report.survival == 1.0
+
+    # The JSON audit is well-formed (it becomes the CI artifact).
+    audit = json.loads(report.to_json())
+    assert audit["survival"] == 1.0
+    assert len(audit["records"]) == report.kill_points_run
+    (tmp_path / "recovery-audit.json").write_text(report.to_json())
+
+    # The same config reproduces the identical outcome, bit for bit.
+    rerun = run_crash_matrix(CrashMatrixConfig(**_CONFIG))
+    assert rerun.determinism_key == report.determinism_key
+    assert rerun.records == report.records

@@ -17,7 +17,11 @@ Commands
                edge-granular vs whole-graph cache invalidation;
 ``bench-chaos`` replay a query/update workload with deterministic
                storage faults injected into the relational tier and
-               audit that every answer is exact or explicitly degraded.
+               audit that every answer is exact or explicitly degraded;
+``bench-recovery`` run the kill-at-op-N crash matrix: crash each
+               workload at a sweep of operation indexes, recover from
+               the write-ahead log, and audit committed-state survival
+               (``--json``/``--out`` emit the audit for CI artifacts).
 
 Graphs are specified with ``--graph``: ``grid:K[:costmodel[:seed]]``
 (e.g. ``grid:30:variance``), ``minneapolis[:seed]``, or ``json:PATH``
@@ -296,6 +300,37 @@ def _cmd_bench_chaos(args) -> int:
     return 0
 
 
+def _cmd_bench_recovery(args) -> int:
+    from repro.faults import CrashMatrixConfig, run_crash_matrix
+
+    config = CrashMatrixConfig(
+        workloads=tuple(args.workloads),
+        kill_points=args.kill_points,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        tuples=args.tuples,
+        updates=args.updates,
+        deletes=args.deletes,
+        grid=args.grid,
+        epochs=args.epochs,
+        queries_per_epoch=args.queries_per_epoch,
+        audit_pairs=args.audit_pairs,
+    )
+    report = run_crash_matrix(config)
+    payload = report.to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    else:
+        for line in report.summary_lines():
+            print(line)
+        for failure in report.failures:
+            print(f"AUDIT FAILURE: {failure}")
+    return 0 if report.clean else 1
+
+
 def _cmd_info(args) -> int:
     from repro.graphs.analysis import (
         degree_statistics,
@@ -463,6 +498,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench_chaos.add_argument("--latency-rate", type=float, default=0.001)
     bench_chaos.add_argument("--max-retries", type=int, default=3)
     bench_chaos.set_defaults(func=_cmd_bench_chaos)
+
+    bench_recovery = commands.add_parser(
+        "bench-recovery",
+        help="run the kill-at-op-N crash matrix and audit that "
+             "recovery preserves every committed operation",
+    )
+    bench_recovery.add_argument(
+        "--workloads", nargs="+",
+        choices=("insert", "index-build", "traffic-sync"),
+        default=["insert", "index-build", "traffic-sync"])
+    bench_recovery.add_argument("--kill-points", type=int, default=0,
+                                help="kill points per workload "
+                                     "(0 = every operation index)")
+    bench_recovery.add_argument("--seed", type=int, default=1993,
+                                help="workload seed")
+    bench_recovery.add_argument("--fault-seed", type=int, default=7)
+    bench_recovery.add_argument("--tuples", type=int, default=24)
+    bench_recovery.add_argument("--updates", type=int, default=6)
+    bench_recovery.add_argument("--deletes", type=int, default=3)
+    bench_recovery.add_argument("--grid", type=int, default=4,
+                                help="traffic workload grid size K")
+    bench_recovery.add_argument("--epochs", type=int, default=3)
+    bench_recovery.add_argument("--queries-per-epoch", type=int, default=2)
+    bench_recovery.add_argument("--audit-pairs", type=int, default=4)
+    bench_recovery.add_argument("--json", action="store_true",
+                                help="print the full audit as JSON")
+    bench_recovery.add_argument("--out", metavar="PATH", default="",
+                                help="also write the JSON audit to PATH")
+    bench_recovery.set_defaults(func=_cmd_bench_recovery)
 
     return parser
 

@@ -214,6 +214,51 @@ class RelationalGraph:
         """True when the graph has costs S has not yet absorbed."""
         return self.graph.fingerprint != self._synced_fingerprint
 
+    def verify(self) -> bool:
+        """Integrity audit of the mirror (no I/O charge: a sweep).
+
+        Runs the index ``verify()`` sweeps on S and — when the mirror
+        is not stale — checks every S tuple against the graph: same
+        edge set, same costs. The crash matrix runs this after
+        recovery to prove the rebuilt mirror serves no corrupt
+        adjacency. Raises :class:`~repro.exceptions.IndexError_` (index
+        damage) or :class:`~repro.exceptions.StorageError` (content
+        drift) on the first violation.
+        """
+        from repro.exceptions import StorageError
+
+        if self.S.hash_index is not None:
+            self.S.hash_index.verify()
+        if self.S.isam is not None:
+            self.S.isam.verify()
+        if not self.stale:
+            edges = {
+                (edge.source, edge.target): edge.cost
+                for edge in self.graph.edges()
+            }
+            seen = set()
+            for page in self.S.heap.pages:
+                for _slot, row in page.rows():
+                    values = self.S.schema.as_dict(row)
+                    key = (values["begin"], values["end"])
+                    if key not in edges:
+                        raise StorageError(
+                            f"S tuple {key} is not an edge of "
+                            f"{self.graph.name!r}"
+                        )
+                    if values["cost"] != edges[key]:
+                        raise StorageError(
+                            f"S tuple {key} carries cost {values['cost']!r}, "
+                            f"graph says {edges[key]!r}"
+                        )
+                    seen.add(key)
+            missing = len(edges) - len(seen)
+            if missing:
+                raise StorageError(
+                    f"S is missing {missing} of {len(edges)} graph edges"
+                )
+        return True
+
     # ------------------------------------------------------------------
     def adjacency_join(
         self,

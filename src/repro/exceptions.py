@@ -169,6 +169,36 @@ class TornPageError(FaultError):
         self.page_no = page_no
 
 
+class SimulatedCrash(StorageError):
+    """Process death injected at a storage operation (the crash matrix).
+
+    Deliberately *not* a :class:`FaultError`: a crash is not a
+    transient condition a retry can absorb — it must propagate through
+    every retry wrapper and degradation ladder so the driver can
+    discard all volatile state and exercise recovery from the
+    write-ahead log. Raised before the operation at ``op_index`` takes
+    effect, so the killed operation is neither applied nor logged.
+    """
+
+    def __init__(self, site: str, op_index: int) -> None:
+        super().__init__(
+            f"simulated crash at storage op {op_index} ({site}); "
+            "all volatile state is lost"
+        )
+        self.site = site
+        self.op_index = op_index
+
+
+class RecoveryError(StorageError):
+    """The write-ahead log or checkpoint snapshot could not be replayed.
+
+    A torn *tail* (partial final record) is expected after a crash and
+    is truncated silently; this error marks real corruption — an
+    unreadable checkpoint snapshot or a record that fails its CRC in
+    the middle of the log.
+    """
+
+
 class RetriesExhaustedError(FaultError):
     """Bounded retry gave up; the operation failed permanently.
 

@@ -12,21 +12,34 @@ The subsystem has three pieces:
   phases in bounded retry (:meth:`FaultInjector.protect`);
 * :func:`run_chaos` — the *proof*: a replay of faults × traffic epochs
   × concurrent serving that audits every answer as exact-or-flagged
-  and distils the run into a single determinism key.
+  and distils the run into a single determinism key;
+* :func:`run_crash_matrix` — the *durability* proof: kill the process
+  at operation N for a sweep of N, recover from the write-ahead log,
+  and audit committed-state survival (:mod:`repro.faults.crashmatrix`).
 
 A database without an injector — or with a rate-0 plan — runs the
 exact seed code path: zero extra charges, zero behaviour change.
 """
 
+from repro.exceptions import SimulatedCrash
 from repro.faults.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.faults.crashmatrix import (
+    CrashMatrixConfig,
+    CrashMatrixReport,
+    run_crash_matrix,
+)
 from repro.faults.injector import DEFAULT_BACKOFF_UNITS, FaultInjector
 from repro.faults.plan import FaultPlan
 
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "CrashMatrixConfig",
+    "CrashMatrixReport",
     "DEFAULT_BACKOFF_UNITS",
     "FaultInjector",
     "FaultPlan",
+    "SimulatedCrash",
     "run_chaos",
+    "run_crash_matrix",
 ]

@@ -1,0 +1,606 @@
+"""Kill-at-op-N crash matrix: crash everywhere, recover, audit.
+
+:mod:`repro.faults.chaos` proves the serving stack survives *transient*
+faults; this driver proves the durability contract of :mod:`repro.wal`:
+a process that dies at **any** operation index leaves a stable store
+from which recovery rebuilds exactly the committed state.
+
+For each workload the matrix first runs a profile pass (crash armed at
+an unreachable index) to count the operation sites, then sweeps kill
+points across that range. Each kill point gets a completely fresh
+volatile world (database, service, graphs) sharing nothing with its
+neighbours except the workload seeds; the only thing that survives the
+:class:`~repro.exceptions.SimulatedCrash` is the
+:class:`~repro.wal.InMemoryStableStore`. Recovery then replays the
+store and the audit holds it to:
+
+* every committed operation's effect is present (an operation is
+  *committed* exactly when its call returned before the crash),
+* nothing uncommitted leaked in (relation sets, key sets and values
+  match the committed model exactly),
+* every committed index exists and passes its ``verify()`` sweep,
+* for the traffic workload: a recovered ``RouteService`` with
+  ``recover_on_start=True`` serves answers equal to fresh in-memory
+  recomputations on the journaled cost state, its mirror passes
+  :meth:`RelationalGraph.verify`, and the committed epochs are a
+  prefix of the journaled ones (at most one in-flight epoch ahead),
+* recovery is idempotent (recovering the same store twice yields
+  byte-identical state snapshots).
+
+The whole sweep is a pure function of the config seeds:
+:attr:`CrashMatrixReport.determinism_key` is a CRC32 over the ordered
+outcome records, and the chaos test tier requires two same-config runs
+to produce identical keys. ``atis-repro bench-recovery`` exposes the
+full matrix from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SimulatedCrash
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.storage.database import Database
+from repro.storage.iostats import IOStatistics
+from repro.storage.schema import ANY, FLOAT, Field, Schema
+from repro.wal import InMemoryStableStore, WriteAheadLog, replay_epochs
+
+#: Kill index that no real run reaches — arms the crash machinery (so
+#: every operation site consumes an index) without ever firing.
+UNREACHABLE = 10**9
+
+
+@dataclass
+class CrashMatrixConfig:
+    """Knobs for one crash-matrix sweep. Defaults give a brisk grid."""
+
+    workloads: Sequence[str] = ("insert", "index-build", "traffic-sync")
+    #: Kill points per workload; 0 sweeps *every* operation index.
+    kill_points: int = 12
+    #: Workload seed (values, update targets, query pairs, epochs).
+    seed: int = 1993
+    #: Seed for the FaultPlan (no rate faults are armed, but the plan
+    #: still wants one).
+    fault_seed: int = 7
+    # --- insert / index-build workloads ---
+    tuples: int = 24
+    updates: int = 6
+    deletes: int = 3
+    checkpoint_midway: bool = True
+    buffer_capacity: int = 4
+    # --- traffic-sync workload ---
+    grid: int = 4
+    epochs: int = 3
+    queries_per_epoch: int = 2
+    update_fraction: float = 0.2
+    update_factor_range: Tuple[float, float] = (0.7, 2.0)
+    algorithm: str = "dijkstra"
+    #: Source/destination pairs audited against the reference graph
+    #: after each traffic recovery.
+    audit_pairs: int = 4
+
+
+@dataclass
+class CrashMatrixReport:
+    """Outcome of one sweep, with the audit verdict."""
+
+    workloads: Tuple[str, ...]
+    #: Operation-site count per workload (the profile pass).
+    total_ops: Dict[str, int]
+    kill_points_run: int
+    crashes: int
+    recoveries_clean: int
+    #: Human-readable audit failures; the durability contract requires
+    #: this to be empty.
+    failures: List[str]
+    #: Fraction of kill-point runs whose audit passed in full.
+    survival: float
+    #: CRC32 over the ordered outcome records — identical configs must
+    #: produce identical keys.
+    determinism_key: int
+    wall_s: float
+    #: Ordered per-kill-point log: (workload, kill_op, crashed,
+    #: crash_site, committed_tuples, committed_epochs, audit_failures).
+    records: List[Tuple] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def summary_lines(self) -> List[str]:
+        ops = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.total_ops.items())
+        )
+        return [
+            f"workloads: {', '.join(self.workloads)} (op sites: {ops})",
+            f"kill points: {self.kill_points_run} "
+            f"({self.crashes} crashed, {self.recoveries_clean} recovered clean)",
+            f"survival: {self.survival * 100:.1f}%",
+            f"audit failures: {len(self.failures)}",
+            f"determinism key: {self.determinism_key}",
+            f"wall clock: {self.wall_s:.2f} s",
+        ]
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "workloads": list(self.workloads),
+                "total_ops": dict(sorted(self.total_ops.items())),
+                "kill_points_run": self.kill_points_run,
+                "crashes": self.crashes,
+                "recoveries_clean": self.recoveries_clean,
+                "survival": self.survival,
+                "failures": list(self.failures),
+                "determinism_key": self.determinism_key,
+                "wall_s": round(self.wall_s, 3),
+                "records": [list(record) for record in self.records],
+            },
+            indent=indent,
+        )
+
+
+# ----------------------------------------------------------------------
+# workload world
+# ----------------------------------------------------------------------
+def _fresh_model() -> Dict[str, object]:
+    """The committed-state model one workload run maintains.
+
+    Every entry is written *after* the corresponding call returns, so
+    at crash time the model holds exactly the committed operations.
+    ``plan`` is stashed by the workload so the driver can read the
+    profile pass's operation count.
+    """
+    return {
+        "relations": {},
+        "indexes": {},
+        "epochs": [],
+        "plan": None,
+        "crash_site": "",
+    }
+
+
+def _make_world(config: CrashMatrixConfig, store, crash_at_op, model):
+    stats = IOStatistics()
+    plan = FaultPlan(seed=config.fault_seed, crash_at_op=crash_at_op)
+    model["plan"] = plan
+    injector = FaultInjector(plan, stats)
+    wal = WriteAheadLog(store=store, stats=stats, injector=injector)
+    db = Database(
+        name="crashmatrix",
+        buffer_capacity=config.buffer_capacity,
+        stats=stats,
+        injector=injector,
+        wal=wal,
+    )
+    return db, plan
+
+
+def _run_insert(config: CrashMatrixConfig, store, crash_at_op, model) -> None:
+    """Plain heap workload: create, insert, checkpoint, a scratch
+    relation created and dropped, keyed updates and deletes."""
+    db, _plan = _make_world(config, store, crash_at_op, model)
+    rng = random.Random(config.seed)
+    schema = Schema("T", [Field("k", ANY, 8), Field("v", FLOAT, 8)])
+    relation = db.create_relation(schema, name="T")
+    model["relations"]["T"] = ("k", {})
+    rows: Dict[object, dict] = model["relations"]["T"][1]
+    rids: Dict[object, tuple] = {}
+    for key in range(config.tuples):
+        values = {"k": key, "v": round(rng.random() * 10.0, 3)}
+        rid = relation.insert(values)
+        rows[key] = values
+        rids[key] = rid
+        if config.checkpoint_midway and key + 1 == config.tuples // 2:
+            db.checkpoint()
+    scratch = db.create_relation(
+        Schema("TMP", [Field("k", ANY, 8), Field("v", FLOAT, 8)]), name="TMP"
+    )
+    model["relations"]["TMP"] = ("k", {})
+    for key in range(3):
+        values = {"k": key, "v": float(key)}
+        scratch.insert(values)
+        model["relations"]["TMP"][1][key] = values
+    db.drop_relation("TMP")
+    del model["relations"]["TMP"]
+    for _ in range(config.updates):
+        key = rng.randrange(config.tuples)
+        values = {"k": key, "v": round(rng.random() * 10.0, 3)}
+        relation.update(rids[key], values)
+        rows[key] = values
+    for _ in range(config.deletes):
+        key = rng.choice(sorted(rows))
+        relation.delete(rids[key])
+        del rows[key]
+
+
+def _run_index_build(config: CrashMatrixConfig, store, crash_at_op, model) -> None:
+    """Bulk load, build both index kinds, then mutate through them."""
+    db, _plan = _make_world(config, store, crash_at_op, model)
+    rng = random.Random(config.seed)
+    schema = Schema(
+        "E",
+        [Field("k", ANY, 8), Field("g", ANY, 8), Field("v", FLOAT, 8)],
+    )
+    relation = db.create_relation(schema, name="E")
+    model["relations"]["E"] = ("k", {})
+    rows: Dict[object, dict] = model["relations"]["E"][1]
+    base = [
+        {"k": key, "g": key % 5, "v": round(rng.random() * 10.0, 3)}
+        for key in range(config.tuples)
+    ]
+    relation.bulk_load(base)
+    for values in base:
+        rows[values["k"]] = dict(values)
+    relation.create_isam_index("k", fanout=4)
+    model["indexes"]["E"] = ["isam"]
+    relation.create_hash_index("g", bucket_count=3)
+    model["indexes"]["E"].append("hash")
+    for offset in range(config.updates):
+        key = config.tuples + offset
+        values = {"k": key, "g": key % 5, "v": round(rng.random() * 10.0, 3)}
+        relation.insert(values)
+        rows[key] = values
+    if config.checkpoint_midway:
+        db.checkpoint()
+    for _ in range(config.deletes):
+        # Indexed relations forbid delete; mutate through the ISAM
+        # index instead (same key, fresh payload).
+        key = rng.randrange(config.tuples)
+        values = dict(rows[key])
+        values["v"] = round(rng.random() * 10.0, 3)
+        relation.replace_by_key(key, values)
+        rows[key] = values
+
+
+def _run_traffic(config: CrashMatrixConfig, store, crash_at_op, model) -> None:
+    """Traffic epochs journaled through a serving stack under load."""
+    from repro.graphs.grid import make_paper_grid
+    from repro.service import RouteService
+    from repro.traffic.feed import TrafficFeed
+
+    stats = IOStatistics()
+    plan = FaultPlan(seed=config.fault_seed, crash_at_op=crash_at_op)
+    model["plan"] = plan
+    injector = FaultInjector(plan, stats)
+    wal = WriteAheadLog(store=store, stats=stats, injector=injector)
+    graph = make_paper_grid(config.grid, "variance", seed=config.seed)
+    service = RouteService(
+        default_algorithm=config.algorithm,
+        default_backend="relational",
+        fault_plan=plan,
+        max_retries=2,
+        wal=wal,
+    )
+    feed = TrafficFeed(graph)
+    feed.subscribe(service)
+    rng = random.Random(config.seed)
+    node_ids = sorted(graph.node_ids())
+    edges = sorted((e.source, e.target) for e in graph.edges())
+    base_costs = {
+        (e.source, e.target): e.cost for e in graph.edges()
+    }
+    per_epoch = max(1, int(len(edges) * config.update_fraction))
+    low, high = config.update_factor_range
+    for _epoch in range(config.epochs):
+        batch = []
+        for source, target in rng.sample(edges, per_epoch):
+            factor = rng.uniform(low, high)
+            batch.append(
+                (source, target, round(base_costs[(source, target)] * factor, 4))
+            )
+        epoch = feed.apply(batch)
+        if epoch.deltas:
+            # No-op batches produce no epoch and journal nothing.
+            model["epochs"].append(
+                tuple((d.source, d.target, d.new_cost) for d in epoch.deltas)
+            )
+        for _query in range(config.queries_per_epoch):
+            source, destination = rng.sample(node_ids, 2)
+            service.plan(graph, source, destination)
+
+
+_WORKLOADS = {
+    "insert": _run_insert,
+    "index-build": _run_index_build,
+    "traffic-sync": _run_traffic,
+}
+
+
+# ----------------------------------------------------------------------
+# audits
+# ----------------------------------------------------------------------
+def _inflight_insert(store, model):
+    """The one journaled-but-unreturned operation a crash may leave.
+
+    The commit point is the log append. An insert into an indexed
+    relation appends its record *before* the index-maintenance sites
+    run, so a crash in that window leaves the journal exactly one
+    insert ahead of the calls that returned. That tuple is committed
+    (it survives recovery, correctly indexed by redo) even though the
+    workload never saw the call return — the audit tolerates precisely
+    that single log-tail record, nothing else.
+    """
+    from repro.wal.records import decode_stream
+
+    if not model.get("crash_site"):
+        return None
+    last = None
+    for record in decode_stream(store.lines()):
+        last = record
+    if last is not None and last[0] == "insert":
+        _, file_name, _rid, row = last
+        return file_name, tuple(row)
+    return None
+
+
+def _audit_relations(config: CrashMatrixConfig, store, model) -> List[str]:
+    """Recover the store and diff it against the committed model."""
+    failures: List[str] = []
+    inflight = _inflight_insert(store, model)
+    try:
+        db = Database.recover(WriteAheadLog(store=store))
+    except Exception as exc:  # noqa: BLE001 - the audit reports, not raises
+        return [f"recovery raised {exc!r}"]
+    expected = model["relations"]
+    recovered_names = set(db.relation_names())
+    if recovered_names != set(expected):
+        failures.append(
+            f"recovered relations {sorted(recovered_names)} != "
+            f"committed {sorted(expected)}"
+        )
+    for name, (key_field, rows) in expected.items():
+        if name not in recovered_names:
+            continue
+        relation = db.relation(name)
+        live: Dict[object, dict] = {}
+        for _rid, values in relation.scan():
+            key = values[key_field]
+            if key in live:
+                failures.append(f"{name}: duplicate key {key!r} after recovery")
+            live[key] = dict(values)
+        missing = set(rows) - set(live)
+        extra = set(live) - set(rows)
+        if inflight is not None and inflight[0] == name and extra:
+            row_values = dict(relation.schema.as_dict(inflight[1]))
+            key = row_values.get(key_field)
+            if key in extra and live.get(key) == row_values:
+                extra.discard(key)
+        if missing:
+            failures.append(
+                f"{name}: {len(missing)} committed tuples missing "
+                f"(e.g. {sorted(missing, key=repr)[:3]})"
+            )
+        if extra:
+            failures.append(
+                f"{name}: {len(extra)} uncommitted tuples present "
+                f"(e.g. {sorted(extra, key=repr)[:3]})"
+            )
+        for key in set(rows) & set(live):
+            if live[key] != rows[key]:
+                failures.append(
+                    f"{name}[{key!r}]: recovered {live[key]!r} != "
+                    f"committed {rows[key]!r}"
+                )
+    for name, kinds in model["indexes"].items():
+        if name not in recovered_names:
+            continue
+        relation = db.relation(name)
+        for kind in kinds:
+            index = relation.isam if kind == "isam" else relation.hash_index
+            if index is None:
+                failures.append(f"{name}: committed {kind} index missing")
+                continue
+            try:
+                index.verify()
+            except Exception as exc:  # noqa: BLE001
+                failures.append(f"{name}: {kind} verify failed: {exc}")
+    # Idempotence: a second recovery of the same store must be
+    # byte-identical to the first.
+    try:
+        again = Database.recover(WriteAheadLog(store=store))
+        if repr(again.state_snapshot()) != repr(db.state_snapshot()):
+            failures.append("recovery is not idempotent for this store")
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"second recovery raised {exc!r}")
+    return failures
+
+
+def _audit_traffic(config: CrashMatrixConfig, store, model) -> List[str]:
+    """The journaled epochs must be the committed prefix, and a
+    recovered service must answer exactly on the journaled costs."""
+    from repro.core.planner import RoutePlanner
+    from repro.graphs.grid import make_paper_grid
+    from repro.service import RouteService
+
+    failures: List[str] = []
+    log = WriteAheadLog(store=store)
+    journaled = [
+        tuple((u, v, cost) for u, v, cost in record[2])
+        for record in log.records(charge=False)
+        if record[0] == "epoch"
+    ]
+    committed = list(model["epochs"])
+    if not (len(committed) <= len(journaled) <= len(committed) + 1):
+        failures.append(
+            f"journal holds {len(journaled)} epochs, committed "
+            f"{len(committed)} — not a prefix relationship"
+        )
+    for index, deltas in enumerate(committed):
+        if index >= len(journaled):
+            break
+        if tuple(deltas) != journaled[index]:
+            failures.append(f"epoch {index} diverges between journal and model")
+    # Reference: base-cost grid with every journaled epoch replayed.
+    reference = make_paper_grid(config.grid, "variance", seed=config.seed)
+    replayed = replay_epochs(WriteAheadLog(store=store), reference)
+    if replayed != len(journaled):
+        failures.append(
+            f"replay_epochs applied {replayed}, journal holds {len(journaled)}"
+        )
+    # Serving path: a fresh base-cost grid + a recovered service; its
+    # answers must match fresh in-memory plans on the reference.
+    serving = make_paper_grid(config.grid, "variance", seed=config.seed)
+    service = RouteService(
+        default_algorithm=config.algorithm,
+        default_backend="relational",
+        wal=WriteAheadLog(store=store),
+        recover_on_start=True,
+    )
+    planner = RoutePlanner()
+    rng = random.Random(config.seed + 1)
+    node_ids = sorted(serving.node_ids())
+    for _ in range(config.audit_pairs):
+        source, destination = rng.sample(node_ids, 2)
+        try:
+            answer = service.plan(serving, source, destination)
+        except Exception as exc:  # noqa: BLE001
+            failures.append(
+                f"recovered service failed {source}->{destination}: {exc!r}"
+            )
+            continue
+        fresh = planner.plan(
+            reference, source, destination, config.algorithm, "euclidean"
+        )
+        if getattr(answer, "degraded", False):
+            failures.append(
+                f"recovered service degraded {source}->{destination}: "
+                f"{getattr(answer, 'degraded_reason', '')!r}"
+            )
+        if answer.found != fresh.found or not (
+            math.isclose(answer.cost, fresh.cost, rel_tol=1e-9, abs_tol=1e-9)
+            or (math.isinf(answer.cost) and math.isinf(fresh.cost))
+        ):
+            failures.append(
+                f"stale/corrupt answer {source}->{destination}: served "
+                f"{answer.cost!r}, fresh recomputation {fresh.cost!r}"
+            )
+    if service.epochs_recovered != len(journaled):
+        failures.append(
+            f"service recovered {service.epochs_recovered} epochs, "
+            f"journal holds {len(journaled)}"
+        )
+    # The serving graph must have landed on exactly the reference costs.
+    for edge in reference.edges():
+        served_cost = serving.edge_cost(edge.source, edge.target)
+        if served_cost != edge.cost:
+            failures.append(
+                f"edge ({edge.source}, {edge.target}) replayed to "
+                f"{served_cost!r}, reference says {edge.cost!r}"
+            )
+            break
+    mirror = service._rgraphs.get(serving.uid)
+    if mirror is None:
+        failures.append("recovered service built no relational mirror")
+    else:
+        try:
+            mirror.verify()
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"recovered mirror verify failed: {exc}")
+    return failures
+
+
+_AUDITS = {
+    "insert": _audit_relations,
+    "index-build": _audit_relations,
+    "traffic-sync": _audit_traffic,
+}
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def _kill_points(total_ops: int, requested: int) -> List[int]:
+    """Evenly spaced kill indexes across [0, total_ops)."""
+    if total_ops <= 0:
+        return []
+    if requested <= 0 or requested >= total_ops:
+        return list(range(total_ops))
+    if requested == 1:
+        return [total_ops // 2]
+    step = (total_ops - 1) / (requested - 1)
+    return sorted({round(index * step) for index in range(requested)})
+
+
+def _model_counts(model) -> Tuple[int, int]:
+    tuples = sum(len(rows) for _key, rows in model["relations"].values())
+    return tuples, len(model["epochs"])
+
+
+def run_crash_matrix(
+    config: Optional[CrashMatrixConfig] = None,
+) -> CrashMatrixReport:
+    """Profile each workload, then kill it at every chosen op index,
+    recover from the surviving store, and audit the result."""
+    config = config or CrashMatrixConfig()
+    unknown = [name for name in config.workloads if name not in _WORKLOADS]
+    if unknown:
+        raise ValueError(f"unknown crash-matrix workloads: {unknown}")
+    started = time.perf_counter()
+    records: List[Tuple] = []
+    failures: List[str] = []
+    total_ops: Dict[str, int] = {}
+    kill_points_run = crashes = recoveries_clean = 0
+    for name in config.workloads:
+        workload = _WORKLOADS[name]
+        audit = _AUDITS[name]
+        # Profile pass: crash armed but unreachable, so every site
+        # consumes an op index and the full range becomes known. Its
+        # store must audit clean too (the no-crash baseline).
+        store = InMemoryStableStore()
+        model = _fresh_model()
+        workload(config, store, UNREACHABLE, model)
+        ops = model["plan"].op_index
+        total_ops[name] = ops
+        for failure in audit(config, store, model):
+            failures.append(f"{name}/no-crash: {failure}")
+        for kill_at in _kill_points(ops, config.kill_points):
+            store = InMemoryStableStore()
+            model = _fresh_model()
+            crashed = False
+            crash_site = ""
+            try:
+                workload(config, store, kill_at, model)
+            except SimulatedCrash as crash:
+                crashed = True
+                crash_site = crash.site
+                model["crash_site"] = crash_site
+            kill_points_run += 1
+            if crashed:
+                crashes += 1
+            else:
+                failures.append(
+                    f"{name}@op{kill_at}: kill point inside the profiled "
+                    f"range did not crash"
+                )
+            run_failures = audit(config, store, model)
+            if not run_failures:
+                recoveries_clean += 1
+            failures.extend(
+                f"{name}@op{kill_at}: {failure}" for failure in run_failures
+            )
+            tuples, epochs = _model_counts(model)
+            records.append(
+                (name, kill_at, crashed, crash_site, tuples, epochs,
+                 len(run_failures))
+            )
+    survival = recoveries_clean / kill_points_run if kill_points_run else 1.0
+    determinism_key = zlib.crc32(repr(records).encode("utf-8"))
+    return CrashMatrixReport(
+        workloads=tuple(config.workloads),
+        total_ops=total_ops,
+        kill_points_run=kill_points_run,
+        crashes=crashes,
+        recoveries_clean=recoveries_clean,
+        failures=failures,
+        survival=survival,
+        determinism_key=determinism_key,
+        wall_s=time.perf_counter() - started,
+        records=records,
+    )

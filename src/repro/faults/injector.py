@@ -29,6 +29,7 @@ from typing import Callable, Dict, Optional, TypeVar
 from repro.exceptions import (
     FaultError,
     RetriesExhaustedError,
+    SimulatedCrash,
     TransientIOError,
 )
 from repro.faults.plan import FaultPlan
@@ -94,6 +95,21 @@ class FaultInjector:
         if fault:
             self._apply(fault, site, "write")
 
+    def on_commit(self, site: str) -> None:
+        """Hook for WAL commit points (log appends, checkpoints).
+
+        Crash-only: commit sites never draw transient faults, because
+        a retried append would journal the same operation twice. The
+        site still consumes one op index, so the kill-at-op-N sweep
+        can land a crash squarely in the window between an in-memory
+        apply and its commit record.
+        """
+        if self.plan.is_noop:
+            return
+        if self.plan.check_crash(site):
+            self._count_fault("crash")
+            raise SimulatedCrash(site, self.plan.op_index - 1)
+
     def _apply(
         self,
         fault: str,
@@ -103,6 +119,10 @@ class FaultInjector:
         file_name: str = "?",
     ) -> None:
         self._count_fault(fault)
+        if fault == "crash":
+            # Not a FaultError: propagates through every retry wrapper
+            # and degradation ladder — the process is dead.
+            raise SimulatedCrash(site, self.plan.op_index - 1)
         if fault == "latency":
             self.stats.charge_latency(self.plan.latency_units)
             return

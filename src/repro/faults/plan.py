@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 #: One recorded decision: (operation index, site label, fault kind).
-#: Kind is one of "read-error", "write-error", "torn-page", "latency".
+#: Kind is one of "read-error", "write-error", "torn-page", "latency",
+#: "crash".
 ScheduleEntry = Tuple[int, str, str]
 
 
@@ -42,6 +43,12 @@ class FaultPlan:
     torn_page_rate: float = 0.0
     latency_rate: float = 0.0
     latency_units: float = 0.25
+    #: Operation index at which the injector raises
+    #: :class:`~repro.exceptions.SimulatedCrash` (the kill-at-op-N
+    #: knob of the crash matrix). -1 disarms. Unlike the rates, a
+    #: crash is not a random draw: the matrix sweeps it exhaustively,
+    #: so it must hit exactly the chosen operation.
+    crash_at_op: int = -1
 
     op_index: int = field(default=0, init=False, repr=False)
     schedule: List[ScheduleEntry] = field(default_factory=list, init=False, repr=False)
@@ -75,6 +82,7 @@ class FaultPlan:
             and self.write_error_rate == 0.0
             and self.torn_page_rate == 0.0
             and self.latency_rate == 0.0
+            and self.crash_at_op < 0
         )
 
     def decide(self, site: str, kind: str) -> str:
@@ -90,6 +98,11 @@ class FaultPlan:
         with self._lock:
             index = self.op_index
             self.op_index += 1
+            if index == self.crash_at_op:
+                # The kill point pre-empts any rate draw: the process
+                # dies here, so the RNG stream beyond this op is moot.
+                self.schedule.append((index, site, "crash"))
+                return "crash"
             draw = self._rng.random()
             fault = ""
             if kind == "read":
@@ -109,6 +122,23 @@ class FaultPlan:
             if fault:
                 self.schedule.append((index, site, fault))
             return fault
+
+    def check_crash(self, site: str) -> bool:
+        """Consume one op index, firing only the crash fault.
+
+        Used at WAL commit sites: a log append must be killable (the
+        classic apply-then-crash-before-commit window) but must never
+        draw a transient fault — a retried append would journal the
+        same operation twice. No RNG draw happens, so attaching a WAL
+        does not shift the rate schedule of the other sites.
+        """
+        with self._lock:
+            index = self.op_index
+            self.op_index += 1
+            if index == self.crash_at_op:
+                self.schedule.append((index, site, "crash"))
+                return True
+            return False
 
     def schedule_digest(self) -> int:
         """Stable CRC32 over the recorded schedule, for equality tests."""

@@ -114,6 +114,8 @@ class RouteService:
         fault_plan=None,
         max_retries: int = 3,
         degradation: Sequence[str] = ("memory", "last-good"),
+        wal=None,
+        recover_on_start: bool = False,
     ) -> None:
         if invalidation not in ("edge", "graph"):
             raise ValueError(
@@ -177,6 +179,16 @@ class RouteService:
         self.memory_fallbacks = 0
         self.last_good_served = 0
         self.degraded_served = 0
+        # Durability: an optional WriteAheadLog journals every absorbed
+        # traffic epoch; with ``recover_on_start`` the first query for
+        # a graph first replays the journaled epochs onto it
+        # (:meth:`recover`), so a restarted service serves post-crash
+        # answers priced at the last journaled cost state, never the
+        # stale base costs.
+        self.wal = wal
+        self.recover_on_start = recover_on_start
+        self._recovered_uids: set = set()
+        self.epochs_recovered = 0
 
     # ------------------------------------------------------------------
     # single-query API
@@ -224,6 +236,8 @@ class RouteService:
         # and a caller asking for the relational run's I/O accounting
         # must not be handed a cached in-memory result (or vice versa).
         key_spec = f"rel:{algorithm}" if backend == "relational" else algorithm
+        if self.recover_on_start:
+            self._maybe_recover(graph)
         trace = RequestTrace(self._clock)
         started = self._clock()
 
@@ -726,6 +740,18 @@ class RouteService:
         the invalidation report (``evicted`` / ``rekeyed`` counts).
         """
         graph = epoch.graph
+        if self.wal is not None:
+            # Journal before invalidating: the record's presence is the
+            # epoch's commit, and a crash drawn inside the invalidation
+            # below must still replay this epoch on recovery (an epoch
+            # the graph applied but recovery forgot would resurrect
+            # pre-epoch costs — exactly the stale answer the crash
+            # matrix audits against).
+            self.wal.log_epoch(epoch)
+        with self._traffic_lock:
+            # A graph receiving live epochs is current by definition;
+            # never replay the journal on top of it.
+            self._recovered_uids.add(graph.uid)
         if self.invalidation == "edge":
             report = self.cache.invalidate_edges(
                 graph, epoch.deltas, epoch.previous_fingerprint
@@ -764,6 +790,20 @@ class RouteService:
             if new_cost != old_cost
             else []
         )
+        with self._traffic_lock:
+            self._recovered_uids.add(graph.uid)
+        if self.wal is not None and deltas:
+            from repro.traffic.feed import TrafficEpoch
+
+            self.wal.log_epoch(
+                TrafficEpoch(
+                    number=self.epochs_applied + 1,
+                    graph=graph,
+                    deltas=tuple(deltas),
+                    previous_fingerprint=previous,
+                    fingerprint=graph.fingerprint,
+                )
+            )
         if self.invalidation == "edge":
             report = self.cache.invalidate_edges(graph, deltas, previous)
         else:
@@ -790,6 +830,43 @@ class RouteService:
         return report.evicted
 
     # ------------------------------------------------------------------
+    # durability (crash recovery)
+    # ------------------------------------------------------------------
+    def _maybe_recover(self, graph: Graph) -> None:
+        with self._traffic_lock:
+            if graph.uid in self._recovered_uids:
+                return
+        self.recover(graph)
+
+    def recover(self, graph: Graph) -> int:
+        """Replay journaled traffic epochs onto a freshly built graph.
+
+        ``graph`` must carry base (pre-journal) costs — the state a
+        restarted process reconstructs from static map data. Each
+        journaled epoch is re-applied in order, landing the graph on
+        the costs of the last committed epoch; cached answers and
+        estimator tables for the graph are then invalidated. Runs at
+        most once per graph (keyed by ``Graph.uid``); a graph that has
+        already received live epochs through :meth:`handle_epoch` is
+        never replayed onto. Returns the number of epochs replayed.
+        """
+        if self.wal is None:
+            return 0
+        with self._traffic_lock:
+            if graph.uid in self._recovered_uids:
+                return 0
+            self._recovered_uids.add(graph.uid)
+        from repro.wal.recovery import replay_epochs
+
+        replayed = replay_epochs(self.wal, graph)
+        if replayed:
+            self.cache.invalidate_graph(graph)
+            self.pool.refresh(graph)
+        with self._traffic_lock:
+            self.epochs_recovered += replayed
+        return replayed
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, float]:
@@ -808,6 +885,10 @@ class RouteService:
             snap["memory_fallbacks"] = self.memory_fallbacks
             snap["last_good_served"] = self.last_good_served
             snap["degraded_served"] = self.degraded_served
+            snap["epochs_recovered"] = self.epochs_recovered
+        snap["wal_records_appended"] = (
+            self.wal.records_appended if self.wal is not None else 0
+        )
         # Aggregate fault-injection counters across every relational
         # mirror this service owns (all zero without a fault plan).
         faults_injected = 0

@@ -100,17 +100,37 @@ class BufferPool:
             self.stats.charge_write()
             victim.dirty = False
 
-    def flush(self) -> int:
-        """Write out all dirty cached pages; return how many were dirty.
+    def flush(self) -> Dict[str, int]:
+        """Write out all dirty cached pages.
 
-        Idempotent: a second flush finds no dirty pages and charges
-        nothing. Under fault injection each page's write is checked
-        individually; a fault leaves the already-flushed prefix clean,
-        so retrying the flush writes only the remainder.
+        Returns pages written per file name (empty dict when nothing
+        was dirty), which is the checkpoint audit: a fuzzy checkpoint
+        records exactly which relations it forced out. Idempotent: a
+        second flush finds no dirty pages and charges nothing. Under
+        fault injection each page's write is checked individually; a
+        fault leaves the already-flushed prefix clean, so retrying the
+        flush writes only the remainder.
+        """
+        flushed: Dict[str, int] = {}
+        for (file_name, _page_no), page in self._frames.items():
+            if page.dirty:
+                if self.injector is not None:
+                    self.injector.on_write(f"flush:{page.page_no}")
+                self.stats.charge_write()
+                page.dirty = False
+                flushed[file_name] = flushed.get(file_name, 0) + 1
+        return flushed
+
+    def flush_relation(self, file_name: str) -> int:
+        """Write out dirty cached pages of one file; return pages written.
+
+        The targeted variant checkpoints use when only one relation
+        must reach stable storage (e.g. before a drop), leaving other
+        relations' dirty pages buffered.
         """
         flushed = 0
-        for page in self._frames.values():
-            if page.dirty:
+        for (name, _page_no), page in self._frames.items():
+            if name == file_name and page.dirty:
                 if self.injector is not None:
                     self.injector.on_write(f"flush:{page.page_no}")
                 self.stats.charge_write()

@@ -5,11 +5,17 @@ This is the outermost object of the storage substrate — the simulated
 single-user INGRES instance the paper ran its EQUEL programs against.
 Creating a relation charges the fixed creation cost ``I`` from Table 4A;
 dropping one charges ``D_t``.
+
+With a write-ahead log attached (``wal=``), every structural mutation
+appends a redo record and :meth:`Database.checkpoint` /
+:meth:`Database.recover` give the instance INGRES's other property:
+relations that survive process death. Without one, behaviour is
+byte-for-byte the seed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import DuplicateRelationError, RelationNotFoundError
 from repro.storage.buffer import BufferPool
@@ -37,6 +43,7 @@ class Database:
         block_size: int = DEFAULT_BLOCK_SIZE,
         stats: Optional[IOStatistics] = None,
         injector: Optional[object] = None,
+        wal: Optional[object] = None,
     ) -> None:
         self.name = name
         self.block_size = block_size
@@ -45,12 +52,20 @@ class Database:
         self.buffer_pool = BufferPool(
             self.stats, capacity=buffer_capacity, injector=injector
         )
+        #: Optional write-ahead log (a :class:`repro.wal.WriteAheadLog`).
+        #: Bound to this database's ledger and fault plan, so log
+        #: traffic and crash draws share the same accounting.
+        self.wal = wal
+        if wal is not None:
+            wal.bind(self.stats, injector)
         self._relations: Dict[str, Relation] = {}
         #: Dirty pages silently discarded by relation drops. The engine
         #: writes its temporaries through (capacity-0 pool) or flushes
         #: before dropping, so a non-zero value means cost-ledger
         #: charges were lost — tests assert it stays 0.
         self.dirty_pages_dropped = 0
+        #: Set by :meth:`recover` on the recovered instance.
+        self.last_recovery = None
 
     # ------------------------------------------------------------------
     def create_relation(self, schema: Schema, name: Optional[str] = None) -> Relation:
@@ -59,10 +74,17 @@ class Database:
         if relation_name in self._relations:
             raise DuplicateRelationError(relation_name)
         relation = Relation(
-            relation_name, schema, self.buffer_pool, self.stats, self.block_size
+            relation_name,
+            schema,
+            self.buffer_pool,
+            self.stats,
+            self.block_size,
+            wal=self.wal,
         )
         self._relations[relation_name] = relation
         self.stats.charge_create()
+        if self.wal is not None:
+            self.wal.log_create(relation_name, schema)
         return relation
 
     def relation(self, name: str) -> Relation:
@@ -71,15 +93,105 @@ class Database:
         except KeyError:
             raise RelationNotFoundError(name) from None
 
-    def drop_relation(self, name: str) -> None:
-        """Drop a relation (charges the fixed cost D_t)."""
+    def drop_relation(self, name: str, flush: bool = True) -> None:
+        """Drop a relation (charges the fixed cost D_t).
+
+        By default dirty buffered pages are flushed first, so the drop
+        never silently discards charged-for updates and
+        ``dirty_pages_dropped`` stays 0 without callers having to
+        remember to flush. Pass ``flush=False`` to deliberately drop
+        dirty pages (e.g. abandoning a scratch temporary).
+        """
         if name not in self._relations:
             raise RelationNotFoundError(name)
         relation = self._relations.pop(name)
+        if flush:
+            self.buffer_pool.flush_relation(relation.heap.name)
         self.dirty_pages_dropped += self.buffer_pool.invalidate(
             relation.heap.name
         )
         self.stats.charge_delete()
+        if self.wal is not None:
+            self.wal.log_drop(name)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def attach_wal(self, wal: object) -> None:
+        """Attach (or re-attach) a write-ahead log to this database.
+
+        Recovery builds the database with the log detached (so redo
+        does not re-journal itself) and calls this at the end; every
+        existing relation starts journaling from here on.
+        """
+        self.wal = wal
+        wal.bind(self.stats, self.injector)
+        for relation in self._relations.values():
+            relation.heap.wal = wal
+
+    def state_snapshot(self) -> Tuple:
+        """Pure-literal snapshot of every relation, for checkpoints.
+
+        Pages are captured physically (tombstones included, so record
+        ids survive); indexes are captured as build specs and rebuilt
+        logically on restore.
+        """
+        entries: List[Tuple] = []
+        for name, relation in self._relations.items():
+            isam_spec = None
+            if relation.isam is not None:
+                isam_spec = (relation.isam.key_field, relation.isam.fanout)
+            hash_spec = None
+            if relation.hash_index is not None:
+                hash_spec = (
+                    relation.hash_index.key_field,
+                    relation.hash_index._requested_buckets,
+                )
+            schema = relation.schema
+            entries.append(
+                (
+                    name,
+                    (
+                        schema.name,
+                        tuple(
+                            (f.name, f.type_tag, f.size) for f in schema.fields
+                        ),
+                    ),
+                    tuple(page.to_snapshot() for page in relation.heap.pages),
+                    isam_spec,
+                    hash_spec,
+                )
+            )
+        return tuple(entries)
+
+    def checkpoint(self):
+        """Fuzzy checkpoint through the attached WAL.
+
+        Flushes the buffer pool, writes a snapshot, truncates the log;
+        returns the :class:`repro.wal.CheckpointReport`.
+        """
+        if self.wal is None:
+            from repro.exceptions import StorageError
+
+            raise StorageError(
+                f"database {self.name!r} has no write-ahead log to "
+                "checkpoint through"
+            )
+        return self.wal.checkpoint(self)
+
+    @classmethod
+    def recover(cls, log, **kwargs) -> "Database":
+        """Rebuild a database from a write-ahead log's stable store.
+
+        ARIES-lite redo: load the last checkpoint snapshot, replay the
+        committed log suffix, re-attach the log. The recovered
+        instance carries a ``last_recovery`` report. Keyword arguments
+        are forwarded to the constructor (``name``, ``buffer_capacity``,
+        ``block_size``, ``stats``, ``injector``).
+        """
+        from repro.wal.recovery import recover_database
+
+        return recover_database(log, **kwargs)
 
     def has_relation(self, name: str) -> bool:
         return name in self._relations

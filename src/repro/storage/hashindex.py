@@ -128,6 +128,51 @@ class HashIndex:
         chain[-1].append((key, record_id))
         self.stats.charge_write()
 
+    def verify(self) -> bool:
+        """Audit the index against the heap (no I/O charge: a sweep).
+
+        Checks, raising :class:`IndexError_` on the first violation:
+
+        * every entry sits in the bucket its key hashes to;
+        * no bucket page exceeds its capacity;
+        * the multiset of ``(key, rid)`` entries equals the multiset of
+          live heap tuples' ``(key field, record id)`` pairs.
+
+        Run by the crash matrix after every recovery; bills nothing.
+        """
+        self._require_built()
+        bucket_count = len(self._buckets)
+        index_entries: Dict[Tuple[str, RecordId], int] = {}
+        for bucket_no, chain in enumerate(self._buckets):
+            for page in chain:
+                if len(page) > self.bucket_capacity:
+                    raise IndexError_(
+                        f"hash index on {self.heap.name!r}: bucket "
+                        f"{bucket_no} page overflows its capacity"
+                    )
+                for key, rid in page:
+                    if _stable_hash(key) % bucket_count != bucket_no:
+                        raise IndexError_(
+                            f"hash index on {self.heap.name!r}: key {key!r} "
+                            f"filed in bucket {bucket_no}, hashes elsewhere"
+                        )
+                    marker = (repr(key), rid)
+                    index_entries[marker] = index_entries.get(marker, 0) + 1
+        heap_entries: Dict[Tuple[str, RecordId], int] = {}
+        for page in self.heap.pages:
+            for slot, row in page.rows():
+                values = self.heap.schema.as_dict(row)
+                marker = (repr(values[self.key_field]), (page.page_no, slot))
+                heap_entries[marker] = heap_entries.get(marker, 0) + 1
+        if index_entries != heap_entries:
+            missing = set(heap_entries) - set(index_entries)
+            extra = set(index_entries) - set(heap_entries)
+            raise IndexError_(
+                f"hash index on {self.heap.name!r} disagrees with the "
+                f"heap: {len(missing)} unindexed, {len(extra)} dangling"
+            )
+        return True
+
     def keys(self) -> Iterator[object]:
         """All distinct keys (metadata; no I/O charge)."""
         self._require_built()

@@ -31,6 +31,7 @@ class HeapFile:
         buffer_pool: BufferPool,
         stats: IOStatistics,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        wal: Optional[object] = None,
     ) -> None:
         self.name = name
         self.schema = schema
@@ -38,6 +39,10 @@ class HeapFile:
         self.stats = stats
         self.block_size = block_size
         self.blocking_factor = schema.blocking_factor(block_size)
+        #: Optional write-ahead log (duck-types WriteAheadLog). Every
+        #: mutation appends a redo record *after* it is applied and
+        #: charged — the record's presence is the commit.
+        self.wal = wal
         self.pages: List[Page] = []
         self._tuple_count = 0
 
@@ -81,18 +86,20 @@ class HeapFile:
         0.085 units per node transition versus a single 0.085 update.)
         """
         self._check_write_fault()
-        record_id = self._append(values)
+        record_id, row = self._append(values)
         self.stats.charge_write()
+        if self.wal is not None:
+            self.wal.log_insert(self.name, record_id, row)
         return record_id
 
-    def _append(self, values: Mapping[str, object]) -> RecordId:
+    def _append(self, values: Mapping[str, object]) -> Tuple[RecordId, Row]:
         row = self.schema.validate(values)
         if not self.pages or self.pages[-1].is_full:
             self.pages.append(Page(len(self.pages), self.blocking_factor))
         page = self.pages[-1]
         slot = page.insert(row)
         self._tuple_count += 1
-        return (page.page_no, slot)
+        return (page.page_no, slot), row
 
     def insert_many(self, rows: Iterator[Mapping[str, object]]) -> int:
         """Insert tuples one by one (per-tuple write charges)."""
@@ -113,13 +120,18 @@ class HeapFile:
         pages_before = len(self.pages)
         tail_was_open = bool(self.pages) and not self.pages[-1].is_full
         count = 0
+        loaded: List[Row] = []
         for values in rows:
-            self._append(values)
+            _record_id, row = self._append(values)
+            if self.wal is not None:
+                loaded.append(row)
             count += 1
         if count:
             new_pages = len(self.pages) - pages_before
             touched = new_pages + (1 if tail_was_open else 0)
             self.stats.charge_write(max(1, touched))
+            if self.wal is not None:
+                self.wal.log_load(self.name, loaded)
         return count
 
     def read(self, record_id: RecordId) -> Mapping[str, object]:
@@ -144,6 +156,8 @@ class HeapFile:
         page = self._page(record_id[0])
         page.update(record_id[1], row)
         self.stats.charge_update()
+        if self.wal is not None:
+            self.wal.log_update(self.name, record_id, row)
 
     def delete(self, record_id: RecordId) -> None:
         """Tombstone one tuple (charged as an update)."""
@@ -152,6 +166,8 @@ class HeapFile:
         page.delete(record_id[1])
         self._tuple_count -= 1
         self.stats.charge_update()
+        if self.wal is not None:
+            self.wal.log_delete(self.name, record_id)
 
     def truncate(self) -> None:
         """Drop all tuples (the model's D_t fixed charge)."""
@@ -159,6 +175,8 @@ class HeapFile:
         self._tuple_count = 0
         self.buffer_pool.invalidate(self.name)
         self.stats.charge_delete()
+        if self.wal is not None:
+            self.wal.log_truncate(self.name)
 
     def batch_update(
         self,
@@ -177,17 +195,23 @@ class HeapFile:
         Returns the number of tuples modified.
         """
         modified = 0
+        journal: List[Tuple[RecordId, Row]] = []
         for page in self.pages:
             self.buffer_pool.access(self.name, page)
             page_modified = False
             for slot, row in list(page.rows()):
                 new_values = updater(self.schema.as_dict(row))
                 if new_values is not None:
-                    page.update(slot, self.schema.validate(new_values))
+                    new_row = self.schema.validate(new_values)
+                    page.update(slot, new_row)
                     page_modified = True
                     modified += 1
+                    if self.wal is not None:
+                        journal.append(((page.page_no, slot), new_row))
             if page_modified:
                 self.stats.charge_update(2)
+        if self.wal is not None and journal:
+            self.wal.log_batch(self.name, journal)
         return modified
 
     # ------------------------------------------------------------------

@@ -56,6 +56,12 @@ class IOStatistics:
     #: and retry backoff. Zero unless a fault injector is active.
     latency_units: float = 0.0
     latency_events: int = 0
+    #: Write-ahead-log traffic, kept separate from heap/index block I/O
+    #: so durability overhead shows up as its own line in the cost
+    #: ledger (scenario E13) while still being priced at the Table 4A
+    #: block rates. Zero unless a WAL is attached.
+    wal_writes: int = 0
+    wal_reads: int = 0
 
     phase_costs: Dict[str, float] = field(default_factory=dict)
     _phase: Optional[str] = None
@@ -104,6 +110,20 @@ class IOStatistics:
         self.latency_events += 1
         self._attribute(units)
 
+    def charge_wal_write(self, blocks: int = 1) -> None:
+        """Charge ``blocks`` log-block writes (forced at commit)."""
+        if blocks < 0:
+            raise ValueError("cannot charge a negative number of WAL writes")
+        self.wal_writes += blocks
+        self._attribute(blocks * self.t_write)
+
+    def charge_wal_read(self, blocks: int = 1) -> None:
+        """Charge ``blocks`` log-block reads (recovery redo scan)."""
+        if blocks < 0:
+            raise ValueError("cannot charge a negative number of WAL reads")
+        self.wal_reads += blocks
+        self._attribute(blocks * self.t_read)
+
     def charge_create(self) -> None:
         """Charge the fixed temporary-relation creation cost I."""
         self.relations_created += 1
@@ -127,6 +147,8 @@ class IOStatistics:
             + self.relations_created * self.create_cost
             + self.relations_deleted * self.delete_cost
             + self.latency_units
+            + self.wal_writes * self.t_write
+            + self.wal_reads * self.t_read
         )
 
     def phase_cost(self, phase: str) -> float:
@@ -158,6 +180,8 @@ class IOStatistics:
             "relations_deleted": self.relations_deleted,
             "latency_units": self.latency_units,
             "latency_events": self.latency_events,
+            "wal_writes": self.wal_writes,
+            "wal_reads": self.wal_reads,
             "cost": self.cost,
         }
 
@@ -170,6 +194,8 @@ class IOStatistics:
         self.relations_deleted = 0
         self.latency_units = 0.0
         self.latency_events = 0
+        self.wal_writes = 0
+        self.wal_reads = 0
         self.phase_costs.clear()
 
     def __repr__(self) -> str:

@@ -184,6 +184,68 @@ class ISAMIndex:
         self._overflow.setdefault(leaf_no, []).append((key, record_id))
         self.stats.charge_write()
 
+    def verify(self) -> bool:
+        """Audit the index against the heap (no I/O charge: a sweep).
+
+        Checks, raising :class:`IndexError_` on the first violation:
+
+        * every index entry (leaf or overflow) resolves to a live heap
+          tuple whose key field matches the entry's key;
+        * no key is indexed twice;
+        * leaf keys are in sorted order within and across leaf pages;
+        * every live heap tuple's key is indexed, pointing back at it.
+
+        The crash matrix runs this after every recovery; it is an
+        integrity audit, not a storage operation, so nothing is billed.
+        """
+        self._require_built()
+        entries: List[Tuple[object, RecordId]] = []
+        previous_key = None
+        for leaf_no, (keys, rids) in enumerate(
+            zip(self._levels[0], self._leaf_rids)
+        ):
+            for key, rid in zip(keys, rids):
+                if previous_key is not None and not (previous_key < key):
+                    raise IndexError_(
+                        f"ISAM on {self.heap.name!r}: leaf {leaf_no} key "
+                        f"{key!r} out of order after {previous_key!r}"
+                    )
+                previous_key = key
+                entries.append((key, rid))
+        for spill in self._overflow.values():
+            entries.extend(spill)
+        seen: Dict[str, RecordId] = {}
+        for key, rid in entries:
+            marker = repr(key)
+            if marker in seen:
+                raise IndexError_(
+                    f"ISAM on {self.heap.name!r}: key {key!r} indexed twice"
+                )
+            seen[marker] = rid
+        heap_keys: Dict[str, RecordId] = {}
+        for page in self.heap.pages:
+            for slot, row in page.rows():
+                values = self.heap.schema.as_dict(row)
+                heap_keys[repr(values[self.key_field])] = (page.page_no, slot)
+        for marker, rid in seen.items():
+            if marker not in heap_keys:
+                raise IndexError_(
+                    f"ISAM on {self.heap.name!r}: entry {marker} points at "
+                    "no live tuple"
+                )
+            if heap_keys[marker] != rid:
+                raise IndexError_(
+                    f"ISAM on {self.heap.name!r}: entry {marker} points at "
+                    f"{rid}, heap has it at {heap_keys[marker]}"
+                )
+        for marker in heap_keys:
+            if marker not in seen:
+                raise IndexError_(
+                    f"ISAM on {self.heap.name!r}: heap key {marker} is "
+                    "not indexed"
+                )
+        return True
+
     def keys(self) -> List[object]:
         """All indexed keys in sorted order (no I/O charge: metadata)."""
         self._require_built()

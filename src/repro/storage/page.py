@@ -105,6 +105,25 @@ class Page:
 
             raise TornPageError(file_name, self.page_no)
 
+    def to_snapshot(self) -> Tuple[int, int, Tuple[Optional[Row], ...]]:
+        """Checkpoint form: ``(page_no, capacity, slots)``.
+
+        Tombstoned slots are kept (as None) so record ids stay valid
+        after recovery — a redo record addressing ``(page, slot)`` must
+        land on the same physical slot it was logged against.
+        """
+        return (self.page_no, self.capacity, tuple(self.slots))
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Tuple[int, int, Tuple[Optional[Row], ...]]
+    ) -> "Page":
+        """Rebuild a page from :meth:`to_snapshot` output (marked clean)."""
+        page_no, capacity, slots = snapshot
+        page = cls(page_no, capacity)
+        page.slots = list(slots)
+        return page
+
     def rows(self) -> Iterator[Tuple[int, Row]]:
         """Yield ``(slot, row)`` for live tuples in slot order."""
         for slot, row in enumerate(self.slots):

@@ -29,13 +29,19 @@ class Relation:
         buffer_pool: BufferPool,
         stats: IOStatistics,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        wal: Optional[object] = None,
     ) -> None:
         self.name = name
         self.schema = schema
         self.stats = stats
-        self.heap = HeapFile(name, schema, buffer_pool, stats, block_size)
+        self.heap = HeapFile(name, schema, buffer_pool, stats, block_size, wal=wal)
         self.isam = None  # set by create_isam_index
         self.hash_index: Optional[HashIndex] = None
+
+    @property
+    def wal(self) -> Optional[object]:
+        """The attached write-ahead log (lives on the heap file)."""
+        return self.heap.wal
 
     # ------------------------------------------------------------------
     # size metadata (the cost model's vocabulary)
@@ -73,6 +79,8 @@ class Relation:
         )
         index.build()
         self.isam = index
+        if self.wal is not None:
+            self.wal.log_index(self.name, "isam", key_field, fanout)
         return index
 
     def create_hash_index(
@@ -89,6 +97,8 @@ class Relation:
         )
         index.build()
         self.hash_index = index
+        if self.wal is not None:
+            self.wal.log_index(self.name, "hash", key_field, bucket_count)
         return index
 
     # ------------------------------------------------------------------

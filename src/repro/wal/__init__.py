@@ -1,0 +1,37 @@
+"""Durability subsystem: write-ahead logging and crash recovery.
+
+``repro.wal`` gives the simulated storage engine what the paper's real
+INGRES instance had for free — relations that survive process death.
+The pieces:
+
+* :class:`WriteAheadLog` — redo-only, CRC32-framed append log with
+  fuzzy checkpoints (:mod:`repro.wal.log`);
+* :class:`InMemoryStableStore` / :class:`DirectoryStableStore` — the
+  pluggable stable storage that outlives a crash
+  (:mod:`repro.wal.stable`);
+* :func:`recover_database` / :func:`replay_epochs` — the ARIES-lite
+  redo pass and the traffic-epoch resync (:mod:`repro.wal.recovery`).
+
+Attach a log with ``Database(wal=WriteAheadLog(...))`` and recover
+with ``Database.recover(log)``; ``RouteService(wal=...,
+recover_on_start=True)`` journals and replays traffic epochs. Without
+a log attached, every code path is byte-for-byte the seed behaviour.
+"""
+
+from repro.wal.log import CheckpointReport, WriteAheadLog
+from repro.wal.records import decode_stream, frame, unframe
+from repro.wal.recovery import RecoveryReport, recover_database, replay_epochs
+from repro.wal.stable import DirectoryStableStore, InMemoryStableStore
+
+__all__ = [
+    "CheckpointReport",
+    "DirectoryStableStore",
+    "InMemoryStableStore",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "decode_stream",
+    "frame",
+    "recover_database",
+    "replay_epochs",
+    "unframe",
+]

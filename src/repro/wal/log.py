@@ -1,0 +1,229 @@
+"""The write-ahead log: redo records, forced commits, fuzzy checkpoints.
+
+Protocol (redo-only, ARIES-lite):
+
+* Every structural mutation of a :class:`~repro.storage.database.Database`
+  appends one CRC-framed redo record *after* the in-memory apply
+  succeeds and forces it to the stable store — the record's presence is
+  the commit. There is no undo: the storage layer applies operations
+  atomically in memory, so a crash can only lose the tail operation,
+  never leave half of one.
+* A *fuzzy checkpoint* flushes the buffer pool, serialises the whole
+  database into one framed snapshot, atomically replaces the previous
+  snapshot, and truncates the log. A crash mid-checkpoint leaves the
+  old snapshot + old log intact (snapshot replacement is atomic and the
+  log is only cleared after the snapshot lands), so recovery is always
+  possible from *some* consistent pair.
+* Recovery (:mod:`repro.wal.recovery`) loads the snapshot, then redoes
+  the log suffix up to the last committed record.
+
+Log appends are billed as ``wal_writes`` (each record is a forced
+block write at Table 4A's ``t_write`` rate — the durability overhead
+scenario E13 measures); recovery scans bill ``wal_reads``.
+
+Crash injection: when a :class:`~repro.faults.FaultInjector` is bound,
+every append consults ``injector.on_commit`` *before* the record
+reaches the store. A drawn crash therefore kills the workload after
+the in-memory apply but before the commit — the classic window — and
+the operation correctly vanishes on recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import RecoveryError
+from repro.storage.page import DEFAULT_BLOCK_SIZE
+from repro.wal.records import Record, decode_stream, frame, schema_spec, unframe
+from repro.wal.stable import InMemoryStableStore
+
+
+@dataclass
+class CheckpointReport:
+    """What one fuzzy checkpoint did (the checkpoint audit)."""
+
+    #: Dirty pages forced out per relation by the buffer-pool flush.
+    flushed: Dict[str, int] = field(default_factory=dict)
+    #: Log records truncated after the snapshot landed.
+    records_truncated: int = 0
+    #: Blocks charged for writing the snapshot.
+    snapshot_blocks: int = 0
+
+
+class WriteAheadLog:
+    """Append-only redo log over a pluggable stable store.
+
+    ``stats`` and ``injector`` are usually bound by the
+    :class:`~repro.storage.database.Database` the log is attached to
+    (:meth:`bind`), so WAL traffic lands on the same cost ledger and
+    the same fault plan as the heap I/O it protects.
+    """
+
+    def __init__(
+        self,
+        store: Optional[object] = None,
+        stats: Optional[object] = None,
+        injector: Optional[object] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        self.store = store if store is not None else InMemoryStableStore()
+        self.stats = stats
+        self.injector = injector
+        self.block_size = block_size
+        self.records_appended = 0
+        self.records_read = 0
+        self.checkpoints = 0
+
+    def bind(self, stats: object, injector: Optional[object] = None) -> None:
+        """Adopt a database's ledger/fault plan (explicit ones win)."""
+        if self.stats is None:
+            self.stats = stats
+        if self.injector is None and injector is not None:
+            self.injector = injector
+
+    # ------------------------------------------------------------------
+    # append path
+    # ------------------------------------------------------------------
+    def _blocks(self, text_length: int) -> int:
+        return max(1, -(-text_length // self.block_size))
+
+    def _append(self, record: Record) -> None:
+        if self.injector is not None:
+            self.injector.on_commit(f"wal:{record[0]}")
+        line = frame(record)
+        self.store.append(line)
+        if self.stats is not None:
+            self.stats.charge_wal_write(self._blocks(len(line)))
+        self.records_appended += 1
+
+    def log_create(self, name: str, schema) -> None:
+        self._append(("create", name, schema_spec(schema)))
+
+    def log_drop(self, name: str) -> None:
+        self._append(("drop", name))
+
+    def log_insert(self, file_name: str, record_id, row: Tuple) -> None:
+        self._append(("insert", file_name, tuple(record_id), tuple(row)))
+
+    def log_update(self, file_name: str, record_id, row: Tuple) -> None:
+        self._append(("update", file_name, tuple(record_id), tuple(row)))
+
+    def log_delete(self, file_name: str, record_id) -> None:
+        self._append(("delete", file_name, tuple(record_id)))
+
+    def log_batch(self, file_name: str, entries) -> None:
+        """One record for a whole batch-REPLACE pass (block-level op)."""
+        self._append(
+            (
+                "batch",
+                file_name,
+                tuple((tuple(rid), tuple(row)) for rid, row in entries),
+            )
+        )
+
+    def log_load(self, file_name: str, rows) -> None:
+        self._append(("load", file_name, tuple(tuple(row) for row in rows)))
+
+    def log_truncate(self, file_name: str) -> None:
+        self._append(("truncate", file_name))
+
+    def log_index(
+        self, relation_name: str, kind: str, key_field: str, param: int
+    ) -> None:
+        """Record an index build; ``param`` is fanout (isam) or the
+        *requested* bucket count (hash), so replay derives the same
+        structure from the same heap state."""
+        self._append(("index", relation_name, kind, key_field, param))
+
+    def log_epoch(self, epoch) -> None:
+        """Journal one applied traffic epoch (duck-types TrafficEpoch)."""
+        deltas = tuple(
+            (d.source, d.target, d.new_cost) for d in epoch.deltas
+        )
+        self._append(
+            (
+                "epoch",
+                epoch.number,
+                deltas,
+                tuple(epoch.previous_fingerprint),
+                tuple(epoch.fingerprint),
+                epoch.minutes,
+            )
+        )
+
+    def handle_epoch(self, epoch) -> None:
+        """Listener hook: lets the log subscribe to a TrafficFeed."""
+        self.log_epoch(epoch)
+
+    # ------------------------------------------------------------------
+    # read path (recovery)
+    # ------------------------------------------------------------------
+    def records(self, charge: bool = True) -> Iterator[Record]:
+        """Committed records in append order, truncating a torn tail."""
+        for record in decode_stream(self.store.lines()):
+            self.records_read += 1
+            if charge and self.stats is not None:
+                self.stats.charge_wal_read()
+            yield record
+
+    def read_snapshot(self, charge: bool = True) -> Optional[Record]:
+        """Decode the checkpoint snapshot (None when never checkpointed)."""
+        text = self.store.read_snapshot()
+        if text is None:
+            return None
+        record = unframe(text)
+        if record is None or record[0] != "snapshot":
+            raise RecoveryError(
+                "checkpoint snapshot failed its CRC frame; stable store "
+                "is corrupt"
+            )
+        if charge and self.stats is not None:
+            self.stats.charge_wal_read(self._blocks(len(text)))
+        return record
+
+    # ------------------------------------------------------------------
+    # checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self, database) -> CheckpointReport:
+        """Fuzzy checkpoint: flush the pool, snapshot, truncate the log.
+
+        The injector is consulted once at the start (a drawn crash
+        kills the checkpoint before it changes anything durable) and
+        then per dirty page inside the flush; the snapshot replacement
+        itself is atomic, so every kill point leaves a recoverable
+        snapshot/log pair.
+        """
+        if self.injector is not None:
+            self.injector.on_commit("wal:checkpoint")
+        flushed = database.buffer_pool.flush()
+        payload = ("snapshot", database.name, database.state_snapshot())
+        text = frame(payload)
+        blocks = self._blocks(len(text))
+        self.store.write_snapshot(text)
+        truncated = self.store.log_length()
+        self.store.clear_log()
+        if self.stats is not None:
+            self.stats.charge_wal_write(blocks)
+        self.checkpoints += 1
+        return CheckpointReport(
+            flushed=flushed,
+            records_truncated=truncated,
+            snapshot_blocks=blocks,
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counter view for reports and tests."""
+        return {
+            "records_appended": self.records_appended,
+            "records_read": self.records_read,
+            "checkpoints": self.checkpoints,
+            "log_length": self.store.log_length(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog(store={self.store!r}, "
+            f"appended={self.records_appended}, "
+            f"checkpoints={self.checkpoints})"
+        )

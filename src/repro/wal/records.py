@@ -1,0 +1,118 @@
+"""Write-ahead-log record framing.
+
+Each log record is one line of text::
+
+    <crc32 as 8 hex digits> <payload>
+
+where the payload is the ``repr`` of a plain Python tuple whose first
+element is the record kind. The CRC32 covers the payload bytes — the
+same ``zlib.crc32``-over-``repr`` discipline :meth:`Page.checksum` uses
+for torn-page detection — so a half-written tail line (the simulated
+analogue of a crash mid-append) fails its frame check and marks the end
+of the committed log. Recovery replays records *up to* the first bad
+frame; a bad frame followed by further good frames is real corruption,
+not a torn tail, and raises :class:`~repro.exceptions.RecoveryError`.
+
+Record kinds (all positional tuples):
+
+===========  ========================================================
+kind         payload after the kind tag
+===========  ========================================================
+``create``   relation name, schema spec ``(sname, ((f, tag, size), …))``
+``drop``     relation name
+``insert``   file name, ``(page_no, slot)``, row tuple
+``update``   file name, ``(page_no, slot)``, row tuple
+``delete``   file name, ``(page_no, slot)``
+``batch``    file name, ``(((page_no, slot), row), …)``
+``load``     file name, ``(row, …)``
+``truncate`` file name
+``index``    relation name, ``"isam"``/``"hash"``, key field, params
+``epoch``    number, ``((u, v, new_cost), …)``, prev fp, new fp, minutes
+===========  ========================================================
+
+Rows are repr'd tuples of ints / floats / strings; ``repr`` round-trips
+them exactly except for ``inf`` and ``nan`` (the node relation's
+UNLABELLED sentinel is ``float("inf")``), which is why decoding uses a
+builtins-stripped ``eval`` with just those two names bound instead of
+``ast.literal_eval``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.exceptions import RecoveryError
+
+Record = Tuple[object, ...]
+
+#: Names the restricted decoder exposes — exactly the two non-literal
+#: tokens ``repr`` can emit for floats.
+_DECODE_NAMES = {"inf": float("inf"), "nan": float("nan")}
+
+
+def schema_spec(schema) -> Tuple[str, Tuple[Tuple[str, str, int], ...]]:
+    """Pure-literal form of a :class:`~repro.storage.schema.Schema`."""
+    return (
+        schema.name,
+        tuple((f.name, f.type_tag, f.size) for f in schema.fields),
+    )
+
+
+def schema_from_spec(spec):
+    """Rebuild a Schema from :func:`schema_spec` output."""
+    from repro.storage.schema import Field, Schema
+
+    name, fields = spec
+    return Schema(name, [Field(fname, tag, size) for fname, tag, size in fields])
+
+
+def frame(record: Record) -> str:
+    """Serialize a record tuple into one CRC-framed log line."""
+    payload = repr(tuple(record))
+    crc = zlib.crc32(payload.encode("utf-8"))
+    return f"{crc:08x} {payload}"
+
+
+def unframe(line: str) -> Optional[Record]:
+    """Decode one log line; None if the frame is torn (bad CRC/shape)."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_text, payload = line[:8], line[9:]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload.encode("utf-8")) != expected:
+        return None
+    try:
+        record = eval(  # noqa: S307 - builtins stripped, names pinned
+            payload, {"__builtins__": {}}, dict(_DECODE_NAMES)
+        )
+    except Exception:
+        return None
+    if not isinstance(record, tuple) or not record:
+        return None
+    return record
+
+
+def decode_stream(lines: Iterable[str]) -> Iterator[Record]:
+    """Yield committed records, truncating a torn tail.
+
+    Stops silently at a bad final frame (the expected crash signature);
+    a bad frame *followed by good ones* means the stable store itself
+    is corrupt and raises :class:`RecoveryError`.
+    """
+    pending_bad: Optional[int] = None
+    for number, line in enumerate(lines):
+        record = unframe(line)
+        if record is None:
+            if pending_bad is None:
+                pending_bad = number
+            continue
+        if pending_bad is not None:
+            raise RecoveryError(
+                f"log record {pending_bad} failed its CRC frame but later "
+                f"records are intact; refusing to skip mid-log corruption"
+            )
+        yield record

@@ -1,0 +1,125 @@
+"""Pluggable stable storage for the write-ahead log.
+
+A stable store survives the simulated crash: when the crash matrix
+discards every volatile object (database, buffer pool, indexes, graph
+mirrors), the store is the only thing handed to recovery. Two backends:
+
+* :class:`InMemoryStableStore` — plain lists, for fast tests and the
+  crash-matrix sweep, where "stable" means "outlives the Database
+  object we deliberately threw away".
+* :class:`DirectoryStableStore` — an append-only ``wal.log`` plus a
+  ``checkpoint.snap`` file in a directory, for runs that should survive
+  a real process restart.
+
+Both expose the same five methods; :class:`repro.wal.WriteAheadLog`
+is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional
+
+LOG_FILE = "wal.log"
+SNAPSHOT_FILE = "checkpoint.snap"
+
+
+class InMemoryStableStore:
+    """Stable storage simulated as process memory.
+
+    Fast and deterministic; the unit of durability is the Python object
+    itself, which is exactly what kill-at-op-N runs need — thousands of
+    crash/recover cycles without touching a filesystem.
+    """
+
+    def __init__(self) -> None:
+        self._log: List[str] = []
+        self._snapshot: Optional[str] = None
+
+    def append(self, line: str) -> None:
+        """Force one framed record to the log (commit point)."""
+        self._log.append(line)
+
+    def lines(self) -> Iterator[str]:
+        """Committed-order view of the log."""
+        return iter(list(self._log))
+
+    def log_length(self) -> int:
+        return len(self._log)
+
+    def write_snapshot(self, text: str) -> None:
+        """Atomically replace the checkpoint snapshot."""
+        self._snapshot = text
+
+    def read_snapshot(self) -> Optional[str]:
+        return self._snapshot
+
+    def clear_log(self) -> None:
+        """Truncate the log (only ever called after a snapshot lands)."""
+        self._log.clear()
+
+    def tear_tail(self, garbage: str = "deadbeef torn") -> None:
+        """Test hook: simulate a half-written final record."""
+        self._log.append(garbage)
+
+    def __repr__(self) -> str:
+        return (
+            f"InMemoryStableStore(records={len(self._log)}, "
+            f"snapshot={'yes' if self._snapshot is not None else 'no'})"
+        )
+
+
+class DirectoryStableStore:
+    """Stable storage backed by a directory on disk.
+
+    ``wal.log`` is append-only, one framed record per line; the
+    checkpoint snapshot is written to a temp file and renamed into
+    place so a crash during checkpoint leaves the previous snapshot
+    intact (the fuzzy-checkpoint contract).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+
+    @property
+    def _log_path(self) -> str:
+        return os.path.join(self.path, LOG_FILE)
+
+    @property
+    def _snapshot_path(self) -> str:
+        return os.path.join(self.path, SNAPSHOT_FILE)
+
+    def append(self, line: str) -> None:
+        with open(self._log_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def lines(self) -> Iterator[str]:
+        if not os.path.exists(self._log_path):
+            return iter(())
+        with open(self._log_path, "r", encoding="utf-8") as handle:
+            return iter(handle.read().splitlines())
+
+    def log_length(self) -> int:
+        return sum(1 for _ in self.lines())
+
+    def write_snapshot(self, text: str) -> None:
+        temp = self._snapshot_path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+        os.replace(temp, self._snapshot_path)
+
+    def read_snapshot(self) -> Optional[str]:
+        if not os.path.exists(self._snapshot_path):
+            return None
+        with open(self._snapshot_path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def clear_log(self) -> None:
+        if os.path.exists(self._log_path):
+            os.remove(self._log_path)
+
+    def __repr__(self) -> str:
+        return f"DirectoryStableStore(path={self.path!r})"

@@ -77,8 +77,8 @@ class TestFlushInvalidate:
         pool, stats = make_pool(4)
         page = Page(0, 4)
         pool.access("f", page, for_write=True)
-        assert pool.flush() == 1
-        assert pool.flush() == 0
+        assert pool.flush() == {"f": 1}
+        assert pool.flush() == {}
         assert stats.block_writes == 1
 
     def test_invalidate_drops_without_writing(self):
@@ -86,7 +86,7 @@ class TestFlushInvalidate:
         page = Page(0, 4)
         pool.access("f", page, for_write=True)
         pool.invalidate("f")
-        assert pool.flush() == 0
+        assert pool.flush() == {}
         assert stats.block_writes == 0
 
     def test_invalidate_returns_dirty_drop_count(self):
@@ -99,7 +99,7 @@ class TestFlushInvalidate:
         pool.access("g", Page(0, 4), for_write=True)  # other file
         assert pool.invalidate("f") == 2
         # The other file's dirty page is untouched.
-        assert pool.flush() == 1
+        assert pool.flush() == {"g": 1}
 
     def test_invalidate_of_clean_file_drops_nothing_dirty(self):
         pool, _stats = make_pool(4)

@@ -106,6 +106,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "trade-off" in out.lower()
 
+    def test_bench_recovery(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "audit.json"
+        code = main([
+            "bench-recovery", "--workloads", "insert",
+            "--kill-points", "4", "--tuples", "8",
+            "--updates", "2", "--deletes", "1",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "survival: 100.0%" in out
+        audit = json.loads(out_path.read_text())
+        assert audit["failures"] == []
+        assert audit["workloads"] == ["insert"]
+
+    def test_bench_recovery_json_output(self, capsys):
+        import json
+
+        code = main([
+            "bench-recovery", "--workloads", "insert",
+            "--kill-points", "3", "--tuples", "6",
+            "--updates", "1", "--deletes", "1", "--json",
+        ])
+        assert code == 0
+        audit = json.loads(capsys.readouterr().out)
+        assert audit["survival"] == 1.0
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,428 @@
+"""Tests for the write-ahead log: framing, stable stores, journaling,
+checkpointing, recovery, and the durability billing."""
+
+import pytest
+
+from repro.exceptions import RecoveryError, SimulatedCrash, StorageError
+from repro.faults import FaultInjector, FaultPlan
+from repro.storage.database import Database
+from repro.storage.iostats import IOStatistics
+from repro.storage.schema import ANY, FLOAT, Field, Schema
+from repro.wal import (
+    DirectoryStableStore,
+    InMemoryStableStore,
+    WriteAheadLog,
+    decode_stream,
+    frame,
+    recover_database,
+    replay_epochs,
+    unframe,
+)
+
+
+def t_schema(name="t"):
+    return Schema(name, [Field("k", ANY, 8), Field("v", FLOAT, 8)])
+
+
+def make_db(store=None, **kwargs):
+    store = store if store is not None else InMemoryStableStore()
+    wal = WriteAheadLog(store=store)
+    db = Database(wal=wal, **kwargs)
+    return db, wal, store
+
+
+class TestFraming:
+    def test_round_trip(self):
+        record = ("insert", "t", (0, 1), (3, 2.5))
+        assert unframe(frame(record)) == record
+
+    def test_floats_survive_including_inf_and_nan(self):
+        record = ("update", "t", (0, 0), (1, float("inf")))
+        assert unframe(frame(record)) == record
+
+    def test_corrupt_line_rejected(self):
+        line = frame(("insert", "t", (0, 0), (1, 1.0)))
+        assert unframe(line[:-1] + "X") is None
+        assert unframe("nonsense") is None
+        assert unframe("") is None
+
+    def test_torn_tail_is_silently_dropped(self):
+        lines = [frame(("create", "t", ("t", ()))), "deadbeef torn"]
+        assert len(list(decode_stream(lines))) == 1
+
+    def test_mid_log_corruption_raises(self):
+        lines = [
+            frame(("create", "t", ("t", ()))),
+            "deadbeef torn",
+            frame(("truncate", "t")),
+        ]
+        with pytest.raises(RecoveryError):
+            list(decode_stream(lines))
+
+
+class TestStableStores:
+    def test_in_memory_round_trip(self):
+        store = InMemoryStableStore()
+        store.append("a")
+        store.append("b")
+        assert list(store.lines()) == ["a", "b"]
+        store.write_snapshot("snap")
+        assert store.read_snapshot() == "snap"
+        store.clear_log()
+        assert list(store.lines()) == []
+
+    def test_directory_store_round_trip(self, tmp_path):
+        store = DirectoryStableStore(tmp_path / "wal")
+        store.append("a")
+        store.append("b")
+        store.write_snapshot("snap")
+        # A second handle on the same directory sees the same bytes.
+        again = DirectoryStableStore(tmp_path / "wal")
+        assert list(again.lines()) == ["a", "b"]
+        assert again.read_snapshot() == "snap"
+        again.clear_log()
+        assert list(DirectoryStableStore(tmp_path / "wal").lines()) == []
+
+    def test_directory_store_survives_database_recovery(self, tmp_path):
+        store = DirectoryStableStore(tmp_path / "wal")
+        db, _wal, _ = make_db(store=store)
+        relation = db.create_relation(t_schema(), name="t")
+        relation.insert({"k": 1, "v": 2.0})
+        recovered = Database.recover(
+            WriteAheadLog(store=DirectoryStableStore(tmp_path / "wal"))
+        )
+        assert recovered.relation("t").all_tuples() == [{"k": 1, "v": 2.0}]
+
+
+class TestJournaling:
+    def test_mutations_append_committed_records(self):
+        db, wal, store = make_db()
+        relation = db.create_relation(t_schema(), name="t")
+        rid = relation.insert({"k": 1, "v": 1.0})
+        relation.update(rid, {"k": 1, "v": 2.0})
+        relation.delete(rid)
+        kinds = [record[0] for record in decode_stream(store.lines())]
+        assert kinds == ["create", "insert", "update", "delete"]
+        assert wal.records_appended == 4
+
+    def test_wal_writes_are_billed_separately(self):
+        db, _wal, _store = make_db()
+        relation = db.create_relation(t_schema(), name="t")
+        relation.insert({"k": 1, "v": 1.0})
+        assert db.stats.wal_writes == 2  # create + insert
+        assert db.stats.cost >= db.stats.wal_writes * db.stats.t_write
+        snap = db.stats.snapshot()
+        assert snap["wal_writes"] == 2
+        assert snap["wal_reads"] == 0
+
+    def test_wal_off_runs_identically_except_the_journal(self):
+        """With no WAL attached the storage stack must behave exactly
+        as the seed: same charges, no durability counters."""
+        def drive(db):
+            relation = db.create_relation(t_schema(), name="t")
+            for key in range(8):
+                relation.insert({"k": key, "v": float(key)})
+            relation.create_isam_index("k", fanout=4)
+            return relation
+
+        bare = Database()
+        logged, _wal, _store = make_db()
+        drive(bare)
+        drive(logged)
+        assert bare.stats.wal_writes == 0
+        bare_snap = bare.stats.snapshot()
+        logged_snap = logged.stats.snapshot()
+        for key in ("block_reads", "block_writes", "tuple_updates"):
+            assert bare_snap[key] == logged_snap[key]
+        assert logged.stats.cost == pytest.approx(
+            bare.stats.cost + logged.stats.wal_writes * logged.stats.t_write
+        )
+
+
+class TestRecovery:
+    def test_recovery_rebuilds_relations_and_indexes(self):
+        db, _wal, store = make_db()
+        relation = db.create_relation(t_schema(), name="t")
+        relation.bulk_load({"k": key, "v": float(key)} for key in range(10))
+        relation.create_isam_index("k", fanout=4)
+        relation.insert({"k": 99, "v": 9.0})
+        recovered = Database.recover(WriteAheadLog(store=store))
+        rebuilt = recovered.relation("t")
+        assert rebuilt.all_tuples() == relation.all_tuples()
+        assert rebuilt.isam is not None
+        assert rebuilt.isam.verify()
+        assert rebuilt.isam.probe(99) is not None
+        assert recovered.last_recovery.records_replayed == 4
+
+    def test_recovery_bills_wal_reads(self):
+        db, _wal, store = make_db()
+        relation = db.create_relation(t_schema(), name="t")
+        relation.insert({"k": 1, "v": 1.0})
+        recovered = Database.recover(WriteAheadLog(store=store))
+        assert recovered.stats.wal_reads >= 2
+
+    def test_recover_empty_store_is_a_no_op(self):
+        recovered = Database.recover(WriteAheadLog(store=InMemoryStableStore()))
+        assert list(recovered.relation_names()) == []
+        assert recovered.last_recovery.records_replayed == 0
+        assert not recovered.last_recovery.snapshot_loaded
+
+    def test_recovery_is_idempotent(self):
+        db, _wal, store = make_db()
+        relation = db.create_relation(t_schema(), name="t")
+        for key in range(6):
+            relation.insert({"k": key, "v": float(key)})
+        db.checkpoint()
+        relation.insert({"k": 100, "v": 1.0})
+        first = Database.recover(WriteAheadLog(store=store))
+        second = Database.recover(WriteAheadLog(store=store))
+        assert repr(first.state_snapshot()) == repr(second.state_snapshot())
+
+    def test_recovered_database_keeps_journaling(self):
+        db, _wal, store = make_db()
+        db.create_relation(t_schema(), name="t").insert({"k": 1, "v": 1.0})
+        recovered = Database.recover(WriteAheadLog(store=store))
+        recovered.relation("t").insert({"k": 2, "v": 2.0})
+        again = Database.recover(WriteAheadLog(store=store))
+        assert sorted(v["k"] for v in again.relation("t").all_tuples()) == [1, 2]
+
+    def test_drop_is_durable(self):
+        db, _wal, store = make_db()
+        db.create_relation(t_schema(), name="t").insert({"k": 1, "v": 1.0})
+        db.create_relation(t_schema("u"), name="u")
+        db.drop_relation("u")
+        recovered = Database.recover(WriteAheadLog(store=store))
+        assert list(recovered.relation_names()) == ["t"]
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_and_snapshots(self):
+        db, wal, store = make_db()
+        relation = db.create_relation(t_schema(), name="t")
+        for key in range(5):
+            relation.insert({"k": key, "v": float(key)})
+        report = db.checkpoint()
+        assert report.records_truncated == 6
+        assert store.log_length() == 0
+        assert store.read_snapshot() is not None
+        assert wal.checkpoints == 1
+
+    def test_recovery_from_snapshot_plus_log_suffix(self):
+        db, _wal, store = make_db(buffer_capacity=4)
+        relation = db.create_relation(t_schema(), name="t")
+        relation.bulk_load({"k": key, "v": float(key)} for key in range(12))
+        relation.create_hash_index("k", bucket_count=3)
+        db.checkpoint()
+        relation.insert({"k": 50, "v": 5.0})
+        recovered = Database.recover(WriteAheadLog(store=store))
+        assert recovered.last_recovery.snapshot_loaded
+        assert recovered.last_recovery.records_replayed == 1
+        rebuilt = recovered.relation("t")
+        assert rebuilt.tuple_count == 13
+        assert rebuilt.hash_index.verify()
+        assert sorted(v["k"] for v in rebuilt.all_tuples()) == sorted(
+            v["k"] for v in relation.all_tuples()
+        )
+
+    def test_checkpoint_without_wal_raises(self):
+        with pytest.raises(StorageError):
+            Database().checkpoint()
+
+
+class TestCrashFaults:
+    def test_crash_at_op_raises_simulated_crash(self):
+        stats = IOStatistics()
+        plan = FaultPlan(seed=7, crash_at_op=2)
+        injector = FaultInjector(plan, stats)
+        wal = WriteAheadLog(store=InMemoryStableStore(), stats=stats,
+                            injector=injector)
+        db = Database(stats=stats, injector=injector, wal=wal)
+        relation = db.create_relation(t_schema(), name="t")
+        with pytest.raises(SimulatedCrash):
+            for key in range(10):
+                relation.insert({"k": key, "v": float(key)})
+
+    def test_crash_is_not_absorbed_by_retries(self):
+        """SimulatedCrash is a StorageError but not a FaultError, so
+        protect() must re-raise it instead of retrying."""
+        from repro.exceptions import FaultError
+
+        assert issubclass(SimulatedCrash, StorageError)
+        assert not issubclass(SimulatedCrash, FaultError)
+
+    def test_crash_mid_insert_loses_only_the_uncommitted_tail(self):
+        stats = IOStatistics()
+        plan = FaultPlan(seed=7, crash_at_op=9)
+        injector = FaultInjector(plan, stats)
+        store = InMemoryStableStore()
+        wal = WriteAheadLog(store=store, stats=stats, injector=injector)
+        db = Database(stats=stats, injector=injector, wal=wal)
+        relation = db.create_relation(t_schema(), name="t")
+        committed = []
+        with pytest.raises(SimulatedCrash):
+            for key in range(10):
+                relation.insert({"k": key, "v": float(key)})
+                committed.append(key)
+        recovered = Database.recover(WriteAheadLog(store=store))
+        survived = sorted(v["k"] for v in recovered.relation("t").all_tuples())
+        # Everything committed survived; at most the one in-flight
+        # insert (journaled before the crash fired) rides along.
+        assert survived[: len(committed)] == committed
+        assert len(survived) - len(committed) <= 1
+
+    def test_attaching_a_wal_does_not_shift_the_fault_schedule(self):
+        """WAL commit sites consume no RNG draw, so a seeded plan
+        faults the same sites with the same kinds in the same order
+        with and without a WAL (the op *indexes* differ — commit sites
+        consume indexes — but the drawn schedule must not)."""
+        def drive(with_wal):
+            stats = IOStatistics()
+            plan = FaultPlan(seed=11, read_error_rate=0.2, latency_rate=0.1)
+            injector = FaultInjector(plan, stats)
+            wal = None
+            if with_wal:
+                wal = WriteAheadLog(store=InMemoryStableStore(),
+                                    stats=stats, injector=injector)
+            db = Database(stats=stats, injector=injector, wal=wal)
+            relation = db.create_relation(t_schema(), name="t")
+            for key in range(12):
+                try:
+                    relation.insert({"k": key, "v": float(key)})
+                except Exception:  # noqa: BLE001 - transient faults expected
+                    pass
+            return [
+                (site, kind)
+                for _index, site, kind in plan.schedule
+                if kind != "crash"
+            ]
+
+        assert drive(False) == drive(True)
+
+
+class TestTrafficReplay:
+    def make_world(self):
+        from repro.graphs.grid import make_paper_grid
+        from repro.service import RouteService
+        from repro.traffic.feed import TrafficFeed
+
+        store = InMemoryStableStore()
+        wal = WriteAheadLog(store=store)
+        graph = make_paper_grid(3, "variance", seed=5)
+        service = RouteService(default_algorithm="dijkstra", wal=wal)
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        return store, graph, service, feed
+
+    def apply_epochs(self, graph, feed):
+        edges = sorted((e.source, e.target) for e in graph.edges())
+        for round_no in range(2):
+            batch = [
+                (u, v, graph.edge_cost(u, v) * (1.5 + round_no))
+                for u, v in edges[: 3 + round_no]
+            ]
+            feed.apply(batch)
+
+    def test_epochs_are_journaled_and_replayable(self):
+        from repro.graphs.grid import make_paper_grid
+
+        store, graph, _service, feed = self.make_world()
+        self.apply_epochs(graph, feed)
+        fresh = make_paper_grid(3, "variance", seed=5)
+        replayed = replay_epochs(WriteAheadLog(store=store), fresh)
+        assert replayed == 2
+        for edge in graph.edges():
+            assert fresh.edge_cost(edge.source, edge.target) == edge.cost
+
+    def test_recover_on_start_resyncs_the_service(self):
+        from repro.graphs.grid import make_paper_grid
+        from repro.service import RouteService
+
+        store, graph, _service, feed = self.make_world()
+        self.apply_epochs(graph, feed)
+        nodes = sorted(graph.node_ids())
+        source, destination = nodes[0], nodes[-1]
+        reference = RouteService(default_algorithm="dijkstra").plan(
+            graph, source, destination
+        )
+        # A restarted service on a base-cost graph replays the journal
+        # before answering.
+        restarted_graph = make_paper_grid(3, "variance", seed=5)
+        restarted = RouteService(
+            default_algorithm="dijkstra",
+            wal=WriteAheadLog(store=store),
+            recover_on_start=True,
+        )
+        answer = restarted.plan(restarted_graph, source, destination)
+        assert restarted.epochs_recovered == 2
+        assert answer.cost == pytest.approx(reference.cost)
+        assert restarted.snapshot()["epochs_recovered"] == 2
+
+    def test_recovery_is_applied_once_per_graph(self):
+        from repro.graphs.grid import make_paper_grid
+        from repro.service import RouteService
+
+        store, graph, _service, feed = self.make_world()
+        self.apply_epochs(graph, feed)
+        restarted_graph = make_paper_grid(3, "variance", seed=5)
+        restarted = RouteService(
+            default_algorithm="dijkstra",
+            wal=WriteAheadLog(store=store),
+            recover_on_start=True,
+        )
+        assert restarted.recover(restarted_graph) == 2
+        assert restarted.recover(restarted_graph) == 0
+        fingerprint = restarted_graph.fingerprint
+        nodes = sorted(restarted_graph.node_ids())
+        restarted.plan(restarted_graph, nodes[0], nodes[-1])
+        # plan() must not replay again on an already-recovered graph.
+        assert restarted_graph.fingerprint == fingerprint
+
+
+class TestSatelliteFlushes:
+    def dirty_world(self):
+        """A database whose relation has a dirtied buffered page (the
+        engine's write path: pool access with ``for_write=True``)."""
+        db = Database(buffer_capacity=8)
+        relation = db.create_relation(t_schema(), name="t")
+        for key in range(10):
+            relation.insert({"k": key, "v": float(key)})
+        page = relation.heap.pages[0]
+        db.buffer_pool.access(relation.heap.name, page, for_write=True)
+        return db
+
+    def test_drop_relation_flushes_dirty_pages_by_default(self):
+        db = self.dirty_world()
+        writes_before = db.stats.block_writes
+        db.drop_relation("t")
+        assert db.dirty_pages_dropped == 0
+        # The dirty page was written out, not discarded.
+        assert db.stats.block_writes == writes_before + 1
+
+    def test_drop_relation_flush_opt_out(self):
+        db = self.dirty_world()
+        writes_before = db.stats.block_writes
+        db.drop_relation("t", flush=False)
+        assert db.dirty_pages_dropped == 1
+        assert db.stats.block_writes == writes_before
+
+    def test_flush_relation_targets_one_file(self):
+        from repro.storage.buffer import BufferPool
+        from repro.storage.page import Page
+
+        stats = IOStatistics()
+        pool = BufferPool(stats, capacity=8)
+        pool.access("f", Page(0, 4), for_write=True)
+        pool.access("g", Page(0, 4), for_write=True)
+        assert pool.flush_relation("f") == 1
+        assert pool.flush_relation("f") == 0
+        assert pool.flush() == {"g": 1}
+
+
+def test_recover_database_function_matches_classmethod():
+    db, _wal, store = make_db()
+    db.create_relation(t_schema(), name="t").insert({"k": 1, "v": 1.0})
+    via_function = recover_database(WriteAheadLog(store=store))
+    via_classmethod = Database.recover(WriteAheadLog(store=store))
+    assert repr(via_function.state_snapshot()) == repr(
+        via_classmethod.state_snapshot()
+    )
