@@ -42,11 +42,27 @@ from repro.storage.iostats import IOStatistics
 #: to BENCH_planners.json when the module finishes.
 _RESULTS: dict = {}
 
+#: Keys a complete run produces. The emitter refuses to write unless
+#: every one is present, so an interrupted or filtered run (-k, -x,
+#: Ctrl-C) can never overwrite a complete BENCH_planners.json with a
+#: partial one.
+_EXPECTED_KEYS = frozenset({
+    "throughput/iterative",
+    "throughput/dijkstra",
+    "throughput/astar-manhattan",
+    "throughput/astar-euclidean",
+    "throughput/bidirectional",
+    "throughput/greedy-manhattan",
+    "estimator_ablation/A->B",
+    "buffer_pool_ablation/dijkstra",
+    "backend_parity/dijkstra",
+})
+
 
 @pytest.fixture(scope="module", autouse=True)
 def _emit_results_json():
     yield
-    if _RESULTS:
+    if _EXPECTED_KEYS.issubset(_RESULTS):
         path = Path(__file__).resolve().parent.parent / "BENCH_planners.json"
         path.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
 

@@ -1,0 +1,80 @@
+"""Pinned wall-clock trajectory: CSR fastpath vs the dict baseline.
+
+Runs the :mod:`repro.experiments.wallclock` harness scenario by
+scenario (fixed grid, seed, pair, and batch — see ``WallclockConfig``)
+and writes the full report to ``BENCH_wallclock.json`` at the repo
+root, so successive commits can be compared on wall-clock seconds.
+
+Each scenario is one test contributing its timing to the shared
+report; the emitter only writes when **every** scenario in
+``EXPECTED_SCENARIOS`` completed, so an interrupted or filtered run
+(-k, -x, Ctrl-C) can never overwrite a complete report with a partial
+one. The Dijkstra test also asserts the CSR tier still beats the dict
+tier on the pinned workload — the ratio CI enforces.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.wallclock import (
+    EXPECTED_SCENARIOS,
+    WallclockConfig,
+    WallclockReport,
+    run_wallclock,
+)
+
+_CONFIG = WallclockConfig()
+_REPORT = WallclockReport(config=_CONFIG)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report_json():
+    yield
+    if _REPORT.complete:
+        path = Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
+        path.write_text(_REPORT.to_json() + "\n")
+
+
+def _run(*scenarios: str) -> None:
+    partial = run_wallclock(_CONFIG, scenarios=scenarios)
+    _REPORT.timings.update(partial.timings)
+    _REPORT.overheads.update(partial.overheads)
+
+
+def test_wallclock_dijkstra_tiers():
+    """dict baseline vs CSR cold (build in the timed region) vs warm.
+
+    Asserts the acceptance ratio: warm CSR must beat the dict loop on
+    the pinned corner-to-corner Dijkstra.
+    """
+    _run("dijkstra/dict", "dijkstra/csr-cold", "dijkstra/csr-warm")
+    speedup = _REPORT.speedup("dijkstra/dict", "dijkstra/csr-warm")
+    print()
+    print(f"pinned Dijkstra: CSR warm is {speedup:.2f}x the dict tier")
+    assert speedup > 1.0
+
+
+def test_wallclock_astar_tiers():
+    _run("astar-euclidean/dict", "astar-euclidean/csr", "astar-landmark/csr")
+    assert "landmark-preprocess" in _REPORT.overheads
+
+
+def test_wallclock_iterative_tiers():
+    _run("iterative/dict", "iterative/csr")
+
+
+def test_wallclock_plan_many_batches():
+    _run("plan_many/cold", "plan_many/warm")
+    # A replayed batch is pure cache hits; if warm isn't dramatically
+    # faster the service cache is broken, not slow.
+    assert _REPORT.speedup("plan_many/cold", "plan_many/warm") > 1.0
+
+
+def test_wallclock_report_complete():
+    """Runs last: the module produced every scenario and valid JSON."""
+    assert _REPORT.complete, _REPORT.missing
+    payload = json.loads(_REPORT.to_json())
+    assert set(payload["scenarios"]) == set(EXPECTED_SCENARIOS)
+    assert "dijkstra_csr_vs_dict" in payload["speedups"]

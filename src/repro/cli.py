@@ -21,7 +21,12 @@ Commands
 ``bench-recovery`` run the kill-at-op-N crash matrix: crash each
                workload at a sweep of operation indexes, recover from
                the write-ahead log, and audit committed-state survival
-               (``--json``/``--out`` emit the audit for CI artifacts).
+               (``--json``/``--out`` emit the audit for CI artifacts);
+``bench-wallclock`` time the pinned wall-clock workload (cold/warm
+               Dijkstra, A* euclidean/landmark, iterative, plan_many
+               batches on fixed seeds) on the CSR and dict fastpath
+               tiers; ``--min-speedup`` fails the run if the CSR tier
+               stops beating the dict tier on the pinned Dijkstra.
 
 Graphs are specified with ``--graph``: ``grid:K[:costmodel[:seed]]``
 (e.g. ``grid:30:variance``), ``minneapolis[:seed]``, or ``json:PATH``
@@ -331,6 +336,38 @@ def _cmd_bench_recovery(args) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_bench_wallclock(args) -> int:
+    from repro.experiments.wallclock import WallclockConfig, run_wallclock
+
+    config = WallclockConfig(
+        grid=args.grid,
+        cost_model=args.cost_model,
+        seed=args.seed,
+        repetitions=args.reps,
+        batch_size=args.batch_size,
+        landmark_count=args.landmarks,
+    )
+    report = run_wallclock(config)
+    payload = report.to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    else:
+        for line in report.summary_lines():
+            print(line)
+    dijkstra_speedup = report.speedups["dijkstra_csr_vs_dict"]
+    if args.min_speedup and dijkstra_speedup < args.min_speedup:
+        print(
+            f"FAIL: CSR Dijkstra speedup {dijkstra_speedup:.2f}x is below "
+            f"the required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.graphs.analysis import (
         degree_statistics,
@@ -527,6 +564,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench_recovery.add_argument("--out", metavar="PATH", default="",
                                 help="also write the JSON audit to PATH")
     bench_recovery.set_defaults(func=_cmd_bench_recovery)
+
+    bench_wallclock = commands.add_parser(
+        "bench-wallclock",
+        help="time the pinned wall-clock workload on the CSR and dict "
+             "fastpath tiers (the repo's perf trajectory)",
+    )
+    bench_wallclock.add_argument("--grid", type=int, default=30,
+                                 help="pinned grid size K (default 30)")
+    bench_wallclock.add_argument("--cost-model", default="variance")
+    bench_wallclock.add_argument("--seed", type=int, default=1993)
+    bench_wallclock.add_argument("--reps", type=int, default=5,
+                                 help="timed runs per scenario "
+                                      "(best-of-N is reported)")
+    bench_wallclock.add_argument("--batch-size", type=int, default=24,
+                                 help="queries in the plan_many batch")
+    bench_wallclock.add_argument("--landmarks", type=int, default=4)
+    bench_wallclock.add_argument("--min-speedup", type=float, default=0.0,
+                                 help="exit 1 if the CSR tier's pinned "
+                                      "Dijkstra speedup over the dict tier "
+                                      "falls below this ratio")
+    bench_wallclock.add_argument("--json", action="store_true",
+                                 help="print the full report as JSON")
+    bench_wallclock.add_argument("--out", metavar="PATH", default="",
+                                 help="also write the JSON report to PATH")
+    bench_wallclock.set_defaults(func=_cmd_bench_wallclock)
 
     return parser
 

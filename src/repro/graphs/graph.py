@@ -329,20 +329,29 @@ class Graph:
             raise EdgeNotFoundError(source, target) from None
 
     def neighbors(self, node_id: NodeId) -> Iterator[Tuple[NodeId, float]]:
-        """Yield ``(neighbor, cost)`` pairs — the adjacency list of the paper.
+        """Return an iterator of ``(neighbor, cost)`` pairs — the paper's
+        adjacency list.
 
-        Pairs are yielded in insertion order, which makes planner traces
-        deterministic for a deterministically built graph.
+        Pairs come in insertion order, which makes planner traces
+        deterministic for a deterministically built graph. The
+        missing-node check runs eagerly at the call (not lazily at the
+        first ``next()``), so callers that never iterate still see
+        :class:`NodeNotFoundError` raised where the bad id was passed.
         """
-        if node_id not in self._adjacency:
-            raise NodeNotFoundError(node_id)
-        yield from self._adjacency[node_id].items()
+        try:
+            items = self._adjacency[node_id].items()
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+        return iter(items)
 
     def predecessors(self, node_id: NodeId) -> Iterator[Tuple[NodeId, float]]:
-        """Yield ``(predecessor, cost)`` pairs of incoming edges."""
-        if node_id not in self._reverse:
-            raise NodeNotFoundError(node_id)
-        yield from self._reverse[node_id].items()
+        """Return an iterator of ``(predecessor, cost)`` incoming-edge
+        pairs; the missing-node check runs eagerly at the call."""
+        try:
+            items = self._reverse[node_id].items()
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+        return iter(items)
 
     def degree(self, node_id: NodeId) -> int:
         """Out-degree — the paper's "number of neighboring nodes"."""

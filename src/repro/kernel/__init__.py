@@ -11,9 +11,14 @@ This package is that observation as code:
 * :mod:`repro.kernel.backends` — :class:`InMemoryBackend` (zero I/O)
   and :class:`RelationalBackend` (Table 3/4A rates through ``iostats``),
   plus the relational frontier-policy adapters;
+* :mod:`repro.kernel.csr` — the compact CSR form of a graph
+  (contiguous ``indptr``/``indices``/``weights`` arrays plus a node-id
+  interning table, built once per ``Graph.fingerprint`` and cached)
+  and the flat-array fused loops that run on it;
 * :mod:`repro.kernel.fastpath` — fused specialisations of the loop for
   the untraced in-memory tier (identical semantics, no per-iteration
-  indirection);
+  indirection): the CSR tier by default, with the historical dict
+  loops kept as the ``*_dict`` baseline;
 * :mod:`repro.kernel.result` — the unified :class:`RunResult` schema
   both tiers return.
 
@@ -28,7 +33,8 @@ from typing import Optional
 
 from repro.exceptions import UnknownAlgorithmError
 from repro.graphs.graph import Graph, NodeId
-from repro.kernel import fastpath
+from repro.kernel import csr, fastpath
+from repro.kernel.csr import CSRGraph, csr_for
 from repro.kernel.backends import (
     InMemoryBackend,
     RelationalBackend,
@@ -50,6 +56,9 @@ from repro.kernel.result import (
 #: Algorithms :func:`search` accepts (the in-memory tier's kernel points).
 IN_MEMORY_ALGORITHMS = ("dijkstra", "astar", "iterative")
 
+#: Fused tiers :func:`search` can dispatch an untraced run to.
+FASTPATH_TIERS = ("csr", "dict")
+
 sssp = fastpath.sssp
 
 
@@ -61,6 +70,7 @@ def search(
     estimator=None,
     max_iterations: Optional[int] = None,
     trace: bool = False,
+    tier: str = "csr",
 ) -> RunResult:
     """Run one in-memory single-pair search through the kernel.
 
@@ -69,15 +79,22 @@ def search(
     ``"astar"`` the heap policy ordered by ``g + h`` (``estimator``
     defaults to zero, i.e. Dijkstra-equivalent expansion), and
     ``"iterative"`` the wave policy. With ``trace=False`` (the default)
-    the fused fast paths run — this is the production path and is
-    wall-clock identical to the historical ``repro.core`` loops. With
-    ``trace=True`` the generic loop runs instead and the result carries
+    the fused fast paths run — this is the production path. ``tier``
+    picks the fused realisation: ``"csr"`` (default) runs on the
+    cached flat-array form, ``"dict"`` on the historical dict-of-dict
+    loops (the wall-clock baseline). With ``trace=True`` the generic
+    loop runs instead (``tier`` is ignored) and the result carries
     per-iteration :class:`IterationRecord` entries (including the
     selected labels), which is what the cross-backend equivalence tests
-    compare; counters and results are identical either way.
+    compare; counters and results are identical on every tier.
     """
     if algorithm not in IN_MEMORY_ALGORITHMS:
         raise UnknownAlgorithmError(algorithm, IN_MEMORY_ALGORITHMS)
+    if tier not in FASTPATH_TIERS:
+        raise ValueError(
+            f"unknown fastpath tier {tier!r}; expected one of "
+            f"{', '.join(FASTPATH_TIERS)}"
+        )
 
     if algorithm == "astar" and estimator is None:
         from repro.core.estimators import ZeroEstimator
@@ -85,13 +102,21 @@ def search(
         estimator = ZeroEstimator()
 
     if not trace:
+        if tier == "csr":
+            if algorithm == "dijkstra":
+                return fastpath.uniform_cost(graph, source, destination)
+            if algorithm == "astar":
+                return fastpath.best_first(
+                    graph, source, destination, estimator, max_iterations
+                )
+            return fastpath.wave(graph, source, destination, max_iterations)
         if algorithm == "dijkstra":
-            return fastpath.uniform_cost(graph, source, destination)
+            return fastpath.uniform_cost_dict(graph, source, destination)
         if algorithm == "astar":
-            return fastpath.best_first(
+            return fastpath.best_first_dict(
                 graph, source, destination, estimator, max_iterations
             )
-        return fastpath.wave(graph, source, destination, max_iterations)
+        return fastpath.wave_dict(graph, source, destination, max_iterations)
 
     if algorithm == "dijkstra":
         config = SearchConfig(
@@ -144,6 +169,8 @@ def search(
 
 
 __all__ = [
+    "CSRGraph",
+    "FASTPATH_TIERS",
     "IN_MEMORY_ALGORITHMS",
     "HeapFrontierPolicy",
     "InMemoryBackend",
@@ -158,6 +185,8 @@ __all__ = [
     "SearchStats",
     "WaveFrontierPolicy",
     "chase_path_pointers",
+    "csr",
+    "csr_for",
     "fastpath",
     "reconstruct_path",
     "run_search",

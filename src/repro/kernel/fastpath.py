@@ -3,16 +3,34 @@
 The generic loop in :mod:`repro.kernel.loop` pays a handful of method
 calls per iteration — free next to a single Table 4A page read, but a
 measurable tax on the zero-I/O tier where one Dijkstra iteration is
-~1.5 µs of dict and heap work. These three functions are the kernel's
-frontier policies inlined to flat loops: ``uniform_cost`` is the heap
+~1.5 µs of dict and heap work. The fused loops inline the kernel's
+frontier policies to flat control flow: ``uniform_cost`` is the heap
 policy with no lookahead (Dijkstra, Figure 2), ``best_first`` is the
 heap policy with an estimator (A*, Figure 3), and ``wave`` is the
 wave-synchronous policy (Iterative, Figure 1). ``kernel.search``
 dispatches untraced in-memory runs here; traced runs and everything
-relational go through the generic loop. tests/test_kernel.py asserts
-that each fused loop and its generic counterpart produce identical
-paths, costs, and :class:`~repro.kernel.result.SearchStats` — the
-fusion is an optimisation, never a semantic fork.
+relational go through the generic loop.
+
+The fused tier itself has two realisations:
+
+* the **CSR tier** (:mod:`repro.kernel.csr`) — the default. The graph
+  is flattened once per :attr:`Graph.fingerprint` into contiguous
+  ``indptr``/``indices``/``weights`` arrays and the loops run on
+  preallocated flat distance/predecessor/status arrays with an
+  index-based heap. ``uniform_cost`` / ``best_first`` / ``wave`` /
+  ``sssp`` here are that tier's entry points.
+* the **dict tier** (``uniform_cost_dict`` / ``best_first_dict`` /
+  ``wave_dict`` / ``sssp_dict``) — the historical fused loops over
+  dict-of-dict adjacency, kept as the wall-clock baseline the
+  ``bench-wallclock`` harness compares against and as an executable
+  reference the equivalence suite holds the CSR tier to.
+
+tests/test_kernel.py asserts that every fused loop and its generic
+counterpart produce identical paths, costs, and
+:class:`~repro.kernel.result.SearchStats` — the fusion is an
+optimisation, never a semantic fork. Iteration limits are enforced
+*before* the bounding expansion on every tier: a bounded run performs
+at most ``limit`` expansions (waves), never ``limit + 1``.
 """
 
 from __future__ import annotations
@@ -23,13 +41,20 @@ from typing import Dict, Optional
 
 from repro.exceptions import NodeNotFoundError
 from repro.graphs.graph import Graph, NodeId
+from repro.kernel import csr as _csr
 from repro.kernel.result import RunResult, SearchStats, reconstruct_path
 
+#: The default fused tier: CSR flat-array loops (see module docstring).
+uniform_cost = _csr.uniform_cost
+best_first = _csr.best_first
+wave = _csr.wave
+sssp = _csr.sssp
 
-def uniform_cost(
+
+def uniform_cost_dict(
     graph: Graph, source: NodeId, destination: NodeId
 ) -> RunResult:
-    """Heap frontier, no lookahead: Dijkstra's single-pair search.
+    """Heap frontier, no lookahead: Dijkstra over dict adjacency.
 
     Duplicate *avoidance* (the paper's preferred frontier policy) via
     the lazy-deletion binary-heap idiom: stale entries are skipped on
@@ -97,19 +122,20 @@ def uniform_cost(
     return result
 
 
-def best_first(
+def best_first_dict(
     graph: Graph,
     source: NodeId,
     destination: NodeId,
     estimator,
     max_iterations: Optional[int] = None,
 ) -> RunResult:
-    """Heap frontier with lookahead: A* (``estimator`` is required).
+    """Heap frontier with lookahead: A* over dict adjacency.
 
     Two fidelity details from Figure 3's pseudo-code are preserved:
     the duplicate test is against the frontier only, so an explored
     node whose label improves is re-inserted (*reopened*); and ties on
-    ``g + h`` break towards the smaller ``h``, then FIFO.
+    ``g + h`` break towards the smaller ``h``, then FIFO. The
+    iteration bound is enforced before the bounding expansion.
     """
     if source not in graph:
         raise NodeNotFoundError(source)
@@ -142,17 +168,17 @@ def best_first(
         if u == destination:
             found = True
             break
+        if stats.iterations >= limit:
+            raise RuntimeError(
+                f"A* exceeded {limit} iterations; the estimator may be "
+                "wildly inconsistent"
+            )
         if u in explored:
             stats.nodes_reopened += 1
         explored.add(u)
         stats.iterations += 1
         stats.nodes_expanded += 1
         stats.observe_frontier(len(in_frontier))
-        if stats.iterations > limit:
-            raise RuntimeError(
-                f"A* exceeded {limit} iterations; the estimator may be "
-                "wildly inconsistent"
-            )
         g = cost[u]
         for v, edge_cost in graph.neighbors(u):
             stats.edges_relaxed += 1
@@ -186,17 +212,18 @@ def best_first(
     return result
 
 
-def wave(
+def wave_dict(
     graph: Graph,
     source: NodeId,
     destination: NodeId,
     max_iterations: Optional[int] = None,
 ) -> RunResult:
-    """Wave-synchronous label correcting: the Iterative algorithm.
+    """Wave-synchronous label correcting over dict adjacency.
 
     One iteration is one wave (one trip of the outer loop), matching
     how the paper counts iterations for this algorithm; the search only
-    terminates when a wave produces no improvements.
+    terminates when a wave produces no improvements. The wave bound is
+    enforced before a wave begins.
     """
     if source not in graph:
         raise NodeNotFoundError(source)
@@ -211,12 +238,12 @@ def wave(
     ever_expanded = set()
 
     while frontier:
-        stats.iterations += 1
-        if stats.iterations > limit:
+        if stats.iterations >= limit:
             raise RuntimeError(
                 f"iterative search exceeded {limit} waves; "
                 "graph may have pathological costs"
             )
+        stats.iterations += 1
         stats.observe_frontier(len(frontier))
         next_wave = []
         next_in_frontier = set()
@@ -253,15 +280,16 @@ def wave(
     return result
 
 
-def sssp(
+def sssp_dict(
     graph: Graph, source: NodeId, cutoff: Optional[float] = None
 ) -> Dict[NodeId, float]:
-    """Single-source shortest-path distances (no early termination).
+    """Single-source shortest-path distances over dict adjacency.
 
     The partial-transitive-closure primitive every single-pair
-    configuration specialises; shared by tests, the landmark
-    estimator's table builds, and the graph analysis helpers.
-    ``cutoff`` optionally bounds the explored radius.
+    configuration specialises; the CSR realisation (:func:`sssp`) is
+    the production path shared by tests, the landmark estimator's table
+    builds, and the graph analysis helpers. ``cutoff`` optionally
+    bounds the explored radius.
     """
     if source not in graph:
         raise NodeNotFoundError(source)

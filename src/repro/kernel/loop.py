@@ -19,7 +19,9 @@ operation for operation:
    so the final selection is neither counted as an iteration nor
    billed for a close (the paper counts 899 iterations on a 900-node
    grid);
-3. count the iteration, then enforce the configured limit;
+3. enforce the configured limit *before* closing or counting — a
+   bounded run performs at most ``limit`` expansions, never
+   ``limit + 1`` — then close and count the iteration;
 4. ``expand()`` — fetch adjacency through the backend, relax labels —
    returning the iteration-record fields;
 5. append the trace record (when tracing) with the backend's
@@ -93,14 +95,14 @@ def run_search(backend, source, destination, config: SearchConfig) -> RunResult:
             selected = policy.select()
             if not selected:
                 break
+            if early and selected["node_id"] == destination:
+                found = selected
+                break
+            if limit is not None and result.iterations >= limit:
+                raise config.limit_error(limit)
             if early:
-                if selected["node_id"] == destination:
-                    found = selected
-                    break
                 policy.close(selected)
             result.iterations += 1
-            if limit is not None and result.iterations > limit:
-                raise config.limit_error(limit)
             record = policy.expand(selected, backend)
             if tracing:
                 result.trace.append(

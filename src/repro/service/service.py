@@ -872,8 +872,9 @@ class RouteService:
     def snapshot(self) -> Dict[str, float]:
         """One flat counter dict, shaped like ``IOStatistics.snapshot()``.
 
-        Service-level counters are unprefixed; cache and pool internals
-        are namespaced ``cache_*`` / ``pool_*``.
+        Service-level counters are unprefixed; cache, pool, and CSR
+        build-cache internals are namespaced ``cache_*`` / ``pool_*``
+        / ``csr_*``.
         """
         snap = self.metrics.snapshot()
         with self._traffic_lock:
@@ -910,6 +911,13 @@ class RouteService:
             snap[f"cache_{name}"] = value
         for name, value in self.pool.snapshot().items():
             snap[f"pool_{name}"] = value
+        # The CSR build cache is process-wide (shared by the query
+        # path and the estimator pool's landmark sssp runs); surface
+        # it here so one snapshot covers every reuse tier.
+        from repro.kernel import csr as _csr
+
+        for name, value in _csr.cache_stats().items():
+            snap[f"csr_{name}"] = value
         return snap
 
     def __repr__(self) -> str:

@@ -135,6 +135,37 @@ class TestCommands:
         audit = json.loads(capsys.readouterr().out)
         assert audit["survival"] == 1.0
 
+    def test_bench_wallclock(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "wallclock.json"
+        code = main([
+            "bench-wallclock", "--grid", "8", "--reps", "1",
+            "--batch-size", "4", "--landmarks", "2",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dijkstra/csr-warm" in out
+        assert "speedup dijkstra_csr_vs_dict" in out
+        report = json.loads(out_path.read_text())
+        assert report["workload"]["grid"] == 8
+        assert "dijkstra/dict" in report["scenarios"]
+        assert "dijkstra_csr_vs_dict" in report["speedups"]
+
+    def test_bench_wallclock_min_speedup_gate(self, capsys):
+        # An impossible floor must fail the run (the CI gate contract).
+        code = main([
+            "bench-wallclock", "--grid", "8", "--reps", "1",
+            "--batch-size", "4", "--landmarks", "2",
+            "--min-speedup", "1000", "--json",
+        ])
+        assert code == 1
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert set(report["scenarios"]) >= {"dijkstra/dict", "plan_many/warm"}
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -126,6 +126,18 @@ class TestGraphQueries:
         with pytest.raises(NodeNotFoundError):
             list(tiny_graph.neighbors("nope"))
 
+    def test_neighbors_validates_eagerly(self, tiny_graph):
+        # The call itself must raise — historically these were
+        # generators, so the error was deferred until first iteration
+        # and a never-consumed iterator for a missing node passed
+        # silently.
+        with pytest.raises(NodeNotFoundError):
+            tiny_graph.neighbors("nope")
+
+    def test_predecessors_validates_eagerly(self, tiny_graph):
+        with pytest.raises(NodeNotFoundError):
+            tiny_graph.predecessors("nope")
+
     def test_predecessors(self, tiny_graph):
         predecessors = dict(tiny_graph.predecessors("d"))
         assert predecessors == {"b": 5.0, "c": 1.0}

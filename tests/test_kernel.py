@@ -15,6 +15,11 @@ Three layers of guarantees:
    Iterative (whose relational variant applies each wave as one batch
    REPLACE while the in-memory loop propagates sequentially — the two
    coincide on uniform costs).
+4. The CSR flat-array tier (the default fused fastpath) is
+   byte-identical to the dict tier and the traced generic loop —
+   found/cost/path and every counter — and all three tiers enforce
+   iteration limits identically: a bounded run performs at most
+   ``limit`` expansions, never ``limit + 1``.
 """
 
 from __future__ import annotations
@@ -42,7 +47,8 @@ from repro.graphs.random_graphs import (
     random_geometric_graph,
     random_sparse_directed,
 )
-from repro.kernel import search
+from repro.exceptions import NodeNotFoundError
+from repro.kernel import fastpath, search
 
 
 # ----------------------------------------------------------------------
@@ -357,3 +363,94 @@ class TestCrossBackendLabels:
         assert relational.cost == pytest.approx(memory.cost)
         for rel_record, mem_record in zip(relational.trace, memory.trace):
             assert set(rel_record.labels) == set(mem_record.labels)
+
+
+# ----------------------------------------------------------------------
+# (4) CSR tier == dict tier == generic loop, including limit semantics
+# ----------------------------------------------------------------------
+class TestCSRTierEquivalence:
+    @pytest.mark.parametrize("graph", GRAPH_CASES, ids=lambda g: g.name)
+    @pytest.mark.parametrize(
+        "algorithm,estimator_cls",
+        [
+            ("dijkstra", None),
+            ("astar", ZeroEstimator),
+            ("astar", EuclideanEstimator),
+            ("astar", ManhattanEstimator),
+            ("iterative", None),
+        ],
+    )
+    def test_tiers_byte_identical(self, graph, algorithm, estimator_cls):
+        source, destination = _corner_pair(graph)
+
+        def run(**kwargs):
+            estimator = estimator_cls() if estimator_cls else None
+            return search(
+                graph, source, destination,
+                algorithm=algorithm, estimator=estimator, **kwargs,
+            )
+
+        csr_run = run(tier="csr")
+        dict_run = run(tier="dict")
+        generic_run = run(trace=True)
+        _assert_same_run(csr_run, dict_run)
+        _assert_same_run(csr_run, generic_run)
+
+    def test_unknown_tier_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="unknown fastpath tier"):
+            search(tiny_graph, "a", "e", tier="numpy")
+
+    def test_csr_unreachable(self, disconnected_graph):
+        for algorithm in ("dijkstra", "astar", "iterative"):
+            result = search(
+                disconnected_graph, "a", "z", algorithm=algorithm, tier="csr"
+            )
+            assert not result.found
+            assert result.path == []
+            assert result.cost == math.inf
+
+    def test_csr_missing_nodes_raise_eagerly(self, tiny_graph):
+        for algorithm in ("dijkstra", "astar", "iterative"):
+            with pytest.raises(NodeNotFoundError):
+                search(tiny_graph, "nope", "e", algorithm=algorithm, tier="csr")
+            with pytest.raises(NodeNotFoundError):
+                search(tiny_graph, "a", "nope", algorithm=algorithm, tier="csr")
+
+    def test_sssp_csr_matches_dict(self):
+        for graph in GRAPH_CASES:
+            source, _ = _corner_pair(graph)
+            full_csr = fastpath.sssp(graph, source)
+            full_dict = fastpath.sssp_dict(graph, source)
+            assert full_csr == full_dict
+            cutoff = sorted(full_csr.values())[len(full_csr) // 2]
+            assert fastpath.sssp(graph, source, cutoff=cutoff) == \
+                fastpath.sssp_dict(graph, source, cutoff=cutoff)
+
+    @pytest.mark.parametrize("tier", ["csr", "dict", "generic"])
+    @pytest.mark.parametrize("algorithm", ["astar", "iterative"])
+    def test_exact_limit_is_enough(self, grid10_variance, tier, algorithm):
+        """A bounded run performs at most ``limit`` expansions.
+
+        Exactly the number of iterations the unbounded run needs must
+        succeed; one fewer must raise — on every tier. (The historical
+        fused loops enforced the bound only after expanding, so a run
+        at the documented limit performed ``limit + 1`` expansions.)
+        """
+        source, destination = (0, 0), (9, 9)
+        estimator = EuclideanEstimator() if algorithm == "astar" else None
+
+        def run(max_iterations):
+            kwargs = (
+                {"trace": True} if tier == "generic" else {"tier": tier}
+            )
+            return search(
+                grid10_variance, source, destination, algorithm=algorithm,
+                estimator=estimator, max_iterations=max_iterations, **kwargs,
+            )
+
+        need = run(None).stats.iterations
+        bounded = run(need)
+        assert bounded.found
+        assert bounded.stats.iterations == need
+        with pytest.raises(RuntimeError):
+            run(need - 1)
