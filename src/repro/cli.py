@@ -26,7 +26,12 @@ Commands
                Dijkstra, A* euclidean/landmark, iterative, plan_many
                batches on fixed seeds) on the CSR and dict fastpath
                tiers; ``--min-speedup`` fails the run if the CSR tier
-               stops beating the dict tier on the pinned Dijkstra.
+               stops beating the dict tier on the pinned Dijkstra;
+``bench-fleet`` partition the map into regional shards, serve a
+               seeded Zipf-skewed concurrent OD stream through the
+               stitching FleetRouter for each ``--layouts`` entry, and
+               audit every answer against whole-graph Dijkstra — exits
+               non-zero (and refuses ``--out``) on any inexact answer.
 
 Graphs are specified with ``--graph``: ``grid:K[:costmodel[:seed]]``
 (e.g. ``grid:30:variance``), ``minneapolis[:seed]``, or ``json:PATH``
@@ -368,6 +373,51 @@ def _cmd_bench_wallclock(args) -> int:
     return 0
 
 
+def _cmd_bench_fleet(args) -> int:
+    from repro.experiments.fleetload import FleetBenchConfig, run_fleet_bench
+
+    layouts = tuple(
+        spec.strip() for spec in args.layouts.split(",") if spec.strip()
+    )
+    if not layouts:
+        print("FAIL: --layouts must name at least one RxC layout",
+              file=sys.stderr)
+        return 1
+    config = FleetBenchConfig(
+        grid=args.grid,
+        cost_model=args.cost_model,
+        seed=args.seed,
+        layouts=layouts,
+        queries=args.queries,
+        rounds=args.rounds,
+        concurrency=args.concurrency,
+        alpha=args.alpha,
+        epoch_edges=args.epoch_edges,
+        max_queue=args.max_queue,
+        worker_threads=args.threads,
+    )
+    report = run_fleet_bench(config)
+    if not args.json:
+        for line in report.summary_lines():
+            print(line)
+    if not report.clean:
+        # Refuse to emit JSON for an inexact run — and fail loudly:
+        # an inexact stitched answer means the fleet is wrong, not slow.
+        print(
+            f"FAIL: fleet audit found {report.total_inexact} inexact "
+            "answers (see summary above)",
+            file=sys.stderr,
+        )
+        return 1
+    payload = report.to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.graphs.analysis import (
         degree_statistics,
@@ -589,6 +639,39 @@ def build_parser() -> argparse.ArgumentParser:
     bench_wallclock.add_argument("--out", metavar="PATH", default="",
                                  help="also write the JSON report to PATH")
     bench_wallclock.set_defaults(func=_cmd_bench_wallclock)
+
+    bench_fleet = commands.add_parser(
+        "bench-fleet",
+        help="serve a skewed concurrent OD stream from a sharded fleet, "
+             "auditing every answer against whole-graph Dijkstra",
+    )
+    bench_fleet.add_argument("--grid", type=int, default=12,
+                             help="paper-grid side length (default 12)")
+    bench_fleet.add_argument("--cost-model", default="variance")
+    bench_fleet.add_argument("--seed", type=int, default=1993)
+    bench_fleet.add_argument("--layouts", default="2x2,3x3",
+                             help="comma-separated RxC shard layouts "
+                                  "(default 2x2,3x3)")
+    bench_fleet.add_argument("--queries", type=int, default=2000,
+                             help="OD queries per layout (default 2000)")
+    bench_fleet.add_argument("--rounds", type=int, default=4,
+                             help="rounds per layout; one traffic epoch "
+                                  "lands between rounds (default 4)")
+    bench_fleet.add_argument("--concurrency", type=int, default=8,
+                             help="concurrent client threads (default 8)")
+    bench_fleet.add_argument("--alpha", type=float, default=1.1,
+                             help="Zipf skew exponent (default 1.1)")
+    bench_fleet.add_argument("--epoch-edges", type=int, default=32,
+                             help="edges perturbed per epoch (default 32)")
+    bench_fleet.add_argument("--max-queue", type=int, default=128,
+                             help="per-shard admission bound (default 128)")
+    bench_fleet.add_argument("--threads", type=int, default=2,
+                             help="executor threads per shard (default 2)")
+    bench_fleet.add_argument("--json", action="store_true",
+                             help="print the report as JSON")
+    bench_fleet.add_argument("--out", metavar="PATH", default="",
+                             help="also write the JSON report to PATH")
+    bench_fleet.set_defaults(func=_cmd_bench_fleet)
 
     return parser
 

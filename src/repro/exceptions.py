@@ -85,6 +85,10 @@ class PathNotFoundError(ReproError):
         self.destination = destination
 
 
+class PartitionError(GraphError):
+    """A fleet partition is malformed or violated a structural invariant."""
+
+
 class PlannerError(ReproError):
     """A planner was configured or invoked incorrectly."""
 

@@ -1,0 +1,216 @@
+"""The pinned fleet benchmark: sharded serving under skewed load.
+
+One :class:`FleetBenchConfig` names one exact workload — a seeded
+paper grid, a set of shard layouts, and a seeded Zipf OD stream with
+inter-round traffic epochs. For every layout in
+:data:`EXPECTED_LAYOUTS` the bench partitions the same graph state,
+stands up a fleet, replays the stream concurrently through
+:func:`repro.fleet.loadgen.run_fleet_load`, and keeps the full
+per-layout report: throughput, p50/p99 latency, per-shard SLO
+snapshots, and — the part that makes the number trustworthy — the
+exactness audit against whole-graph Dijkstra.
+
+Emission follows the PR 6 convention shared with
+``bench_wallclock``/``bench_planners``: :meth:`FleetBenchReport.to_json`
+refuses a report that is missing any expected layout or whose audit
+found inexact answers, so an interrupted or broken run can never
+overwrite a complete ``BENCH_fleet.json`` with a partial one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fleet.loadgen import FleetLoadConfig, FleetLoadReport, run_fleet_load
+from repro.fleet.partition import parse_layout, partition_graph
+from repro.fleet.router import FleetRouter
+from repro.graphs.graph import Graph
+from repro.graphs.grid import make_paper_grid
+from repro.traffic.feed import TrafficFeed
+
+#: Every shard layout a complete report must cover, in report order.
+EXPECTED_LAYOUTS: Tuple[str, ...] = ("2x2", "3x3")
+
+
+@dataclass
+class FleetBenchConfig:
+    """The pinned fleet workload. Changing any field changes what a
+    number means across commits — bump deliberately, never casually."""
+
+    grid: int = 12
+    cost_model: str = "variance"
+    seed: int = 1993
+    layouts: Tuple[str, ...] = EXPECTED_LAYOUTS
+    queries: int = 2000
+    rounds: int = 4
+    concurrency: int = 8
+    alpha: float = 1.1
+    epoch_edges: int = 32
+    max_queue: int = 128
+    worker_threads: int = 2
+
+    def load_config(self) -> FleetLoadConfig:
+        return FleetLoadConfig(
+            queries=self.queries,
+            rounds=self.rounds,
+            concurrency=self.concurrency,
+            alpha=self.alpha,
+            seed=self.seed,
+            epoch_edges=self.epoch_edges,
+        )
+
+
+@dataclass
+class FleetBenchReport:
+    """Per-layout load reports over one pinned workload."""
+
+    config: FleetBenchConfig
+    runs: Dict[str, FleetLoadReport] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return all(layout in self.runs for layout in self.config.layouts)
+
+    @property
+    def missing(self) -> List[str]:
+        return [l for l in self.config.layouts if l not in self.runs]
+
+    @property
+    def clean(self) -> bool:
+        """Every expected layout ran and every run audited clean."""
+        return self.complete and all(run.clean for run in self.runs.values())
+
+    @property
+    def total_inexact(self) -> int:
+        return sum(run.inexact for run in self.runs.values())
+
+    def summary_lines(self) -> List[str]:
+        cfg = self.config
+        lines = [
+            f"workload: grid {cfg.grid}x{cfg.grid} {cfg.cost_model} "
+            f"seed={cfg.seed}, {cfg.queries} Zipf(alpha={cfg.alpha}) queries "
+            f"x{cfg.concurrency} threads, {cfg.rounds} rounds",
+        ]
+        for layout in cfg.layouts:
+            run = self.runs.get(layout)
+            if run is None:
+                lines.append(f"{layout:6s} MISSING")
+                continue
+            lines.append(
+                f"{layout:6s} shards={run.shard_count} cut={run.cut_edges:4d}  "
+                f"{run.throughput_qps:8.1f} q/s  "
+                f"p50 {run.p50_latency_ms:7.3f} ms  "
+                f"p99 {run.p99_latency_ms:7.3f} ms  "
+                f"cross={run.cross_shard} stitched={run.stitched} "
+                f"shed={run.shed} inexact={run.inexact}"
+            )
+            for sample in run.inexact_samples:
+                lines.append(f"       INEXACT {sample}")
+        lines.append(
+            "audit: clean" if self.clean
+            else f"audit: {self.total_inexact} inexact answers"
+            + (f", missing layouts: {', '.join(self.missing)}"
+               if not self.complete else "")
+        )
+        return lines
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize — refusing partial or inexact reports.
+
+        A ``BENCH_fleet.json`` on disk therefore always describes a
+        complete run whose every answer matched whole-graph Dijkstra.
+        """
+        if not self.complete:
+            raise ValueError(
+                "refusing to serialise a partial fleet report; "
+                f"missing layouts: {', '.join(self.missing)}"
+            )
+        if not self.clean:
+            raise ValueError(
+                "refusing to serialise a fleet report with "
+                f"{self.total_inexact} inexact answers"
+            )
+        cfg = self.config
+        return json.dumps(
+            {
+                "workload": {
+                    "grid": cfg.grid,
+                    "cost_model": cfg.cost_model,
+                    "seed": cfg.seed,
+                    "queries": cfg.queries,
+                    "rounds": cfg.rounds,
+                    "concurrency": cfg.concurrency,
+                    "alpha": cfg.alpha,
+                    "epoch_edges": cfg.epoch_edges,
+                    "max_queue": cfg.max_queue,
+                    "worker_threads": cfg.worker_threads,
+                },
+                "layouts": {
+                    layout: {
+                        "summary": {
+                            name: (round(value, 6)
+                                   if isinstance(value, float) else value)
+                            for name, value in
+                            self.runs[layout].to_snapshot().items()
+                        },
+                        "fleet": self.runs[layout].snapshot.get("fleet", {}),
+                        "shards": {
+                            name: snap
+                            for name, snap in self.runs[layout].snapshot.items()
+                            if name != "fleet"
+                        },
+                    }
+                    for layout in cfg.layouts
+                },
+            },
+            indent=indent,
+        )
+
+
+def bench_graph(config: FleetBenchConfig) -> Graph:
+    """The pinned parent graph (rebuilt fresh per layout run)."""
+    return make_paper_grid(config.grid, config.cost_model, seed=config.seed)
+
+
+def run_layout(config: FleetBenchConfig, layout: str) -> FleetLoadReport:
+    """Partition, serve, and audit one layout of the pinned workload.
+
+    Each layout gets a **fresh** graph build so its inter-round epochs
+    (same seed, hence same perturbations) start from the identical
+    free-flow state — layouts are compared on the same evolving map.
+    """
+    rows, cols = parse_layout(layout)
+    graph = bench_graph(config)
+    partition = partition_graph(graph, rows, cols)
+    router = FleetRouter(
+        partition,
+        max_queue=config.max_queue,
+        threads=config.worker_threads,
+    )
+    feed = TrafficFeed(graph)
+    feed.subscribe(router)
+    try:
+        return run_fleet_load(graph, router, feed, config.load_config())
+    finally:
+        router.shutdown()
+
+
+def run_fleet_bench(
+    config: Optional[FleetBenchConfig] = None,
+    layouts: Optional[Tuple[str, ...]] = None,
+) -> FleetBenchReport:
+    """Run the pinned fleet workload over every requested layout.
+
+    ``layouts`` narrows *which layouts run* without narrowing the
+    report's expectations (mirroring ``run_wallclock``'s ``scenarios``
+    parameter), so a report built from a subset stays incomplete and
+    refuses :meth:`~FleetBenchReport.to_json`. To genuinely change the
+    workload, set :attr:`FleetBenchConfig.layouts` instead.
+    """
+    config = config or FleetBenchConfig()
+    report = FleetBenchReport(config=config)
+    for layout in (layouts if layouts is not None else config.layouts):
+        report.runs[layout] = run_layout(config, layout)
+    return report

@@ -1,0 +1,404 @@
+"""Cutting one roadmap into regional shards (the fleet's data plane).
+
+A single :class:`~repro.graphs.graph.Graph` served by one
+``RouteService`` answers every query with a whole-map search; the fleet
+serves the same map from many small workers instead. This module
+performs the cut: nodes are binned into a ``rows x cols`` grid of
+regional cells over their planar coordinates (roadmaps have geometry —
+the same property the A* estimators rely on), then a greedy
+boundary-minimizing refinement pass moves individual frontier nodes
+between neighboring shards while that strictly reduces the number of
+cut edges. This is the cheap end of the partition-based methods Wu et
+al. survey for road networks: the quality bar is not METIS-optimal
+cuts but a *small, correct* boundary table, because the stitching
+router's overlay grows with the square of each shard's boundary.
+
+The result is a :class:`Partition`:
+
+* one :class:`ShardSpec` per non-empty cell — the member nodes in
+  parent insertion order, an induced subgraph built through
+  :meth:`Graph.subgraph` (copied coordinates and costs, a **fresh
+  uid** so shard-local caches can never alias the parent's), and the
+  shard's boundary nodes;
+* the cut-edge set (:class:`CutEdge`: directed parent edges whose
+  endpoints live in different shards, with their current costs);
+* a ``shard_of`` table mapping every node to its shard id.
+
+Every partition is validated before it is returned
+(:meth:`Partition.validate`): each node in exactly one shard, each
+directed edge either internal to exactly one shard subgraph (with an
+identical cost) or present in the cut set, and the boundary tables
+exactly the cut-incident nodes. :attr:`Partition.signature` is a
+content hash over the assignment plus the parent fingerprint —
+partitioning the same graph state twice yields byte-identical
+signatures even though the shard subgraphs carry fresh uids, which is
+what lets a fleet epoch audit pin "the same cut" across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import NodeNotFoundError, PartitionError
+from repro.graphs.graph import Graph, NodeId
+
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+def parse_layout(spec: str) -> Tuple[int, int]:
+    """Parse a ``"RxC"`` layout spec (e.g. ``"2x2"``) into (rows, cols)."""
+    parts = spec.lower().split("x")
+    if len(parts) != 2:
+        raise PartitionError(f"layout spec must look like '2x2', got {spec!r}")
+    try:
+        rows, cols = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise PartitionError(
+            f"layout spec must look like '2x2', got {spec!r}"
+        ) from None
+    if rows < 1 or cols < 1:
+        raise PartitionError(f"layout must have >= 1 row and column, got {spec!r}")
+    return rows, cols
+
+
+@dataclass(frozen=True)
+class CutEdge:
+    """One directed parent edge whose endpoints live in different shards."""
+
+    source: NodeId
+    target: NodeId
+    cost: float
+    source_shard: int
+    target_shard: int
+
+
+@dataclass
+class ShardSpec:
+    """One regional shard: members, induced subgraph, boundary table.
+
+    ``nodes`` and ``boundary`` are in parent-graph insertion order, so
+    two partitions of the same graph state are structurally identical.
+    ``graph`` is an independent copy with a fresh uid — mutating it
+    (shard-local traffic epochs) never touches the parent.
+    """
+
+    shard_id: int
+    nodes: Tuple[NodeId, ...]
+    graph: Graph
+    boundary: Tuple[NodeId, ...]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def boundary_count(self) -> int:
+        return len(self.boundary)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardSpec(id={self.shard_id}, nodes={self.node_count}, "
+            f"boundary={self.boundary_count})"
+        )
+
+
+class Partition:
+    """A validated cut of one graph into regional shards."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        shards: Sequence[ShardSpec],
+        cut_edges: Sequence[CutEdge],
+        rows: int,
+        cols: int,
+    ) -> None:
+        self.graph = graph
+        self.fingerprint = graph.fingerprint
+        self.shards: Tuple[ShardSpec, ...] = tuple(shards)
+        self.cut_edges: Tuple[CutEdge, ...] = tuple(cut_edges)
+        self.rows = rows
+        self.cols = cols
+        self._shard_of: Dict[NodeId, int] = {}
+        for shard in self.shards:
+            for node_id in shard.nodes:
+                self._shard_of[node_id] = shard.shard_id
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def shard_of(self, node_id: NodeId) -> int:
+        """The shard id serving ``node_id``; raise if unknown."""
+        try:
+            return self._shard_of[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def boundary_node_count(self) -> int:
+        """Total boundary-table entries across shards."""
+        return sum(shard.boundary_count for shard in self.shards)
+
+    @property
+    def signature(self) -> str:
+        """Content hash of (parent fingerprint, assignment, cut).
+
+        Stable across runs and processes for the same graph *state*:
+        shard subgraphs carry fresh uids, but the signature depends
+        only on which node landed in which shard and the fingerprint
+        the cut was taken from.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr(self.fingerprint[1]).encode())
+        digest.update(repr((self.rows, self.cols)).encode())
+        for shard in self.shards:
+            digest.update(repr((shard.shard_id, shard.nodes)).encode())
+        digest.update(
+            repr([(c.source, c.target) for c in self.cut_edges]).encode()
+        )
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every structural invariant; raise :class:`PartitionError`.
+
+        * every parent node is assigned to exactly one shard, and each
+          shard subgraph holds exactly its member nodes;
+        * every directed parent edge is either **internal** — present
+          in exactly the owning shard's subgraph with an identical
+          cost — or a **cut edge**, never both, never neither;
+        * each shard's boundary table is exactly its cut-incident
+          nodes;
+        * shard subgraph uids are fresh (distinct from the parent and
+          from each other).
+        """
+        assigned: Dict[NodeId, int] = {}
+        for shard in self.shards:
+            if set(shard.nodes) != {node.node_id for node in shard.graph.nodes()}:
+                raise PartitionError(
+                    f"shard {shard.shard_id} subgraph nodes disagree with "
+                    "its member list"
+                )
+            for node_id in shard.nodes:
+                if node_id in assigned:
+                    raise PartitionError(
+                        f"node {node_id!r} assigned to shards "
+                        f"{assigned[node_id]} and {shard.shard_id}"
+                    )
+                assigned[node_id] = shard.shard_id
+        parent_nodes = set(self.graph.node_ids())
+        if set(assigned) != parent_nodes:
+            missing = parent_nodes - set(assigned)
+            raise PartitionError(
+                f"{len(missing)} parent nodes unassigned "
+                f"(e.g. {next(iter(missing))!r})" if missing else
+                "shards contain nodes the parent graph does not"
+            )
+
+        cut_set = {(c.source, c.target) for c in self.cut_edges}
+        if len(cut_set) != len(self.cut_edges):
+            raise PartitionError("duplicate entries in the cut-edge set")
+        internal_seen = 0
+        for edge in self.graph.edges():
+            same = assigned[edge.source] == assigned[edge.target]
+            key = (edge.source, edge.target)
+            if same:
+                if key in cut_set:
+                    raise PartitionError(
+                        f"internal edge {key!r} also listed in the cut"
+                    )
+                shard = self.shards[assigned[edge.source]]
+                if not shard.graph.has_edge(edge.source, edge.target):
+                    raise PartitionError(
+                        f"internal edge {key!r} missing from shard "
+                        f"{shard.shard_id}'s subgraph"
+                    )
+                if shard.graph.edge_cost(edge.source, edge.target) != edge.cost:
+                    raise PartitionError(
+                        f"internal edge {key!r} cost drifted in shard "
+                        f"{shard.shard_id}"
+                    )
+                internal_seen += 1
+            elif key not in cut_set:
+                raise PartitionError(f"cross-shard edge {key!r} not in the cut")
+        if internal_seen + len(cut_set) != self.graph.edge_count:
+            raise PartitionError(
+                "edge conservation violated: "
+                f"{internal_seen} internal + {len(cut_set)} cut != "
+                f"{self.graph.edge_count} parent edges"
+            )
+
+        incident: Dict[int, set] = {shard.shard_id: set() for shard in self.shards}
+        for cut in self.cut_edges:
+            incident[cut.source_shard].add(cut.source)
+            incident[cut.target_shard].add(cut.target)
+        for shard in self.shards:
+            if set(shard.boundary) != incident[shard.shard_id]:
+                raise PartitionError(
+                    f"shard {shard.shard_id} boundary table disagrees with "
+                    "the cut-incident nodes"
+                )
+
+        uids = [shard.graph.uid for shard in self.shards]
+        if self.graph.uid in uids or len(set(uids)) != len(uids):
+            raise PartitionError("shard subgraph uids are not fresh")
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({self.rows}x{self.cols} -> {self.shard_count} shards, "
+            f"{len(self.cut_edges)} cut edges, "
+            f"{self.boundary_node_count} boundary nodes)"
+        )
+
+
+# ----------------------------------------------------------------------
+# the cut
+# ----------------------------------------------------------------------
+def _cell_assignment(graph: Graph, rows: int, cols: int) -> Dict[NodeId, int]:
+    """Bin nodes into ``rows x cols`` cells over their coordinates."""
+    nodes = list(graph.nodes())
+    xs = [node.x for node in nodes]
+    ys = [node.y for node in nodes]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    width = x_max - x_min
+    height = y_max - y_min
+    assignment: Dict[NodeId, int] = {}
+    for node in nodes:
+        col = int((node.x - x_min) / width * cols) if width > 0 else 0
+        row = int((node.y - y_min) / height * rows) if height > 0 else 0
+        col = min(cols - 1, col)
+        row = min(rows - 1, row)
+        assignment[node.node_id] = row * cols + col
+    return assignment
+
+
+def _refine(
+    graph: Graph, assignment: Dict[NodeId, int], passes: int
+) -> Tuple[Dict[NodeId, int], int]:
+    """Greedy boundary-minimizing refinement.
+
+    Each pass walks the nodes in insertion order; a node incident to
+    any cut edge may move to a neighboring shard when that strictly
+    reduces its incident cut-edge count (deterministic tie-break on
+    shard id) and its current shard keeps at least one member. Returns
+    the refined assignment and the number of moves applied.
+    """
+    members: Dict[int, int] = {}
+    for shard_id in assignment.values():
+        members[shard_id] = members.get(shard_id, 0) + 1
+    moves = 0
+    for _ in range(max(0, passes)):
+        moved_this_pass = 0
+        for node_id in graph.node_ids():
+            here = assignment[node_id]
+            if members[here] <= 1:
+                continue
+            # Incident edges in both directions, by the neighbor's shard.
+            neighbor_shards: Dict[int, int] = {}
+            degree = 0
+            for other, _cost in graph.neighbors(node_id):
+                neighbor_shards[assignment[other]] = (
+                    neighbor_shards.get(assignment[other], 0) + 1
+                )
+                degree += 1
+            for other, _cost in graph.predecessors(node_id):
+                neighbor_shards[assignment[other]] = (
+                    neighbor_shards.get(assignment[other], 0) + 1
+                )
+                degree += 1
+            if set(neighbor_shards) == {here}:
+                continue  # not a frontier node
+            best_shard = here
+            best_cut = degree - neighbor_shards.get(here, 0)
+            for candidate in sorted(neighbor_shards):
+                if candidate == here:
+                    continue
+                cut = degree - neighbor_shards[candidate]
+                if cut < best_cut:
+                    best_shard, best_cut = candidate, cut
+            if best_shard != here:
+                assignment[node_id] = best_shard
+                members[here] -= 1
+                members[best_shard] = members.get(best_shard, 0) + 1
+                moves += 1
+                moved_this_pass += 1
+        if not moved_this_pass:
+            break
+    return assignment, moves
+
+
+def partition_graph(
+    graph: Graph,
+    rows: int,
+    cols: int,
+    refine_passes: int = 2,
+    name: Optional[str] = None,
+) -> Partition:
+    """Cut ``graph`` into a validated ``rows x cols`` regional partition.
+
+    Cells with no nodes are dropped and shard ids renumbered densely in
+    cell order, so the returned shard ids are always ``0..n-1``. The
+    partition is deterministic for a given graph state and arguments;
+    ``refine_passes=0`` disables the boundary-minimizing refinement
+    (useful when a test needs the raw geometric cells).
+    """
+    if graph.node_count == 0:
+        raise PartitionError("cannot partition an empty graph")
+    if rows < 1 or cols < 1:
+        raise PartitionError(f"layout must be >= 1x1, got {rows}x{cols}")
+    base = name or graph.name
+    assignment = _cell_assignment(graph, rows, cols)
+    assignment, _moves = _refine(graph, assignment, refine_passes)
+
+    # Dense renumbering in cell order (deterministic).
+    used_cells = sorted(set(assignment.values()))
+    dense = {cell: index for index, cell in enumerate(used_cells)}
+    for node_id in assignment:
+        assignment[node_id] = dense[assignment[node_id]]
+
+    member_lists: List[List[NodeId]] = [[] for _ in used_cells]
+    for node_id in graph.node_ids():  # parent insertion order
+        member_lists[assignment[node_id]].append(node_id)
+
+    cut_edges: List[CutEdge] = []
+    incident: List[set] = [set() for _ in used_cells]
+    for edge in graph.edges():
+        source_shard = assignment[edge.source]
+        target_shard = assignment[edge.target]
+        if source_shard != target_shard:
+            cut_edges.append(
+                CutEdge(edge.source, edge.target, edge.cost,
+                        source_shard, target_shard)
+            )
+            incident[source_shard].add(edge.source)
+            incident[target_shard].add(edge.target)
+
+    shards: List[ShardSpec] = []
+    for shard_id, nodes in enumerate(member_lists):
+        sub = graph.subgraph(nodes, name=f"{base}/shard{shard_id}")
+        boundary = tuple(n for n in nodes if n in incident[shard_id])
+        shards.append(ShardSpec(shard_id, tuple(nodes), sub, boundary))
+
+    partition = Partition(graph, shards, cut_edges, rows, cols)
+    partition.validate()
+    return partition
+
+
+def partition_layouts(
+    graph: Graph, specs: Iterable[str], refine_passes: int = 2
+) -> Dict[str, Partition]:
+    """Partition one graph under several ``"RxC"`` layout specs."""
+    out: Dict[str, Partition] = {}
+    for spec in specs:
+        rows, cols = parse_layout(spec)
+        out[spec] = partition_graph(graph, rows, cols, refine_passes)
+    return out

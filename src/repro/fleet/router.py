@@ -1,0 +1,590 @@
+"""FleetRouter: exact cross-shard routing by boundary stitching.
+
+The router fronts one :class:`~repro.fleet.partition.Partition` worth
+of :class:`~repro.fleet.worker.ShardWorker` instances and answers any
+OD query over the *parent* map exactly, without ever running a
+whole-map search:
+
+* **Single-shard queries** dispatch directly to the owning worker's
+  RouteService. The answer is provably optimal whenever no cheaper
+  path leaves and re-enters the shard; the router checks a
+  conservative bound (see below) and only pays for stitching when the
+  bound cannot rule re-entry out.
+* **Cross-shard queries** (and re-entrant single-shard ones) are
+  answered by *boundary stitching*: a one-to-boundary SSSP inside the
+  source shard, a boundary-to-destination SSSP inside the destination
+  shard (forward SSSP on the worker's maintained reversed copy), and a
+  Dijkstra over a small precomputed **boundary overlay** joining them.
+
+Exactness argument
+------------------
+Decompose any optimal parent path P(s, t) at its cut-edge crossings.
+Every maximal segment of P lies inside one shard and starts/ends at a
+boundary node (or at s / t). The overlay contains, for every shard,
+an edge b1 -> b2 weighted with the *exact* shard-internal distance
+(the worker's boundary clique), and every cut edge at its current
+cost — so each segment of P is priced by an overlay edge of equal or
+smaller weight, and conversely every overlay edge corresponds to a
+realizable walk in the parent graph. Hence
+
+    cost(P) = min( local_shard_route,
+                   min over b1 in B(shard(s)), b2 in B(shard(t)) of
+                       d_s(s -> b1) + d_overlay(b1 -> b2) + d_t(b2 -> t) )
+
+with equality, including paths that leave shard(s) and re-enter it:
+those are covered because the overlay may route b1 ... b2 back through
+shard(s)'s own clique edges. Same-shard queries therefore also
+consult the overlay unless the pruning bound
+
+    local_cost <= min(d_s) + min_exit(shard(s))
+                  + min_entry(shard(t)) + min(d_t)
+
+holds — any path using the overlay pays at least the right-hand side,
+so when the bound holds the local answer is already optimal.
+
+Consistency across traffic epochs
+---------------------------------
+The router subscribes to the parent :class:`TrafficFeed`. Each epoch
+is fanned out under a lock: shard-internal deltas go to the owning
+worker's own feed (bumping the *shard* fingerprint, invalidating its
+cache edge-granularly), cut-edge deltas update the router's cut-cost
+table, the overlay is invalidated, and the fleet version is bumped.
+Queries run optimistically: they pin the fleet version on entry and
+retry when an epoch landed mid-flight, so a served answer is always
+computed against one consistent fleet version — the same optimistic
+fingerprint discipline RouteService uses per graph.
+
+Backpressure
+------------
+Every query admits exactly one task on each involved worker through
+:meth:`ShardWorker.submit`. A full queue sheds the *query* — the
+returned :class:`FleetResult` carries ``shed=True`` and the refusing
+shard — never a stale or silently dropped answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import PartitionError
+from repro.graphs.graph import NodeId
+from repro.service.metrics import Snapshot
+from repro.traffic.feed import TrafficEpoch
+
+from repro.fleet.partition import Partition
+from repro.fleet.worker import ShardWorker
+
+EdgeKey = Tuple[NodeId, NodeId]
+
+#: Overlay-edge provenance marker for parent cut edges (clique edges
+#: carry the owning shard id instead).
+CUT = -1
+
+_INF = float("inf")
+
+
+@dataclass
+class FleetResult:
+    """One fleet answer: either a route, a miss, or an explicit shed."""
+
+    source: NodeId
+    destination: NodeId
+    found: bool = False
+    cost: float = _INF
+    path: List[NodeId] = field(default_factory=list)
+    #: Backpressure refused the query; no answer was computed. Never
+    #: set together with ``found``.
+    shed: bool = False
+    shed_reason: str = ""
+    source_shard: int = -1
+    target_shard: int = -1
+    cross_shard: bool = False
+    #: The answer consulted the boundary overlay (always for
+    #: cross-shard; for same-shard only when the pruning bound failed
+    #: or the overlay won).
+    stitched: bool = False
+    #: Fleet version the answer is consistent with.
+    fleet_version: int = 0
+    latency_s: float = 0.0
+
+    @property
+    def path_length(self) -> int:
+        return len(self.path)
+
+
+class _Overlay:
+    """The boundary graph: cut edges + per-shard boundary cliques."""
+
+    def __init__(self, version: int) -> None:
+        self.version = version
+        #: node -> [(neighbor, cost, via_shard-or-CUT)]
+        self.adjacency: Dict[NodeId, List[Tuple[NodeId, float, int]]] = {}
+        self.edge_count = 0
+
+    def add_edge(self, source: NodeId, target: NodeId, cost: float, via: int) -> None:
+        self.adjacency.setdefault(source, []).append((target, cost, via))
+        self.adjacency.setdefault(target, [])
+        self.edge_count += 1
+
+
+class FleetRouter:
+    """Serve one partitioned map from a fleet of shard workers."""
+
+    def __init__(
+        self,
+        partition: Partition,
+        max_queue: int = 128,
+        threads: int = 2,
+        cache_capacity: int = 2048,
+        max_retries: int = 8,
+        clock=time.perf_counter,
+    ) -> None:
+        self.partition = partition
+        self._clock = clock
+        self._max_retries = max_retries
+        self.workers: Dict[int, ShardWorker] = {
+            spec.shard_id: ShardWorker(
+                spec,
+                max_queue=max_queue,
+                threads=threads,
+                cache_capacity=cache_capacity,
+                clock=clock,
+            )
+            for spec in partition.shards
+        }
+        # Current cut-edge costs; seeded from the partition, updated by
+        # traffic epochs. Keyed by parent directed edge.
+        self._cut_costs: Dict[EdgeKey, float] = {
+            (cut.source, cut.target): cut.cost for cut in partition.cut_edges
+        }
+        self._cut_shards: Dict[EdgeKey, Tuple[int, int]] = {
+            (cut.source, cut.target): (cut.source_shard, cut.target_shard)
+            for cut in partition.cut_edges
+        }
+        self._epoch_lock = threading.RLock()
+        self._state_lock = threading.Lock()
+        self._epoch_in_progress = False
+        self._version = 1
+        self._overlay: Optional[_Overlay] = None
+        #: (version, min_exit-per-shard, min_entry-per-shard) — the
+        #: pruning-bound floors; derived from cut costs alone, so far
+        #: cheaper to rebuild than the overlay.
+        self._floors: Optional[Tuple[int, Dict[int, float], Dict[int, float]]] = None
+        # fleet-level counters
+        self.queries = 0
+        self.cross_shard_queries = 0
+        self.stitched_answers = 0
+        self.local_pruned = 0
+        self.sheds = 0
+        self.plan_retries = 0
+        self.epochs_applied = 0
+        self.overlay_builds = 0
+
+    # ------------------------------------------------------------------
+    # traffic epochs (parent-feed subscriber)
+    # ------------------------------------------------------------------
+    def handle_epoch(self, epoch: TrafficEpoch) -> None:
+        """Fan one parent epoch out to the fleet.
+
+        Shard-internal deltas are re-applied through the owning
+        worker's own TrafficFeed (one shard fingerprint bump each,
+        edge-granular cache invalidation); cut-edge deltas update the
+        router's cut-cost table. The overlay is invalidated and the
+        fleet version bumped exactly once per epoch, so queries racing
+        the fan-out observe the version change and retry.
+        """
+        if not epoch.deltas:
+            return
+        with self._epoch_lock:
+            with self._state_lock:
+                self._epoch_in_progress = True
+            try:
+                per_shard: Dict[int, List[Tuple[NodeId, NodeId, float]]] = {}
+                for delta in epoch.deltas:
+                    key = (delta.source, delta.target)
+                    if key in self._cut_costs:
+                        self._cut_costs[key] = delta.new_cost
+                        continue
+                    shard_id = self.partition.shard_of(delta.source)
+                    per_shard.setdefault(shard_id, []).append(
+                        (delta.source, delta.target, delta.new_cost)
+                    )
+                for shard_id, updates in per_shard.items():
+                    self.workers[shard_id].apply_deltas(updates)
+            finally:
+                with self._state_lock:
+                    self._overlay = None
+                    self._floors = None
+                    self._version += 1
+                    self.epochs_applied += 1
+                    self._epoch_in_progress = False
+
+    # ------------------------------------------------------------------
+    # the boundary overlay
+    # ------------------------------------------------------------------
+    def _overlay_for(self, version: int) -> _Overlay:
+        """The overlay consistent with ``version``, building if needed.
+
+        Built under the epoch lock so the clique SSSPs never interleave
+        with a fan-out; a build that loses the race to a newer epoch is
+        discarded by the caller's version check.
+        """
+        with self._state_lock:
+            overlay = self._overlay
+        if overlay is not None and overlay.version == version:
+            return overlay
+        with self._epoch_lock:
+            with self._state_lock:
+                overlay = self._overlay
+                current = self._version
+            if overlay is not None and overlay.version == current:
+                return overlay
+            built = _Overlay(current)
+            for key, cost in self._cut_costs.items():
+                built.add_edge(key[0], key[1], cost, CUT)
+            for shard_id, worker in self.workers.items():
+                for b1, b2, cost in worker.boundary_clique():
+                    built.add_edge(b1, b2, cost, shard_id)
+            with self._state_lock:
+                self._overlay = built
+                self.overlay_builds += 1
+            return built
+
+    def _floors_for(self, version: int) -> Tuple[Dict[int, float], Dict[int, float]]:
+        """Per-shard cheapest exit/entry cut-edge costs at ``version``.
+
+        These feed the same-shard pruning bound; unlike the overlay
+        they need no SSSPs, so the bound check never forces a clique
+        build.
+        """
+        with self._state_lock:
+            cached = self._floors
+            if cached is not None and cached[0] == version:
+                return cached[1], cached[2]
+            min_exit: Dict[int, float] = {}
+            min_entry: Dict[int, float] = {}
+            for key, cost in self._cut_costs.items():
+                source_shard, target_shard = self._cut_shards[key]
+                if cost < min_exit.get(source_shard, _INF):
+                    min_exit[source_shard] = cost
+                if cost < min_entry.get(target_shard, _INF):
+                    min_entry[target_shard] = cost
+            if self._version == version and not self._epoch_in_progress:
+                self._floors = (version, min_exit, min_entry)
+            return min_exit, min_entry
+
+    @staticmethod
+    def _overlay_search(
+        overlay: _Overlay,
+        seeds: Dict[NodeId, float],
+        targets: Dict[NodeId, float],
+    ) -> Tuple[float, Optional[NodeId], Dict[NodeId, Tuple[NodeId, int]]]:
+        """Multi-source Dijkstra over the overlay.
+
+        ``seeds`` maps entry boundary nodes to d_s(s -> b1); ``targets``
+        maps exit boundary nodes to d_t(b2 -> t). Returns the best
+        total stitched cost, the winning exit node, and the predecessor
+        map (node -> (previous node, via-shard or CUT)) for path
+        materialization.
+        """
+        dist: Dict[NodeId, float] = dict(seeds)
+        pred: Dict[NodeId, Tuple[NodeId, int]] = {}
+        counter = itertools.count()
+        heap = [(cost, next(counter), node) for node, cost in seeds.items()]
+        heapq.heapify(heap)
+        best_cost, best_exit = _INF, None
+        # Once every remaining frontier entry exceeds the best stitched
+        # total, no target can improve — targets only add cost.
+        while heap:
+            cost, _tie, node = heapq.heappop(heap)
+            if cost > dist.get(node, _INF):
+                continue
+            if cost >= best_cost:
+                break
+            tail = targets.get(node)
+            if tail is not None and cost + tail < best_cost:
+                best_cost, best_exit = cost + tail, node
+            for neighbor, weight, via in overlay.adjacency.get(node, ()):
+                candidate = cost + weight
+                if candidate < dist.get(neighbor, _INF):
+                    dist[neighbor] = candidate
+                    pred[neighbor] = (node, via)
+                    heapq.heappush(heap, (candidate, next(counter), neighbor))
+        return best_cost, best_exit, pred
+
+    def _materialize(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        exit_: NodeId,
+        seeds: Dict[NodeId, float],
+        pred: Dict[NodeId, Tuple[NodeId, int]],
+        source_shard: int,
+        target_shard: int,
+    ) -> List[NodeId]:
+        """Expand the winning overlay chain into a parent-node path.
+
+        Clique hops are expanded by the owning worker's RouteService
+        (cache-backed, so repeated stitches through the same corridor
+        are cheap); cut hops append the crossing edge directly. These
+        segment plans run in the router thread — the query already
+        passed admission on the involved shards.
+        """
+        # Walk the predecessor chain back to the true entry node. Only
+        # seeds carry an initial distance, so any node without a pred
+        # entry is a seed reached at its seed cost; a seed that was
+        # *relaxed* cheaper via another node keeps its pred entry and
+        # the walk correctly continues through it.
+        node = exit_
+        hops: List[Tuple[NodeId, NodeId, int]] = []
+        while node in pred:
+            previous, via = pred[node]
+            hops.append((previous, node, via))
+            node = previous
+        hops.reverse()
+        entry_node = node
+        path = list(self.workers[source_shard].plan(source, entry_node).path)
+        for segment_source, segment_target, via in hops:
+            if via == CUT:
+                path.append(segment_target)
+            else:
+                segment = self.workers[via].plan(segment_source, segment_target)
+                path.extend(segment.path[1:])
+        tail = self.workers[target_shard].plan(exit_, destination)
+        path.extend(tail.path[1:])
+        return path
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def plan(self, source: NodeId, destination: NodeId) -> FleetResult:
+        """Answer one OD query, exactly, against one fleet version.
+
+        Raises :class:`~repro.exceptions.NodeNotFoundError` for nodes
+        the partition does not cover. Returns ``shed=True`` when any
+        involved worker's queue is full.
+        """
+        started = self._clock()
+        source_shard = self.partition.shard_of(source)
+        target_shard = self.partition.shard_of(destination)
+        with self._state_lock:
+            self.queries += 1
+            if source_shard != target_shard:
+                self.cross_shard_queries += 1
+
+        for attempt in range(self._max_retries):
+            with self._state_lock:
+                busy = self._epoch_in_progress
+                version = self._version
+            if busy:
+                with self._state_lock:
+                    self.plan_retries += 1
+                time.sleep(0.0005)
+                continue
+            result = self._plan_at(
+                source, destination, source_shard, target_shard, version
+            )
+            if result is None:
+                with self._state_lock:
+                    self.plan_retries += 1
+                continue
+            result.latency_s = self._clock() - started
+            return result
+
+        # Retries exhausted (sustained epoch storm): serialize this one
+        # query against the fan-out so it cannot race, and serve it.
+        with self._epoch_lock:
+            with self._state_lock:
+                version = self._version
+            result = self._plan_at(
+                source, destination, source_shard, target_shard, version
+            )
+        if result is None:  # pragma: no cover - epoch lock held
+            raise PartitionError("fleet plan raced an epoch under the epoch lock")
+        result.latency_s = self._clock() - started
+        return result
+
+    def _plan_at(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        source_shard: int,
+        target_shard: int,
+        version: int,
+    ) -> Optional[FleetResult]:
+        """One optimistic attempt pinned to ``version``; None on a race."""
+        result = FleetResult(
+            source=source,
+            destination=destination,
+            source_shard=source_shard,
+            target_shard=target_shard,
+            cross_shard=source_shard != target_shard,
+            fleet_version=version,
+        )
+        if source == destination:
+            result.found = True
+            result.cost = 0.0
+            result.path = [source]
+            return result
+
+        same_shard = source_shard == target_shard
+        source_worker = self.workers[source_shard]
+        target_worker = self.workers[target_shard]
+
+        if same_shard:
+            future = source_worker.submit(
+                self._local_and_boundaries, source_worker, source, destination
+            )
+            if future is None:
+                return self._shed(result, source_shard)
+            local, seeds, tails = future.result()
+        else:
+            local = None
+            source_future = source_worker.submit(
+                source_worker.distances_to_boundary, source
+            )
+            if source_future is None:
+                return self._shed(result, source_shard)
+            target_future = target_worker.submit(
+                target_worker.distances_from_boundary, destination
+            )
+            if target_future is None:
+                # The source-side task still runs to completion; only
+                # the query is refused.
+                source_future.result()
+                return self._shed(result, target_shard)
+            seeds = source_future.result()
+            tails = target_future.result()
+
+        if local is not None and local.found:
+            result.found = True
+            result.cost = local.cost
+            result.path = list(local.path)
+
+        stitched_needed = not same_shard or not self._pruned(
+            result, seeds, tails, source_shard, target_shard, version
+        )
+        if stitched_needed and seeds and tails:
+            overlay = self._overlay_for(version)
+            if overlay.version != version:
+                return None
+            best, exit_node, pred = self._overlay_search(overlay, seeds, tails)
+            if exit_node is not None and best < result.cost:
+                path = self._materialize(
+                    source, destination, exit_node, seeds, pred,
+                    source_shard, target_shard,
+                )
+                result.found = True
+                result.cost = best
+                result.path = path
+                result.stitched = True
+                with self._state_lock:
+                    self.stitched_answers += 1
+
+        with self._state_lock:
+            if self._version != version or self._epoch_in_progress:
+                return None
+        return result
+
+    @staticmethod
+    def _local_and_boundaries(worker: ShardWorker, source, destination):
+        """Same-shard bundle: one admitted task computes all three."""
+        local = worker.plan(source, destination)
+        seeds = worker.distances_to_boundary(source)
+        tails = worker.distances_from_boundary(destination)
+        return local, seeds, tails
+
+    def _pruned(
+        self,
+        result: FleetResult,
+        seeds: Dict[NodeId, float],
+        tails: Dict[NodeId, float],
+        source_shard: int,
+        target_shard: int,
+        version: int,
+    ) -> bool:
+        """True when the local answer provably cannot be beaten.
+
+        Any stitched alternative leaves the shard through some cut edge
+        and re-enters through another, so it costs at least
+        ``min(seeds) + min_exit + min_entry + min(tails)``. (Purely
+        internal overlay routes cost >= the local optimum by
+        definition of shard-internal distances.)
+        """
+        if not result.found:
+            return False
+        if not seeds or not tails:
+            return True  # the shard has no usable exit or entry
+        min_exit, min_entry = self._floors_for(version)
+        floor = (
+            min(seeds.values())
+            + min_exit.get(source_shard, _INF)
+            + min_entry.get(target_shard, _INF)
+            + min(tails.values())
+        )
+        if result.cost <= floor:
+            with self._state_lock:
+                self.local_pruned += 1
+            return True
+        return False
+
+    def _shed(self, result: FleetResult, shard_id: int) -> FleetResult:
+        result.shed = True
+        result.found = False
+        result.cost = _INF
+        result.path = []
+        result.shed_reason = f"shard {shard_id} queue full"
+        with self._state_lock:
+            self.sheds += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # observability / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        with self._state_lock:
+            return self._version
+
+    def snapshot(self) -> Dict[str, Snapshot]:
+        """Nested fleet view: ``{"fleet": {...}, "shard_<id>": {...}}``.
+
+        Every leaf value is numeric; each per-shard entry is the
+        worker's :meth:`~ShardWorker.slo_snapshot`.
+        """
+        with self._state_lock:
+            overlay = self._overlay
+            fleet: Snapshot = {
+                "version": self._version,
+                "shard_count": self.partition.shard_count,
+                "cut_edges": len(self._cut_costs),
+                "boundary_nodes": self.partition.boundary_node_count,
+                "queries": self.queries,
+                "cross_shard_queries": self.cross_shard_queries,
+                "stitched_answers": self.stitched_answers,
+                "local_pruned": self.local_pruned,
+                "sheds": self.sheds,
+                "plan_retries": self.plan_retries,
+                "epochs_applied": self.epochs_applied,
+                "overlay_builds": self.overlay_builds,
+                "overlay_edges": overlay.edge_count if overlay is not None else 0,
+            }
+        out: Dict[str, Snapshot] = {"fleet": fleet}
+        for shard_id in sorted(self.workers):
+            out[f"shard_{shard_id}"] = self.workers[shard_id].slo_snapshot()
+        return out
+
+    def shutdown(self) -> None:
+        for worker in self.workers.values():
+            worker.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetRouter(shards={self.partition.shard_count}, "
+            f"version={self.version}, queries={self.queries})"
+        )

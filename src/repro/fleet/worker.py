@@ -1,0 +1,227 @@
+"""ShardWorker: one RouteService per regional shard, behind a bounded queue.
+
+Each worker owns the full single-shard serving stack the earlier PRs
+built, instantiated over its shard's *subgraph*:
+
+* a :class:`~repro.service.service.RouteService` with its own result
+  cache, estimator pool and metrics (shard caches never alias — the
+  shard graph has a fresh uid);
+* a :class:`~repro.traffic.feed.TrafficFeed` over the shard subgraph,
+  with the service subscribed, so a parent epoch forwarded by the
+  router invalidates exactly like a native epoch would;
+* a maintained **reversed** copy of the shard graph (costs updated on
+  every epoch), so one-to-boundary distances *into* a destination are
+  a plain forward SSSP on the reversed copy — both directions run the
+  CSR :func:`~repro.kernel.csr.sssp` kernel and share its
+  fingerprint-keyed build cache;
+* a thread-pool executor with **admission control**: the in-flight
+  count is bounded by ``max_queue``; an arrival over the bound is shed
+  — counted, reported, and surfaced to the router as an explicit
+  refusal, never a silent drop and never a stale answer.
+
+Per-shard SLO metrics (p50/p99 task latency measured from admission to
+completion, queue depth, shed count, the service's cache hit rate)
+come out of :meth:`slo_snapshot`, which the router aggregates into its
+fleet-wide :meth:`~repro.fleet.router.FleetRouter.snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.result import PathResult
+from repro.graphs.graph import NodeId
+from repro.kernel import csr
+from repro.service import RouteService
+from repro.service.metrics import Snapshot
+from repro.traffic.feed import TrafficFeed
+from repro.traffic.replay import percentile
+
+from repro.fleet.partition import ShardSpec
+
+
+class ShardWorker:
+    """Serve one shard's queries and absorb its slice of traffic epochs."""
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        max_queue: int = 128,
+        threads: int = 2,
+        cache_capacity: int = 2048,
+        latency_window: int = 4096,
+        clock=time.perf_counter,
+    ) -> None:
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.spec = spec
+        self.max_queue = max_queue
+        self._clock = clock
+        # Dijkstra + zero estimator: always cost-optimal answers with
+        # path provenance, so the shard cache retains warm entries
+        # across epochs that miss the cached routes.
+        self.service = RouteService(
+            cache_capacity=cache_capacity,
+            default_algorithm="dijkstra",
+            default_estimator="zero",
+        )
+        self.feed = TrafficFeed(spec.graph)
+        self.feed.subscribe(self.service)
+        # Reversed copy for boundary-to-destination distances; kept in
+        # cost-sync with the forward subgraph by apply_deltas.
+        self._reversed = spec.graph.reversed()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, threads),
+            thread_name_prefix=f"shard-{spec.shard_id}",
+        )
+        self._lock = threading.Lock()
+        self._queue_depth = 0
+        self.peak_queue_depth = 0
+        self.accepted = 0
+        self.completed = 0
+        self.shed_count = 0
+        self.epochs_forwarded = 0
+        self._latencies: deque = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    # admission-controlled dispatch
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, *args) -> Optional[Future]:
+        """Admit one task, or shed it.
+
+        Returns the :class:`~concurrent.futures.Future`, or ``None``
+        when the worker's in-flight count has reached ``max_queue`` —
+        the caller must surface the shed explicitly (the router flags
+        the whole query). Task latency is measured from admission, so
+        queueing delay is inside the SLO numbers.
+        """
+        with self._lock:
+            if self._queue_depth >= self.max_queue:
+                self.shed_count += 1
+                return None
+            self._queue_depth += 1
+            self.accepted += 1
+            if self._queue_depth > self.peak_queue_depth:
+                self.peak_queue_depth = self._queue_depth
+        admitted = self._clock()
+
+        def run():
+            try:
+                return fn(*args)
+            finally:
+                elapsed = self._clock() - admitted
+                with self._lock:
+                    self._queue_depth -= 1
+                    self.completed += 1
+                    self._latencies.append(elapsed)
+
+        return self._executor.submit(run)
+
+    # ------------------------------------------------------------------
+    # shard-local computations (run inside submitted tasks)
+    # ------------------------------------------------------------------
+    def plan(self, source: NodeId, destination: NodeId) -> PathResult:
+        """One shard-local route through the worker's RouteService."""
+        return self.service.plan(self.spec.graph, source, destination)
+
+    def distances_to_boundary(self, source: NodeId) -> Dict[NodeId, float]:
+        """Shard-internal distances ``source -> b`` for each boundary b.
+
+        One CSR SSSP over the shard subgraph; unreachable boundary
+        nodes are absent from the result.
+        """
+        dist = csr.sssp(self.spec.graph, source)
+        return {b: dist[b] for b in self.spec.boundary if b in dist}
+
+    def distances_from_boundary(self, destination: NodeId) -> Dict[NodeId, float]:
+        """Shard-internal distances ``b -> destination`` per boundary b.
+
+        A forward CSR SSSP on the maintained reversed copy — same
+        kernel, same build cache, no per-query graph reversal.
+        """
+        dist = csr.sssp(self._reversed, destination)
+        return {b: dist[b] for b in self.spec.boundary if b in dist}
+
+    def boundary_clique(self) -> List[Tuple[NodeId, NodeId, float]]:
+        """Exact boundary-to-boundary shard-internal distances.
+
+        One SSSP per boundary node; pairs with no internal connection
+        are omitted. This is the overlay's per-shard clique.
+        """
+        edges: List[Tuple[NodeId, NodeId, float]] = []
+        for b1 in self.spec.boundary:
+            dist = csr.sssp(self.spec.graph, b1)
+            for b2 in self.spec.boundary:
+                if b2 is not b1 and b2 != b1 and b2 in dist:
+                    edges.append((b1, b2, dist[b2]))
+        return edges
+
+    # ------------------------------------------------------------------
+    # traffic epochs
+    # ------------------------------------------------------------------
+    def apply_deltas(
+        self, updates: Sequence[Tuple[NodeId, NodeId, float]]
+    ) -> None:
+        """Absorb the shard-internal slice of one parent epoch.
+
+        Applies the absolute costs through the shard's own feed (one
+        shard fingerprint bump, service cache invalidated edge-
+        granularly) and mirrors them onto the reversed copy so both
+        SSSP directions price the new epoch.
+        """
+        if not updates:
+            return
+        self.feed.apply(updates)
+        self._reversed.apply_cost_updates(
+            [(target, source, cost) for source, target, cost in updates]
+        )
+        with self._lock:
+            self.epochs_forwarded += 1
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queue_depth
+
+    def slo_snapshot(self) -> Snapshot:
+        """Flat numeric per-shard SLO counters (fleet snapshot leaf)."""
+        with self._lock:
+            latencies = list(self._latencies)
+            snap: Snapshot = {
+                "shard_id": self.spec.shard_id,
+                "nodes": self.spec.node_count,
+                "boundary_nodes": self.spec.boundary_count,
+                "queue_depth": self._queue_depth,
+                "peak_queue_depth": self.peak_queue_depth,
+                "max_queue": self.max_queue,
+                "accepted": self.accepted,
+                "completed": self.completed,
+                "shed": self.shed_count,
+                "epochs_forwarded": self.epochs_forwarded,
+            }
+        snap["p50_latency_ms"] = percentile(latencies, 50) * 1e3
+        snap["p99_latency_ms"] = percentile(latencies, 99) * 1e3
+        metrics = self.service.metrics
+        snap["queries"] = metrics.queries
+        snap["cache_hit_rate"] = metrics.cache_hit_rate
+        snap["cache_hits"] = metrics.cache_hits
+        snap["shard_epochs_applied"] = self.service.epochs_applied
+        return snap
+
+    def shutdown(self) -> None:
+        """Stop the executor (idempotent); pending tasks finish first."""
+        self._executor.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWorker(shard={self.spec.shard_id}, "
+            f"nodes={self.spec.node_count}, queue={self.queue_depth}/"
+            f"{self.max_queue}, shed={self.shed_count})"
+        )

@@ -412,15 +412,37 @@ class Graph:
             self.has_edge(u, v) for u, v in zip(path, path[1:])
         )
 
-    def subgraph(self, node_ids: Iterable[NodeId]) -> "Graph":
-        """Return the induced subgraph on ``node_ids`` (copied)."""
+    def subgraph(
+        self, node_ids: Iterable[NodeId], name: Optional[str] = None
+    ) -> "Graph":
+        """Return the induced subgraph on ``node_ids`` as a new graph.
+
+        The copy is complete and independent: node coordinates and the
+        costs of every edge with both endpoints in ``node_ids`` are
+        copied, and the new graph carries a **fresh uid** (and version
+        0 history), so caches keyed on :attr:`fingerprint` can never
+        alias the parent's state. Mutating either graph leaves the
+        other untouched — the property the fleet partitioner relies on
+        when shards absorb traffic epochs independently.
+
+        Nodes and edges are emitted in the parent's insertion order
+        (not the order of ``node_ids``), so two calls with the same
+        member set build structurally identical graphs. Requesting an
+        unknown node raises :class:`NodeNotFoundError`; duplicates in
+        ``node_ids`` are tolerated.
+        """
         keep = set(node_ids)
-        sub = Graph(name=f"{self.name}-sub")
         for node_id in keep:
-            node = self.node(node_id)
-            sub.add_node(node.node_id, node.x, node.y)
-        for source in keep:
-            for target, cost in self._adjacency[source].items():
+            if node_id not in self._nodes:
+                raise NodeNotFoundError(node_id)
+        sub = Graph(name=name if name is not None else f"{self.name}-sub")
+        for node in self._nodes.values():
+            if node.node_id in keep:
+                sub.add_node(node.node_id, node.x, node.y)
+        for source, targets in self._adjacency.items():
+            if source not in keep:
+                continue
+            for target, cost in targets.items():
                 if target in keep:
                     sub.add_edge(source, target, cost)
         return sub

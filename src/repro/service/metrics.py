@@ -12,7 +12,17 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
+
+#: A single observability leaf value. Snapshots must stay JSON-round-
+#: trippable and plottable, so every leaf is numeric — never a string,
+#: None, or nested container.
+Numeric = Union[int, float]
+
+#: The shape every ``snapshot()`` in the serving tier returns: a flat
+#: mapping of counter names to numeric values. Fleet-level snapshots
+#: nest these per shard but each leaf dict is still a ``Snapshot``.
+Snapshot = Dict[str, Numeric]
 
 
 @dataclass
@@ -80,8 +90,12 @@ class ServiceMetrics:
     def average_latency_s(self) -> float:
         return self.total_latency_s / self.queries if self.queries else 0.0
 
-    def snapshot(self) -> Dict[str, float]:
-        """Plain-dict counter view, shaped like ``IOStatistics.snapshot()``."""
+    def snapshot(self) -> Snapshot:
+        """Plain-dict counter view, shaped like ``IOStatistics.snapshot()``.
+
+        Every leaf value is numeric (:data:`Numeric`) so the result can
+        be merged into nested fleet snapshots and serialized verbatim.
+        """
         with self._lock:
             return {
                 "queries": self.queries,

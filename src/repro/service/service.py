@@ -64,7 +64,7 @@ from repro.service.cache import (
     RouteCache,
     query_key,
 )
-from repro.service.metrics import QueryMetrics, ServiceMetrics
+from repro.service.metrics import QueryMetrics, ServiceMetrics, Snapshot
 from repro.service.pool import EstimatorPool
 
 #: A batch entry: ``(source, destination)`` with service defaults, or a
@@ -869,12 +869,15 @@ class RouteService:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Snapshot:
         """One flat counter dict, shaped like ``IOStatistics.snapshot()``.
 
         Service-level counters are unprefixed; cache, pool, and CSR
         build-cache internals are namespaced ``cache_*`` / ``pool_*``
-        / ``csr_*``.
+        / ``csr_*``. Every leaf value is numeric (``int`` or
+        ``float`` — the previous ``Dict[str, float]`` annotation
+        undersold the int counters), so nested fleet snapshots can
+        embed this dict verbatim and serialize it to JSON.
         """
         snap = self.metrics.snapshot()
         with self._traffic_lock:

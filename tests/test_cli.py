@@ -153,6 +153,29 @@ class TestCommands:
         assert "dijkstra/dict" in report["scenarios"]
         assert "dijkstra_csr_vs_dict" in report["speedups"]
 
+    def test_bench_fleet(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "fleet.json"
+        code = main([
+            "bench-fleet", "--grid", "6", "--queries", "80",
+            "--rounds", "2", "--concurrency", "2",
+            "--layouts", "2x2,1x2", "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "audit: clean" in out
+        report = json.loads(out_path.read_text())
+        assert set(report["layouts"]) == {"2x2", "1x2"}
+        for entry in report["layouts"].values():
+            assert entry["summary"]["inexact"] == 0
+            assert entry["summary"]["queries"] == 80
+
+    def test_bench_fleet_rejects_empty_layouts(self, capsys):
+        code = main(["bench-fleet", "--layouts", " , "])
+        assert code == 1
+        assert "at least one" in capsys.readouterr().err
+
     def test_bench_wallclock_min_speedup_gate(self, capsys):
         # An impossible floor must fail the run (the CI gate contract).
         code = main([

@@ -1,0 +1,155 @@
+"""Partition invariants: the cut is total, exclusive, and stable."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError, PartitionError
+from repro.fleet.partition import (
+    Partition,
+    parse_layout,
+    partition_graph,
+    partition_layouts,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.grid import make_paper_grid
+
+pytestmark = pytest.mark.fleet
+
+
+@pytest.fixture()
+def grid():
+    return make_paper_grid(8, "variance", seed=11)
+
+
+class TestParseLayout:
+    def test_parses_rows_by_cols(self):
+        assert parse_layout("2x2") == (2, 2)
+        assert parse_layout("3X1") == (3, 1)
+
+    @pytest.mark.parametrize("bad", ["", "2", "2x", "x2", "2x2x2", "axb", "0x2"])
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(PartitionError):
+            parse_layout(bad)
+
+
+class TestPartitionGraph:
+    def test_every_node_in_exactly_one_shard(self, grid):
+        part = partition_graph(grid, 2, 2)
+        seen = [n for shard in part.shards for n in shard.nodes]
+        assert len(seen) == len(set(seen)) == grid.node_count
+
+    def test_every_edge_internal_xor_cut(self, grid):
+        part = partition_graph(grid, 2, 2)
+        cut = {(c.source, c.target) for c in part.cut_edges}
+        internal = 0
+        for edge in grid.edges():
+            same = part.shard_of(edge.source) == part.shard_of(edge.target)
+            assert same == ((edge.source, edge.target) not in cut)
+            internal += same
+        assert internal + len(cut) == grid.edge_count
+
+    def test_boundary_tables_are_cut_incident_nodes(self, grid):
+        part = partition_graph(grid, 2, 2)
+        for shard in part.shards:
+            incident = {
+                c.source for c in part.cut_edges
+                if c.source_shard == shard.shard_id
+            } | {
+                c.target for c in part.cut_edges
+                if c.target_shard == shard.shard_id
+            }
+            assert set(shard.boundary) == incident
+
+    def test_shard_subgraphs_carry_fresh_uids(self, grid):
+        part = partition_graph(grid, 2, 2)
+        uids = {shard.graph.uid for shard in part.shards}
+        assert grid.uid not in uids
+        assert len(uids) == part.shard_count
+
+    def test_shard_costs_match_parent(self, grid):
+        part = partition_graph(grid, 2, 2)
+        for shard in part.shards:
+            for edge in shard.graph.edges():
+                assert edge.cost == grid.edge_cost(edge.source, edge.target)
+
+    def test_shard_of_unknown_node_raises(self, grid):
+        part = partition_graph(grid, 2, 2)
+        with pytest.raises(NodeNotFoundError):
+            part.shard_of("nowhere")
+
+    def test_empty_graph_refused(self):
+        with pytest.raises(PartitionError):
+            partition_graph(Graph(name="empty"), 2, 2)
+
+    def test_degenerate_layout_is_one_shard(self, grid):
+        part = partition_graph(grid, 1, 1)
+        assert part.shard_count == 1
+        assert part.cut_edges == ()
+        assert part.shards[0].boundary == ()
+
+    def test_empty_cells_dropped_and_ids_dense(self):
+        # All nodes on one horizontal line: a 3x3 cut fills only one
+        # row of cells, so shard ids must be renumbered densely.
+        graph = Graph(name="line")
+        for index in range(9):
+            graph.add_node(index, float(index), 0.0)
+            if index:
+                graph.add_edge(index - 1, index, 1.0)
+        part = partition_graph(graph, 3, 3, refine_passes=0)
+        assert [s.shard_id for s in part.shards] == list(range(part.shard_count))
+        assert part.shard_count <= 3
+
+    def test_refinement_never_increases_cut(self, grid):
+        raw = partition_graph(grid, 2, 2, refine_passes=0)
+        refined = partition_graph(grid, 2, 2, refine_passes=4)
+        assert len(refined.cut_edges) <= len(raw.cut_edges)
+
+    def test_refinement_keeps_shards_nonempty(self, grid):
+        refined = partition_graph(grid, 2, 2, refine_passes=8)
+        assert all(shard.node_count > 0 for shard in refined.shards)
+
+
+class TestSignature:
+    def test_same_graph_state_same_signature(self, grid):
+        first = partition_graph(grid, 2, 2)
+        second = partition_graph(grid, 2, 2)
+        # Fresh shard uids, identical cut: the signature must agree.
+        assert first.shards[0].graph.uid != second.shards[0].graph.uid
+        assert first.signature == second.signature
+
+    def test_layout_changes_signature(self, grid):
+        assert (
+            partition_graph(grid, 2, 2).signature
+            != partition_graph(grid, 2, 1).signature
+        )
+
+    def test_cost_epoch_changes_signature(self, grid):
+        before = partition_graph(grid, 2, 2).signature
+        edge = next(iter(grid.edges()))
+        grid.update_edge_cost(edge.source, edge.target, edge.cost + 1.0)
+        assert partition_graph(grid, 2, 2).signature != before
+
+
+class TestValidate:
+    def test_tampered_partition_is_caught(self, grid):
+        part = partition_graph(grid, 2, 2)
+        # Claim a cut edge that is actually internal.
+        from repro.fleet.partition import CutEdge
+
+        shard = part.shards[0]
+        internal = next(iter(shard.graph.edges()))
+        forged = Partition(
+            grid,
+            part.shards,
+            part.cut_edges + (
+                CutEdge(internal.source, internal.target, internal.cost, 0, 1),
+            ),
+            2,
+            2,
+        )
+        with pytest.raises(PartitionError):
+            forged.validate()
+
+    def test_partition_layouts_runs_each_spec(self, grid):
+        out = partition_layouts(grid, ["2x2", "1x2"])
+        assert set(out) == {"2x2", "1x2"}
+        assert out["2x2"].shard_count >= out["1x2"].shard_count

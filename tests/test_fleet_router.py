@@ -1,0 +1,237 @@
+"""FleetRouter exactness, backpressure, and epoch consistency."""
+
+import random
+import threading
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.fleet import FleetRouter, partition_graph
+from repro.graphs.graph import Graph
+from repro.graphs.grid import make_paper_grid
+from repro.kernel import csr
+from repro.traffic.feed import TrafficFeed
+
+pytestmark = pytest.mark.fleet
+
+
+def make_fleet(graph, rows, cols, **kwargs):
+    partition = partition_graph(graph, rows, cols)
+    router = FleetRouter(partition, **kwargs)
+    feed = TrafficFeed(graph)
+    feed.subscribe(router)
+    return router, feed
+
+
+def assert_exact(graph, router, source, destination):
+    result = router.plan(source, destination)
+    reference = csr.uniform_cost(graph, source, destination)
+    assert not result.shed
+    assert result.found == reference.found
+    if reference.found:
+        assert result.cost == pytest.approx(reference.cost, abs=1e-9)
+        assert result.path[0] == source and result.path[-1] == destination
+        walked = sum(
+            graph.edge_cost(a, b)
+            for a, b in zip(result.path, result.path[1:])
+        )
+        assert walked == pytest.approx(result.cost, abs=1e-9)
+    return result
+
+
+class TestExactness:
+    @pytest.mark.parametrize("rows,cols", [(1, 2), (2, 2), (3, 3)])
+    def test_randomized_equivalence_vs_whole_graph_dijkstra(self, rows, cols):
+        graph = make_paper_grid(9, "variance", seed=23)
+        router, _feed = make_fleet(graph, rows, cols)
+        try:
+            rng = random.Random(5)
+            nodes = list(graph.node_ids())
+            for _ in range(60):
+                assert_exact(graph, router, rng.choice(nodes), rng.choice(nodes))
+        finally:
+            router.shutdown()
+
+    def test_reentrant_same_shard_path_is_stitched(self):
+        # Optimal a1 -> a2 leaves shard 0 through b and re-enters:
+        #   a1 --10--> a2   (internal, expensive)
+        #   a1 --1--> b --1--> a2  (via the other shard)
+        graph = Graph(name="reentry")
+        graph.add_node("a1", 0.0, 0.0)
+        graph.add_node("a2", 0.0, 1.0)
+        graph.add_node("b", 2.0, 0.5)
+        graph.add_edge("a1", "a2", 10.0)
+        graph.add_edge("a1", "b", 1.0)
+        graph.add_edge("b", "a2", 1.0)
+        partition = partition_graph(graph, 1, 2, refine_passes=0)
+        assert partition.shard_of("a1") == partition.shard_of("a2")
+        assert partition.shard_of("a1") != partition.shard_of("b")
+        router = FleetRouter(partition)
+        try:
+            result = router.plan("a1", "a2")
+            assert result.found and not result.cross_shard
+            assert result.stitched  # local 10.0 was beaten
+            assert result.cost == pytest.approx(2.0)
+            assert result.path == ["a1", "b", "a2"]
+        finally:
+            router.shutdown()
+
+    def test_trivial_and_unreachable_queries(self):
+        graph = make_paper_grid(6, "uniform", seed=1)
+        graph.add_node("island", -50.0, -50.0)
+        router, _feed = make_fleet(graph, 2, 2)
+        try:
+            trivial = router.plan((3, 3), (3, 3))
+            assert trivial.found and trivial.cost == 0.0
+            assert trivial.path == [(3, 3)]
+            marooned = router.plan((0, 0), "island")
+            assert not marooned.found and not marooned.shed
+        finally:
+            router.shutdown()
+
+    def test_unknown_node_raises(self):
+        graph = make_paper_grid(4, "uniform", seed=1)
+        router, _feed = make_fleet(graph, 2, 2)
+        try:
+            with pytest.raises(NodeNotFoundError):
+                router.plan((0, 0), "nowhere")
+        finally:
+            router.shutdown()
+
+    def test_exact_after_quiesced_epoch(self):
+        graph = make_paper_grid(7, "variance", seed=3)
+        router, feed = make_fleet(graph, 2, 2)
+        try:
+            rng = random.Random(9)
+            edges = list(graph.edges())
+            picks = rng.sample(edges, 12)
+            feed.apply([(e.source, e.target, e.cost * 3.0) for e in picks])
+            assert router.version == 2
+            nodes = list(graph.node_ids())
+            for _ in range(25):
+                assert_exact(graph, router, rng.choice(nodes), rng.choice(nodes))
+        finally:
+            router.shutdown()
+
+
+class TestBackpressure:
+    def test_zero_capacity_sheds_with_flag(self):
+        graph = make_paper_grid(6, "uniform", seed=1)
+        router, _feed = make_fleet(graph, 2, 2, max_queue=0)
+        try:
+            result = router.plan((0, 0), (5, 5))
+            assert result.shed and not result.found
+            assert "queue full" in result.shed_reason
+            assert result.cost == float("inf") and result.path == []
+            assert router.sheds == 1
+        finally:
+            router.shutdown()
+
+    def test_shed_counted_per_worker_and_in_snapshot(self):
+        graph = make_paper_grid(6, "uniform", seed=1)
+        router, _feed = make_fleet(graph, 2, 2, max_queue=0)
+        try:
+            for _ in range(5):
+                assert router.plan((0, 0), (5, 5)).shed
+            snapshot = router.snapshot()
+            assert snapshot["fleet"]["sheds"] == 5
+            total = sum(
+                snapshot[name]["shed"]
+                for name in snapshot if name != "fleet"
+            )
+            assert total == 5
+        finally:
+            router.shutdown()
+
+
+class TestEpochConsistency:
+    def test_concurrent_epochs_never_yield_mixed_costs(self):
+        # Chain 0-1-2-3 split {0,1} | {2,3}; every epoch flips all
+        # three edge costs between 1 and 10 atomically, so the only
+        # legal end-to-end totals are 3 and 30. A torn answer (some
+        # edges old, some new) would land in between.
+        graph = Graph(name="chain")
+        for index in range(4):
+            graph.add_node(index, float(index), 0.0)
+        for index in range(3):
+            graph.add_edge(index, index + 1, 1.0)
+        partition = partition_graph(graph, 1, 2, refine_passes=0)
+        assert partition.shard_of(1) != partition.shard_of(2)
+        router = FleetRouter(partition)
+        feed = TrafficFeed(graph)
+        feed.subscribe(router)
+        observed = []
+        lock = threading.Lock()
+        done = threading.Event()
+
+        def writer():
+            # Keep flipping until every reader finished, so epochs
+            # genuinely overlap the whole read workload.
+            cost = 10.0
+            while not done.is_set():
+                feed.apply([(i, i + 1, cost) for i in range(3)])
+                cost = 1.0 if cost == 10.0 else 10.0
+
+        def reader():
+            for _ in range(30):
+                result = router.plan(0, 3)
+                if not result.shed:
+                    with lock:
+                        observed.append(result.cost)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        flipper = threading.Thread(target=writer)
+        try:
+            flipper.start()
+            for thread in readers:
+                thread.start()
+            for thread in readers:
+                thread.join(timeout=30)
+        finally:
+            done.set()
+            flipper.join(timeout=30)
+            router.shutdown()
+        assert observed, "readers never served an answer"
+        assert set(observed) <= {3.0, 30.0}, sorted(set(observed))
+
+    def test_epoch_fans_out_to_shard_and_cut_tables(self):
+        graph = Graph(name="chain")
+        for index in range(4):
+            graph.add_node(index, float(index), 0.0)
+        for index in range(3):
+            graph.add_edge(index, index + 1, 1.0)
+        router, feed = make_fleet(graph, 1, 2)
+        try:
+            feed.apply([(0, 1, 5.0), (1, 2, 7.0), (2, 3, 9.0)])
+            result = router.plan(0, 3)
+            assert result.cost == pytest.approx(21.0)
+            # Internal deltas landed in the owning worker's subgraph...
+            shard0 = router.partition.shard_of(0)
+            assert router.workers[shard0].spec.graph.edge_cost(0, 1) == 5.0
+            # ...and the cut edge in the router's cut-cost table.
+            assert router._cut_costs[(1, 2)] == 7.0
+        finally:
+            router.shutdown()
+
+
+class TestSnapshot:
+    def test_nested_shape_with_numeric_leaves(self):
+        graph = make_paper_grid(6, "variance", seed=2)
+        router, _feed = make_fleet(graph, 2, 2)
+        try:
+            rng = random.Random(1)
+            nodes = list(graph.node_ids())
+            for _ in range(10):
+                router.plan(rng.choice(nodes), rng.choice(nodes))
+            snapshot = router.snapshot()
+            assert set(snapshot) == {"fleet"} | {
+                f"shard_{s.shard_id}" for s in router.partition.shards
+            }
+            for group in snapshot.values():
+                for name, value in group.items():
+                    assert isinstance(value, (int, float)) and not isinstance(
+                        value, bool
+                    ), name
+            assert snapshot["fleet"]["queries"] == 10
+        finally:
+            router.shutdown()

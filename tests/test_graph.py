@@ -209,6 +209,36 @@ class TestGraphTransforms:
         assert sub.has_edge("b", "c")
         assert not sub.has_edge("c", "d")
 
+    def test_subgraph_copies_coordinates_and_costs(self, tiny_graph):
+        sub = tiny_graph.subgraph(["a", "b", "c"])
+        assert sub.coordinates("b") == tiny_graph.coordinates("b")
+        assert sub.edge_cost("a", "c") == tiny_graph.edge_cost("a", "c")
+
+    def test_subgraph_has_fresh_uid_and_is_independent(self, tiny_graph):
+        sub = tiny_graph.subgraph(["a", "b", "c"])
+        assert sub.uid != tiny_graph.uid
+        assert sub.fingerprint != tiny_graph.fingerprint
+        sub.update_edge_cost("a", "b", 42.0)
+        assert tiny_graph.edge_cost("a", "b") == 1.0
+
+    def test_subgraph_accepts_name_and_defaults_to_suffix(self, tiny_graph):
+        assert tiny_graph.subgraph(["a"], name="shard0").name == "shard0"
+        assert tiny_graph.subgraph(["a"]).name == "tiny-sub"
+
+    def test_subgraph_unknown_node_raises(self, tiny_graph):
+        with pytest.raises(NodeNotFoundError):
+            tiny_graph.subgraph(["a", "missing"])
+
+    def test_subgraph_keeps_parent_insertion_order(self, tiny_graph):
+        # Membership order in the argument must not matter: nodes come
+        # out in parent insertion order, so repeated cuts are identical.
+        sub = tiny_graph.subgraph(["c", "a", "b"])
+        assert list(sub.node_ids()) == ["a", "b", "c"]
+
+    def test_subgraph_tolerates_duplicate_ids(self, tiny_graph):
+        sub = tiny_graph.subgraph(["a", "a", "b"])
+        assert sub.node_count == 2
+
 
 class TestGraphFromEdges:
     def test_builds_nodes_on_first_sight(self):

@@ -272,6 +272,19 @@ class TestObservability:
         ):
             assert required in snap
 
+    def test_snapshot_leaves_are_numeric_and_json_safe(self, service, grid):
+        """The ``Snapshot`` contract the fleet nests per shard: every
+        leaf is a real number (bools are ints in Python — excluded
+        explicitly) and the dict survives a JSON round trip verbatim."""
+        import json
+
+        service.plan(grid, (0, 0), (9, 9))
+        snap = service.snapshot()
+        for name, value in snap.items():
+            assert isinstance(value, (int, float)), name
+            assert not isinstance(value, bool), name
+        assert json.loads(json.dumps(snap)) == snap
+
     def test_trace_spans_recorded(self, service, grid):
         service.plan(grid, (0, 0), (9, 9))
         names = [span.name for span in service.last_trace.spans]

@@ -95,6 +95,58 @@ class TestSingleEpochPricing:
             update_thread.join()
         assert errors == [], f"mixed-epoch batch answers: {errors[:5]}"
 
+    def test_plan_many_concurrent_batches_race_epochs(self):
+        """Several threads issue overlapping plan_many batches (with
+        in-batch duplicates, so dedup is in play) while an updater
+        flips every edge between epochs. This is the single-service
+        baseline the fleet's exactness audit is compared against:
+        every answer must price on one epoch, and every batch must
+        return exactly one result per query, in order."""
+        graph = chain_graph(1.0)
+        service = RouteService(default_algorithm="dijkstra")
+        feed = TrafficFeed(graph)
+        feed.subscribe(service)
+        legal = {1.0, 10.0, 2.0, 20.0, 3.0, 30.0}
+        batch = [(0, 1), (0, 2), (0, 3), (0, 3), (1, 3)]
+        complaints = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def updater():
+            flip = True
+            while not stop.is_set():
+                cost = 10.0 if flip else 1.0
+                feed.apply([(i, i + 1, cost) for i in range(3)])
+                flip = not flip
+
+        def caller():
+            for _ in range(40):
+                results = service.plan_many(graph, batch)
+                faults = []
+                if len(results) != len(batch):
+                    faults.append(f"{len(results)} results for {len(batch)}")
+                for (s, d), result in zip(batch, results):
+                    if (result.source, result.destination) != (s, d):
+                        faults.append(f"order: {result.source}->{result.destination}")
+                    if result.cost not in legal:
+                        faults.append(f"mixed-epoch cost {result.cost}")
+                if faults:
+                    with lock:
+                        complaints.extend(faults)
+
+        update_thread = threading.Thread(target=updater)
+        callers = [threading.Thread(target=caller) for _ in range(3)]
+        update_thread.start()
+        try:
+            for thread in callers:
+                thread.start()
+            for thread in callers:
+                thread.join()
+        finally:
+            stop.set()
+            update_thread.join()
+        assert complaints == [], complaints[:5]
+
     def test_replay_with_mid_round_updates_serves_no_stale(self):
         graph = make_paper_grid(10, "variance")
         config = ReplayConfig(
