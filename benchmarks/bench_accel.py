@@ -1,0 +1,90 @@
+"""Pinned accelerator trajectory: CCH-lite queries vs the fastpath tiers.
+
+Runs the :mod:`repro.experiments.accelbench` harness piece by piece
+(fixed grid, seed, pair batch, and epoch sweeps — see
+``AccelBenchConfig``) and writes the full report to
+``BENCH_accel.json`` at the repo root, so successive commits can be
+compared on query speedup *and* per-epoch customization latency.
+
+Each test contributes its scenarios to the shared report; the emitter
+only writes when every scenario ran, every epoch was measured, and the
+exactness audit found zero disagreements with Dijkstra — an
+interrupted, filtered, or *wrong* run can never overwrite a complete
+report. The speedup test asserts the acceptance floor CI enforces: the
+accelerated query batch must beat the dict tier by at least 2x.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.accelbench import (
+    EXPECTED_SCENARIOS,
+    AccelBenchConfig,
+    AccelBenchReport,
+    run_accel_bench,
+)
+
+pytestmark = pytest.mark.accel
+
+_CONFIG = AccelBenchConfig()
+_REPORT = AccelBenchReport(config=_CONFIG)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report_json():
+    yield
+    if _REPORT.complete and _REPORT.clean:
+        path = Path(__file__).resolve().parent.parent / "BENCH_accel.json"
+        path.write_text(_REPORT.to_json() + "\n")
+
+
+def test_accel_query_tiers():
+    """dict baseline vs CSR vs the accelerated elimination-tree query.
+
+    Asserts the acceptance ratio: the cch batch must beat the dict
+    tier by >= 2x, with the preprocess and full-customize costs billed
+    outside the timed region (they are reported as overheads).
+    """
+    partial = run_accel_bench(_CONFIG, with_epochs=False)
+    _REPORT.timings.update(partial.timings)
+    _REPORT.overheads.update(partial.overheads)
+    _REPORT.pairs_checked = partial.pairs_checked
+    _REPORT.inexact = partial.inexact
+    _REPORT.arcs = partial.arcs
+    _REPORT.shortcuts = partial.shortcuts
+    assert partial.inexact == 0
+    speedup = _REPORT.speedup("query/dict", "query/cch")
+    print()
+    print(f"pinned pair batch: cch is {speedup:.2f}x the dict tier")
+    assert speedup >= 2.0
+    assert _REPORT.overheads["cch-preprocess"] > 0
+    assert _REPORT.overheads["cch-customize-full"] > 0
+
+
+def test_accel_epoch_customization():
+    """Per-epoch re-customization latency, audited for exactness.
+
+    Every epoch must take the incremental customize path (the pinned
+    batches are incident-sized, under the density cutoff) and every
+    accelerated answer must agree with a dict-tier Dijkstra on the
+    updated costs.
+    """
+    partial = run_accel_bench(_CONFIG, scenarios=(), with_epochs=True)
+    _REPORT.epochs.extend(partial.epochs)
+    assert len(partial.epochs) == _CONFIG.epochs
+    for epoch in partial.epochs:
+        assert epoch.inexact == 0
+        assert epoch.incremental
+        assert epoch.customize_s > 0
+
+
+def test_accel_report_complete():
+    """Runs last: the module produced every scenario and valid JSON."""
+    assert _REPORT.complete, _REPORT.missing
+    assert _REPORT.clean
+    payload = json.loads(_REPORT.to_json())
+    assert set(payload["scenarios"]) == set(EXPECTED_SCENARIOS)
+    assert payload["speedups"]["cch_vs_dict"] >= 2.0
+    assert len(payload["epochs"]) == _CONFIG.epochs

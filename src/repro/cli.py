@@ -27,6 +27,13 @@ Commands
                batches on fixed seeds) on the CSR and dict fastpath
                tiers; ``--min-speedup`` fails the run if the CSR tier
                stops beating the dict tier on the pinned Dijkstra;
+``bench-accel`` benchmark the preprocess → customize → query
+               accelerator pipeline: CCH-lite point queries vs the
+               dict/CSR tiers on a pinned pair batch, per-epoch
+               re-customization latency, and a Dijkstra exactness
+               audit across traffic epochs — exits non-zero on any
+               inexact answer or (with ``--min-speedup``) a missed
+               query-speedup floor;
 ``bench-fleet`` partition the map into regional shards, serve a
                seeded Zipf-skewed concurrent OD stream through the
                stitching FleetRouter for each ``--layouts`` entry, and
@@ -373,6 +380,48 @@ def _cmd_bench_wallclock(args) -> int:
     return 0
 
 
+def _cmd_bench_accel(args) -> int:
+    from repro.experiments.accelbench import AccelBenchConfig, run_accel_bench
+
+    config = AccelBenchConfig(
+        grid=args.grid,
+        cost_model=args.cost_model,
+        seed=args.seed,
+        repetitions=args.reps,
+        pairs=args.pairs,
+        epochs=args.epochs,
+        epoch_edges=args.epoch_edges,
+    )
+    report = run_accel_bench(config)
+    if not args.json:
+        for line in report.summary_lines():
+            print(line)
+    if not report.clean:
+        # An inexact accelerated answer means the overlay is wrong, not
+        # slow — refuse to emit JSON and fail the run.
+        print(
+            f"FAIL: accel audit found {report.total_inexact} inexact "
+            "answers (see summary above)",
+            file=sys.stderr,
+        )
+        return 1
+    payload = report.to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    speedup = report.speedups["cch_vs_dict"]
+    if args.min_speedup and speedup < args.min_speedup:
+        print(
+            f"FAIL: cch query speedup {speedup:.2f}x over the dict tier "
+            f"is below the required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench_fleet(args) -> int:
     from repro.experiments.fleetload import FleetBenchConfig, run_fleet_bench
 
@@ -639,6 +688,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench_wallclock.add_argument("--out", metavar="PATH", default="",
                                  help="also write the JSON report to PATH")
     bench_wallclock.set_defaults(func=_cmd_bench_wallclock)
+
+    bench_accel = commands.add_parser(
+        "bench-accel",
+        help="benchmark the preprocess/customize/query accelerator "
+             "pipeline (CCH-lite) against the fastpath tiers, auditing "
+             "every answer against Dijkstra across traffic epochs",
+    )
+    bench_accel.add_argument("--grid", type=int, default=30,
+                             help="pinned grid size K (default 30)")
+    bench_accel.add_argument("--cost-model", default="variance")
+    bench_accel.add_argument("--seed", type=int, default=1993)
+    bench_accel.add_argument("--reps", type=int, default=3,
+                             help="timed runs of the pair batch per "
+                                  "scenario (best-of-N is reported)")
+    bench_accel.add_argument("--pairs", type=int, default=55,
+                             help="OD pairs in the query batch")
+    bench_accel.add_argument("--epochs", type=int, default=3,
+                             help="traffic epochs applied after the "
+                                  "query scenarios")
+    bench_accel.add_argument("--epoch-edges", type=int, default=12,
+                             help="edges re-priced per epoch")
+    bench_accel.add_argument("--min-speedup", type=float, default=0.0,
+                             help="exit 1 if the cch query speedup over "
+                                  "the dict tier falls below this ratio")
+    bench_accel.add_argument("--json", action="store_true",
+                             help="print the full report as JSON")
+    bench_accel.add_argument("--out", metavar="PATH", default="",
+                             help="also write the JSON report to PATH")
+    bench_accel.set_defaults(func=_cmd_bench_accel)
 
     bench_fleet = commands.add_parser(
         "bench-fleet",

@@ -1,73 +1,23 @@
-"""Bidirectional Dijkstra — an extension beyond the paper's three algorithms.
+"""Bidirectional Dijkstra — now a kernel configuration.
 
-The paper's future work asks for further ways to reduce irrelevant
-computation in single-pair search. Bidirectional search is the classic
-answer that needs no geometry at all: run Dijkstra simultaneously from
-the source (forwards) and from the destination (backwards over reversed
-edges), alternating expansions, and stop once the frontiers' combined
-radius proves no better meeting point can exist.
+PR 3 unified the in-memory planners behind :mod:`repro.kernel` but left
+this module's standalone implementation behind; the accelerator-pipeline
+refactor folded it in. The dict-tier implementation lives in
+:func:`repro.kernel.fastpath.bidirectional_dict` and the CSR fused
+realisation in :func:`repro.kernel.csr.bidirectional`;
+``kernel.search(..., algorithm="bidirectional")`` dispatches between
+them like every other algorithm, and the accelerator registry exposes
+it as a one-stage configuration
+(``make_accelerator("bidirectional")``).
 
-On a grid the explored region shrinks from one big circle of radius L
-to two circles of radius ~L/2 — about half the expansions — which slots
-it between plain Dijkstra and estimator-guided A* in the paper's
-taxonomy (lookahead from *both* ends instead of a heuristic).
+This module remains as the planner-facing front door (the registry and
+``repro.core`` re-export :func:`bidirectional_search` from here).
 """
 
 from __future__ import annotations
 
-import heapq
-import math
-from typing import Dict, Optional
-
-from repro.exceptions import NodeNotFoundError
 from repro.graphs.graph import Graph, NodeId
-from repro.core.result import PathResult, SearchStats, reconstruct_path
-
-
-class _Frontier:
-    """One direction of the bidirectional search."""
-
-    def __init__(self, start: NodeId) -> None:
-        self.cost: Dict[NodeId, float] = {start: 0.0}
-        self.predecessor: Dict[NodeId, NodeId] = {}
-        self.settled = set()
-        self.heap = [(0.0, 0, start)]
-        self._counter = 1
-
-    def min_key(self) -> float:
-        """Smallest tentative cost still on the heap (inf if drained)."""
-        while self.heap:
-            d, _, u = self.heap[0]
-            if u in self.settled or d > self.cost.get(u, math.inf):
-                heapq.heappop(self.heap)
-                continue
-            return d
-        return math.inf
-
-    def expand(self, graph: Graph, stats: SearchStats) -> Optional[NodeId]:
-        """Settle and expand one node; return it (None if drained)."""
-        while self.heap:
-            d, _, u = heapq.heappop(self.heap)
-            if u in self.settled or d > self.cost.get(u, math.inf):
-                continue
-            self.settled.add(u)
-            stats.iterations += 1
-            stats.nodes_expanded += 1
-            for v, edge_cost in graph.neighbors(u):
-                stats.edges_relaxed += 1
-                if v in self.settled:
-                    continue
-                candidate = d + edge_cost
-                if candidate < self.cost.get(v, math.inf):
-                    if v not in self.cost:
-                        stats.frontier_inserts += 1
-                    self.cost[v] = candidate
-                    self.predecessor[v] = u
-                    stats.nodes_updated += 1
-                    heapq.heappush(self.heap, (candidate, self._counter, v))
-                    self._counter += 1
-            return u
-        return None
+from repro.core.result import PathResult
 
 
 def bidirectional_search(
@@ -75,66 +25,13 @@ def bidirectional_search(
 ) -> PathResult:
     """Bidirectional Dijkstra between ``source`` and ``destination``.
 
-    Terminates when the sum of the two frontiers' minimum keys is at
-    least the best meeting-point cost seen so far, which certifies
-    optimality for non-negative edge costs.
+    Runs Dijkstra simultaneously from both endpoints (backwards over
+    reversed edges from the destination), alternating expansions, and
+    terminates when the sum of the two frontiers' minimum keys is at
+    least the best meeting-point cost seen so far — which certifies
+    optimality for non-negative edge costs. Dispatches through the
+    kernel's CSR fused tier.
     """
-    if source not in graph:
-        raise NodeNotFoundError(source)
-    if destination not in graph:
-        raise NodeNotFoundError(destination)
+    from repro import kernel
 
-    stats = SearchStats()
-    result = PathResult(
-        source=source,
-        destination=destination,
-        algorithm="bidirectional",
-        stats=stats,
-    )
-    if source == destination:
-        result.path = [source]
-        result.cost = 0.0
-        result.found = True
-        return result
-
-    reversed_graph = graph.reversed()
-    forward = _Frontier(source)
-    backward = _Frontier(destination)
-
-    best_cost = math.inf
-    meeting: Optional[NodeId] = None
-
-    def consider_meeting(node: NodeId) -> None:
-        nonlocal best_cost, meeting
-        f = forward.cost.get(node, math.inf)
-        b = backward.cost.get(node, math.inf)
-        if f + b < best_cost:
-            best_cost = f + b
-            meeting = node
-
-    while True:
-        fmin, bmin = forward.min_key(), backward.min_key()
-        if fmin + bmin >= best_cost or (fmin == math.inf and bmin == math.inf):
-            break
-        if fmin <= bmin:
-            settled = forward.expand(graph, stats)
-        else:
-            settled = backward.expand(reversed_graph, stats)
-        if settled is None:
-            break
-        consider_meeting(settled)
-        # A meeting can also occur at a labelled-but-unsettled neighbor.
-        for v, _cost in graph.neighbors(settled):
-            consider_meeting(v)
-
-    if meeting is None or not math.isfinite(best_cost):
-        return result
-
-    forward_half = reconstruct_path(forward.predecessor, source, meeting)
-    backward_half = reconstruct_path(backward.predecessor, destination, meeting)
-    assert forward_half is not None and backward_half is not None
-    backward_half.reverse()  # meeting ... destination
-    result.path = forward_half + backward_half[1:]
-    result.cost = best_cost
-    result.found = True
-    return result
+    return kernel.search(graph, source, destination, algorithm="bidirectional")

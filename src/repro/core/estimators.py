@@ -166,14 +166,49 @@ class LandmarkEstimator:
     it restores A*'s optimality guarantee on road maps where manhattan
     distance overestimates. Preprocessing runs one Dijkstra per
     landmark on the reversed and forward graphs.
+
+    ``landmarks`` is either an explicit iterable of node ids, or the
+    string spec ``"farthest:k"`` requesting **farthest-point seeding**:
+    at preprocess time ``k`` landmarks are chosen greedily, each new
+    landmark being the node maximizing the minimum shortest-path
+    distance to the landmarks already chosen (the classic 2-approximate
+    k-center sweep). Selection is deterministic (ties break toward the
+    smallest node id) and cheap: every selection SSSP runs through the
+    shared CSR kernel and is kept as that landmark's forward distance
+    table, so seeding costs one extra seed SSSP on top of the same
+    one-forward-one-reverse SSSP per landmark an explicit list pays.
     """
 
     name = "landmark"
 
-    def __init__(self, landmarks: Iterable[NodeId]) -> None:
-        self.landmarks: List[NodeId] = list(landmarks)
-        if not self.landmarks:
-            raise ValueError("at least one landmark is required")
+    def __init__(self, landmarks: "Iterable[NodeId] | str") -> None:
+        self._farthest_count: Optional[int] = None
+        if isinstance(landmarks, str):
+            prefix, _, count_text = landmarks.partition(":")
+            if prefix != "farthest" or not count_text:
+                raise ValueError(
+                    f"unknown landmark spec {landmarks!r}; expected "
+                    "'farthest:k' (k >= 1) or an explicit iterable of "
+                    "node ids"
+                )
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad landmark count in spec {landmarks!r}; "
+                    "'farthest:k' needs an integer k >= 1"
+                ) from None
+            if count < 1:
+                raise ValueError(
+                    f"landmark spec {landmarks!r} requests {count} "
+                    "landmarks; at least one is required"
+                )
+            self._farthest_count = count
+            self.landmarks: List[NodeId] = []
+        else:
+            self.landmarks = list(landmarks)
+            if not self.landmarks:
+                raise ValueError("at least one landmark is required")
         self._from_landmark: Dict[NodeId, Dict[NodeId, float]] = {}
         self._to_landmark: Dict[NodeId, Dict[NodeId, float]] = {}
         # Keyed on Graph.fingerprint, NOT id(graph): id() values are
@@ -197,14 +232,68 @@ class LandmarkEstimator:
 
         return sssp(graph, source)
 
+    def _select_farthest(self, graph: Graph) -> None:
+        """Greedy farthest-point sweep; fills landmarks + forward tables.
+
+        The first landmark is the node farthest from a deterministic
+        start (the smallest node id); each subsequent pick maximizes
+        ``min`` distance to the chosen set, preferring unreachable
+        nodes (covering another component counts as infinitely far).
+        The SSSP run *for* each selection step doubles as that
+        landmark's forward table, so seeding adds only the single
+        seed-node SSSP beyond what :meth:`preprocess` pays for an
+        explicit list.
+        """
+        nodes = sorted(node.node_id for node in graph.nodes())
+        if not nodes:
+            raise ValueError("cannot seed landmarks on an empty graph")
+        count = min(self._farthest_count, len(nodes))
+        seed_dist = self._sssp(graph, nodes[0])
+        first, first_d = nodes[0], -1.0
+        for node in nodes:
+            d = seed_dist.get(node, -1.0)
+            if d > first_d:
+                first, first_d = node, d
+        chosen = [first]
+        tables = {
+            first: seed_dist if first == nodes[0] else self._sssp(graph, first)
+        }
+        mindist = dict(tables[first])
+        while len(chosen) < count:
+            best, best_d = None, -1.0
+            for node in nodes:
+                if node in tables:
+                    continue
+                d = mindist.get(node, math.inf)
+                if d > best_d:
+                    best, best_d = node, d
+            if best is None or best_d <= 0.0:
+                break
+            chosen.append(best)
+            tables[best] = self._sssp(graph, best)
+            for node, d in tables[best].items():
+                if d < mindist.get(node, math.inf):
+                    mindist[node] = d
+        self.landmarks = chosen
+        self._from_landmark = {mark: tables[mark] for mark in chosen}
+
     def preprocess(self, graph: Graph) -> None:
         """Run the per-landmark Dijkstras; call once per graph state."""
         reversed_graph = graph.reversed()
-        self._from_landmark = {}
-        self._to_landmark = {}
-        for landmark in self.landmarks:
-            self._from_landmark[landmark] = self._sssp(graph, landmark)
-            self._to_landmark[landmark] = self._sssp(reversed_graph, landmark)
+        if self._farthest_count is not None:
+            # Re-select on every preprocess: distances (hence "farthest")
+            # change with edge costs, and the selection SSSPs *are* the
+            # forward tables, so re-seeding costs nothing extra.
+            self._select_farthest(graph)
+        else:
+            self._from_landmark = {
+                landmark: self._sssp(graph, landmark)
+                for landmark in self.landmarks
+            }
+        self._to_landmark = {
+            landmark: self._sssp(reversed_graph, landmark)
+            for landmark in self.landmarks
+        }
         self._prepared_for = graph.fingerprint
 
     def prepare(self, graph: Graph, destination: NodeId) -> None:

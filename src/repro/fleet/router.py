@@ -143,10 +143,12 @@ class FleetRouter:
         cache_capacity: int = 2048,
         max_retries: int = 8,
         clock=time.perf_counter,
+        accelerator: Optional[str] = None,
     ) -> None:
         self.partition = partition
         self._clock = clock
         self._max_retries = max_retries
+        self.accelerator = accelerator
         self.workers: Dict[int, ShardWorker] = {
             spec.shard_id: ShardWorker(
                 spec,
@@ -154,6 +156,7 @@ class FleetRouter:
                 threads=threads,
                 cache_capacity=cache_capacity,
                 clock=clock,
+                accelerator=accelerator,
             )
             for spec in partition.shards
         }
@@ -573,6 +576,7 @@ class FleetRouter:
                 "epochs_applied": self.epochs_applied,
                 "overlay_builds": self.overlay_builds,
                 "overlay_edges": overlay.edge_count if overlay is not None else 0,
+                "accelerated": 1 if self.accelerator is not None else 0,
             }
         out: Dict[str, Snapshot] = {"fleet": fleet}
         for shard_id in sorted(self.workers):

@@ -55,19 +55,28 @@ class ShardWorker:
         cache_capacity: int = 2048,
         latency_window: int = 4096,
         clock=time.perf_counter,
+        accelerator: Optional[str] = None,
     ) -> None:
         if max_queue < 0:
             raise ValueError(f"max_queue must be >= 0, got {max_queue}")
         self.spec = spec
         self.max_queue = max_queue
         self._clock = clock
+        self.accelerator = accelerator
         # Dijkstra + zero estimator: always cost-optimal answers with
         # path provenance, so the shard cache retains warm entries
-        # across epochs that miss the cached routes.
+        # across epochs that miss the cached routes. With
+        # ``accelerator`` set the service hosts a per-shard
+        # preprocess → customize → query instance: shard-local plans
+        # route through it, epochs forwarded by the router re-customize
+        # it (through the shard feed subscription), and the boundary
+        # clique is answered by point queries against it instead of one
+        # SSSP per boundary node.
         self.service = RouteService(
             cache_capacity=cache_capacity,
             default_algorithm="dijkstra",
             default_estimator="zero",
+            accelerator=accelerator,
         )
         self.feed = TrafficFeed(spec.graph)
         self.feed.subscribe(self.service)
@@ -85,6 +94,7 @@ class ShardWorker:
         self.completed = 0
         self.shed_count = 0
         self.epochs_forwarded = 0
+        self.clique_point_queries = 0
         self._latencies: deque = deque(maxlen=latency_window)
 
     # ------------------------------------------------------------------
@@ -149,10 +159,32 @@ class ShardWorker:
     def boundary_clique(self) -> List[Tuple[NodeId, NodeId, float]]:
         """Exact boundary-to-boundary shard-internal distances.
 
-        One SSSP per boundary node; pairs with no internal connection
-        are omitted. This is the overlay's per-shard clique.
+        This is the overlay's per-shard clique, recomputed after every
+        epoch that invalidates the router's overlay. Without an
+        accelerator it costs one SSSP per boundary node. With one, it
+        is answered by point queries against the worker's accelerated
+        state — which the epoch merely re-*customized* (the topology
+        preprocess survives), so the fleet's per-epoch overlay refresh
+        rides the customize phase instead of re-running boundary
+        SSSPs. Pairs with no internal connection are omitted either
+        way, and both paths return identical (cost-exact) cliques.
         """
         edges: List[Tuple[NodeId, NodeId, float]] = []
+        accel = self.service.accelerator_instance(self.spec.graph)
+        if accel is not None:
+            graph = self.spec.graph
+            queries = 0
+            for b1 in self.spec.boundary:
+                for b2 in self.spec.boundary:
+                    if b2 == b1:
+                        continue
+                    run = accel.query(graph, b1, b2)
+                    queries += 1
+                    if run.found:
+                        edges.append((b1, b2, run.cost))
+            with self._lock:
+                self.clique_point_queries += queries
+            return edges
         for b1 in self.spec.boundary:
             dist = csr.sssp(self.spec.graph, b1)
             for b2 in self.spec.boundary:
@@ -213,6 +245,19 @@ class ShardWorker:
         snap["cache_hit_rate"] = metrics.cache_hit_rate
         snap["cache_hits"] = metrics.cache_hits
         snap["shard_epochs_applied"] = self.service.epochs_applied
+        snap["clique_point_queries"] = self.clique_point_queries
+        if self.accelerator is not None:
+            accel = self.service.accelerator_instance(self.spec.graph)
+            for name, value in accel.snapshot().items():
+                if name in (
+                    "preprocesses",
+                    "customizes",
+                    "incremental_customizes",
+                    "queries",
+                    "preprocess_time_s",
+                    "customize_time_s",
+                ):
+                    snap[f"accel_{name}"] = value
         return snap
 
     def shutdown(self) -> None:

@@ -33,7 +33,15 @@ from typing import Optional
 
 from repro.exceptions import UnknownAlgorithmError
 from repro.graphs.graph import Graph, NodeId
-from repro.kernel import csr, fastpath
+from repro.kernel import accel, csr, fastpath
+from repro.kernel.accel import (
+    ACCELERATORS,
+    Accelerator,
+    CCHAccelerator,
+    OneStageAccelerator,
+    accelerator_for,
+    make_accelerator,
+)
 from repro.kernel.csr import CSRGraph, csr_for
 from repro.kernel.backends import (
     InMemoryBackend,
@@ -54,10 +62,13 @@ from repro.kernel.result import (
 )
 
 #: Algorithms :func:`search` accepts (the in-memory tier's kernel points).
-IN_MEMORY_ALGORITHMS = ("dijkstra", "astar", "iterative")
+IN_MEMORY_ALGORITHMS = ("dijkstra", "astar", "iterative", "bidirectional")
 
-#: Fused tiers :func:`search` can dispatch an untraced run to.
-FASTPATH_TIERS = ("csr", "dict")
+#: Fused tiers :func:`search` can dispatch an untraced run to. ``cch``
+#: routes through the preprocess → customize → query accelerator
+#: pipeline (:mod:`repro.kernel.accel`) and serves Dijkstra-exact
+#: answers only.
+FASTPATH_TIERS = ("csr", "dict", "cch")
 
 sssp = fastpath.sssp
 
@@ -95,6 +106,30 @@ def search(
             f"unknown fastpath tier {tier!r}; expected one of "
             f"{', '.join(FASTPATH_TIERS)}"
         )
+    if tier == "cch":
+        if trace:
+            raise ValueError(
+                "the cch tier has no traced realisation; use tier='csr' "
+                "or tier='dict' with trace=True"
+            )
+        if algorithm != "dijkstra":
+            raise ValueError(
+                f"the cch tier serves cost-exact shortest paths only "
+                f"(algorithm='dijkstra'); got algorithm={algorithm!r}"
+            )
+        return accel.accelerator_for(graph, "cch").query(
+            graph, source, destination
+        )
+    if algorithm == "bidirectional":
+        if trace:
+            raise ValueError(
+                "bidirectional has no traced realisation; its two "
+                "frontiers do not map onto the single-frontier kernel "
+                "loop — use trace=False"
+            )
+        if tier == "csr":
+            return fastpath.bidirectional(graph, source, destination)
+        return fastpath.bidirectional_dict(graph, source, destination)
 
     if algorithm == "astar" and estimator is None:
         from repro.core.estimators import ZeroEstimator
@@ -169,9 +204,16 @@ def search(
 
 
 __all__ = [
+    "ACCELERATORS",
+    "Accelerator",
+    "CCHAccelerator",
     "CSRGraph",
     "FASTPATH_TIERS",
     "IN_MEMORY_ALGORITHMS",
+    "OneStageAccelerator",
+    "accel",
+    "accelerator_for",
+    "make_accelerator",
     "HeapFrontierPolicy",
     "InMemoryBackend",
     "IterationRecord",

@@ -71,6 +71,7 @@ class CSRGraph:
         "indptr_list",
         "indices_list",
         "weights_list",
+        "_reverse",
     )
 
     def __init__(self, graph: Graph) -> None:
@@ -107,6 +108,41 @@ class CSRGraph:
         self.indptr_list = list(indptr)
         self.indices_list = list(indices)
         self.weights_list = list(weights)
+        self._reverse = None
+
+    def reverse_lists(self):
+        """The transpose as flat lists: ``(rindptr, rindices, rweights)``.
+
+        ``rindptr[v]:rindptr[v+1]`` brackets node *v*'s **incoming**
+        edges; ``rindices`` holds the source's dense index and
+        ``rweights`` the edge cost. Built lazily by counting sort on
+        first use (the bidirectional fused loop is the only consumer)
+        and cached on the snapshot — the snapshot is immutable, so the
+        transpose can never go stale, and a racing double build is
+        idempotent.
+        """
+        if self._reverse is None:
+            n = self.node_count
+            indptr = self.indptr_list
+            indices = self.indices_list
+            weights = self.weights_list
+            counts = [0] * (n + 1)
+            for v in indices:
+                counts[v + 1] += 1
+            for i in range(n):
+                counts[i + 1] += counts[i]
+            fill = counts[:n]
+            rindices = [0] * self.edge_count
+            rweights = [0.0] * self.edge_count
+            for u in range(n):
+                for k in range(indptr[u], indptr[u + 1]):
+                    v = indices[k]
+                    p = fill[v]
+                    rindices[p] = u
+                    rweights[p] = weights[k]
+                    fill[v] = p + 1
+            self._reverse = (counts, rindices, rweights)
+        return self._reverse
 
     def __repr__(self) -> str:
         return (
@@ -559,6 +595,151 @@ def sssp(
             node_ids[i]: d for i, d in enumerate(dist) if d <= cutoff
         }
     return {node_ids[i]: d for i, d in enumerate(dist) if d != _INF}
+
+
+def bidirectional(
+    graph: Graph, source: NodeId, destination: NodeId
+) -> RunResult:
+    """Bidirectional Dijkstra on the CSR tier.
+
+    Runs Dijkstra simultaneously from the source over the forward CSR
+    arrays and from the destination over the lazily built transpose
+    (:meth:`CSRGraph.reverse_lists`), alternating by smaller frontier
+    key, and stops when ``fmin + bmin >= best`` certifies no better
+    meeting point exists. Same termination rule, same counter
+    accounting (one ``iterations``/``nodes_expanded`` per settle,
+    merged across directions) as the historical dict implementation in
+    :mod:`repro.kernel.fastpath`.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if destination not in graph:
+        raise NodeNotFoundError(destination)
+
+    stats = SearchStats()
+    result = RunResult(
+        source=source,
+        destination=destination,
+        algorithm="bidirectional",
+        stats=stats,
+    )
+    if source == destination:
+        result.path = [source]
+        result.cost = 0.0
+        result.found = True
+        return result
+
+    csr = csr_for(graph)
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    weights = csr.weights_list
+    rindptr, rindices, rweights = csr.reverse_lists()
+    s = csr.index_of[source]
+    t = csr.index_of[destination]
+    n = csr.node_count
+
+    fdist = [_INF] * n
+    bdist = [_INF] * n
+    fpred = [-1] * n
+    bpred = [-1] * n
+    fsettled = bytearray(n)
+    bsettled = bytearray(n)
+    fdist[s] = 0.0
+    bdist[t] = 0.0
+    fheap = [(0.0, 0, s)]
+    bheap = [(0.0, 0, t)]
+    counter = 1
+    pop = heapq.heappop
+    push = heapq.heappush
+
+    iterations = 0
+    edges_relaxed = 0
+    nodes_updated = 0
+    frontier_inserts = 2  # both roots enter their frontier
+
+    best = _INF
+    meeting = -1
+
+    def min_key(heap, dist, settled):
+        while heap:
+            d, _, u = heap[0]
+            if settled[u] or d > dist[u]:
+                pop(heap)
+                continue
+            return d
+        return _INF
+
+    while True:
+        fmin = min_key(fheap, fdist, fsettled)
+        bmin = min_key(bheap, bdist, bsettled)
+        if fmin + bmin >= best or (fmin == _INF and bmin == _INF):
+            break
+        if fmin <= bmin:
+            heap, dist, pred, settled = fheap, fdist, fpred, fsettled
+            adj_ptr, adj_idx, adj_w = indptr, indices, weights
+        else:
+            heap, dist, pred, settled = bheap, bdist, bpred, bsettled
+            adj_ptr, adj_idx, adj_w = rindptr, rindices, rweights
+        settled_node = -1
+        while heap:
+            d, _, u = pop(heap)
+            if settled[u] or d > dist[u]:
+                continue
+            settled[u] = 1
+            iterations += 1
+            for k in range(adj_ptr[u], adj_ptr[u + 1]):
+                edges_relaxed += 1
+                v = adj_idx[k]
+                if settled[v]:
+                    continue
+                candidate = d + adj_w[k]
+                if candidate < dist[v]:
+                    if dist[v] == _INF:
+                        frontier_inserts += 1
+                    dist[v] = candidate
+                    pred[v] = u
+                    nodes_updated += 1
+                    push(heap, (candidate, counter, v))
+                    counter += 1
+            settled_node = u
+            break
+        if settled_node == -1:
+            break
+        # A meeting can occur at the settled node or at any labelled-
+        # but-unsettled forward neighbor of it (same rule as the dict
+        # implementation, so both realisations stop on the same state).
+        total = fdist[settled_node] + bdist[settled_node]
+        if total < best:
+            best = total
+            meeting = settled_node
+        for k in range(indptr[settled_node], indptr[settled_node + 1]):
+            v = indices[k]
+            total = fdist[v] + bdist[v]
+            if total < best:
+                best = total
+                meeting = v
+
+    stats.iterations = iterations
+    stats.nodes_expanded = iterations
+    stats.edges_relaxed = edges_relaxed
+    stats.nodes_updated = nodes_updated
+    stats.frontier_inserts = frontier_inserts
+
+    if meeting == -1 or best == _INF:
+        return result
+
+    node_ids = csr.node_ids
+    forward_half = _walk_predecessors(fpred, node_ids, s, meeting)
+    path = forward_half
+    u = meeting
+    while u != t:
+        u = bpred[u]
+        assert u != -1, "meeting point settled without a backward label"
+        path.append(node_ids[u])
+    result.path = path
+    result.cost = best
+    result.found = True
+    return result
 
 
 def _walk_predecessors(

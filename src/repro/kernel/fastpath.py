@@ -49,6 +49,129 @@ uniform_cost = _csr.uniform_cost
 best_first = _csr.best_first
 wave = _csr.wave
 sssp = _csr.sssp
+bidirectional = _csr.bidirectional
+
+
+class _BidirectionalFrontier:
+    """One direction of the dict-tier bidirectional search."""
+
+    def __init__(self, start: NodeId) -> None:
+        self.cost: Dict[NodeId, float] = {start: 0.0}
+        self.predecessor: Dict[NodeId, NodeId] = {}
+        self.settled = set()
+        self.heap = [(0.0, 0, start)]
+        self._counter = 1
+
+    def min_key(self) -> float:
+        """Smallest tentative cost still on the heap (inf if drained)."""
+        while self.heap:
+            d, _, u = self.heap[0]
+            if u in self.settled or d > self.cost.get(u, math.inf):
+                heapq.heappop(self.heap)
+                continue
+            return d
+        return math.inf
+
+    def expand(self, graph: Graph, stats: SearchStats) -> Optional[NodeId]:
+        """Settle and expand one node; return it (None if drained)."""
+        while self.heap:
+            d, _, u = heapq.heappop(self.heap)
+            if u in self.settled or d > self.cost.get(u, math.inf):
+                continue
+            self.settled.add(u)
+            stats.iterations += 1
+            stats.nodes_expanded += 1
+            for v, edge_cost in graph.neighbors(u):
+                stats.edges_relaxed += 1
+                if v in self.settled:
+                    continue
+                candidate = d + edge_cost
+                if candidate < self.cost.get(v, math.inf):
+                    if v not in self.cost:
+                        stats.frontier_inserts += 1
+                    self.cost[v] = candidate
+                    self.predecessor[v] = u
+                    stats.nodes_updated += 1
+                    heapq.heappush(self.heap, (candidate, self._counter, v))
+                    self._counter += 1
+            return u
+        return None
+
+
+def bidirectional_dict(
+    graph: Graph, source: NodeId, destination: NodeId
+) -> RunResult:
+    """Bidirectional Dijkstra over dict adjacency (the baseline tier).
+
+    Runs Dijkstra simultaneously from the source (forwards) and from
+    the destination (backwards over a reversed copy), alternating
+    expansions by smaller frontier key, and stops once the frontiers'
+    combined minimum keys reach the best meeting-point cost seen —
+    which certifies optimality for non-negative edge costs. This is
+    the implementation that historically lived in
+    ``repro.core.bidirectional`` (PR 3 left it outside the kernel);
+    the CSR realisation in :func:`repro.kernel.csr.bidirectional`
+    replays the same termination rule on flat arrays.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if destination not in graph:
+        raise NodeNotFoundError(destination)
+
+    stats = SearchStats()
+    result = RunResult(
+        source=source,
+        destination=destination,
+        algorithm="bidirectional",
+        stats=stats,
+    )
+    if source == destination:
+        result.path = [source]
+        result.cost = 0.0
+        result.found = True
+        return result
+
+    reversed_graph = graph.reversed()
+    forward = _BidirectionalFrontier(source)
+    backward = _BidirectionalFrontier(destination)
+
+    best_cost = math.inf
+    meeting: Optional[NodeId] = None
+
+    def consider_meeting(node: NodeId) -> None:
+        nonlocal best_cost, meeting
+        f = forward.cost.get(node, math.inf)
+        b = backward.cost.get(node, math.inf)
+        if f + b < best_cost:
+            best_cost = f + b
+            meeting = node
+
+    while True:
+        fmin, bmin = forward.min_key(), backward.min_key()
+        if fmin + bmin >= best_cost or (fmin == math.inf and bmin == math.inf):
+            break
+        if fmin <= bmin:
+            settled = forward.expand(graph, stats)
+        else:
+            settled = backward.expand(reversed_graph, stats)
+        if settled is None:
+            break
+        consider_meeting(settled)
+        # A meeting can also occur at a labelled-but-unsettled neighbor.
+        for v, _cost in graph.neighbors(settled):
+            consider_meeting(v)
+
+    if meeting is None or not math.isfinite(best_cost):
+        return result
+
+    forward_half = reconstruct_path(forward.predecessor, source, meeting)
+    backward_half = reconstruct_path(backward.predecessor, destination, meeting)
+    assert forward_half is not None and backward_half is not None
+    backward_half.reverse()  # meeting ... destination
+    result.path = forward_half + backward_half[1:]
+    result.cost = best_cost
+    result.found = True
+    return result
 
 
 def uniform_cost_dict(

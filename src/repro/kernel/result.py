@@ -136,6 +136,16 @@ class RunResult:
     #: Cost of re-fetching traffic-dirtied adjacency blocks before the
     #: run (0.0 when S was already current).
     sync_cost: float = 0.0
+    #: Wall seconds of accelerator preprocessing this query triggered
+    #: (0.0 on the common path — topology preprocessing is amortized
+    #: across every query on the same graph structure).
+    preprocess_cost: float = 0.0
+    #: Wall seconds of accelerator (re-)customization this query
+    #: triggered — the new pipeline phase between ``preprocess`` and
+    #: ``query``. 0.0 when the overlay was already priced at the
+    #: graph's current cost epoch (the steady state: traffic epochs
+    #: re-customize proactively through the feed).
+    customize_cost: float = 0.0
     #: Ranked alternative routes (k-shortest / diverse planners); the
     #: best route is duplicated as the result itself.
     alternatives: List["RunResult"] = field(default_factory=list)
@@ -244,6 +254,8 @@ class RelationalRunResult(RunResult):
         iteration_cost: float = 0.0,
         cleanup_cost: float = 0.0,
         sync_cost: float = 0.0,
+        preprocess_cost: float = 0.0,
+        customize_cost: float = 0.0,
         estimator: str = "",
         stats: Optional[SearchStats] = None,
         alternatives: Optional[List[RunResult]] = None,
@@ -268,6 +280,8 @@ class RelationalRunResult(RunResult):
             iteration_cost=iteration_cost,
             cleanup_cost=cleanup_cost,
             sync_cost=sync_cost,
+            preprocess_cost=preprocess_cost,
+            customize_cost=customize_cost,
             alternatives=alternatives if alternatives is not None else [],
             degraded=degraded,
             degraded_reason=degraded_reason,

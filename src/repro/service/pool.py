@@ -16,6 +16,7 @@ updates.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.estimators import (
@@ -84,6 +85,11 @@ class EstimatorPool:
         self.reused = 0
         self.refreshed = 0
         self.retired = 0
+        # Wall seconds spent preparing estimator tables, split along
+        # the accelerator pipeline's phase boundary: cold builds
+        # (preprocess) vs epoch-driven re-preparation (customize).
+        self.preprocess_time_s = 0.0
+        self.customize_time_s = 0.0
 
     # ------------------------------------------------------------------
     def _pool_key(self, name: str, graph: Graph) -> Hashable:
@@ -97,7 +103,10 @@ class EstimatorPool:
             kwargs["landmarks"] = default_landmarks(graph, self.landmark_count)
         estimator = make_estimator(name, **kwargs)
         if isinstance(estimator, LandmarkEstimator):
+            started = time.perf_counter()
             estimator.preprocess(graph)
+            with self._lock:
+                self.preprocess_time_s += time.perf_counter() - started
         return estimator
 
     # ------------------------------------------------------------------
@@ -165,10 +174,13 @@ class EstimatorPool:
             if isinstance(estimator, LandmarkEstimator):
                 # Preprocessing runs outside the pool lock: it is the
                 # expensive part and must not block acquire/release.
+                started = time.perf_counter()
                 estimator.preprocess(graph)
+                elapsed = time.perf_counter() - started
                 with self._lock:
                     self._free.setdefault((name, current), []).append(estimator)
                     self.refreshed += 1
+                    self.customize_time_s += elapsed
                 refreshed += 1
             else:
                 with self._lock:
@@ -185,6 +197,8 @@ class EstimatorPool:
             "refreshed": self.refreshed,
             "retired": self.retired,
             "pooled_free": pooled,
+            "preprocess_time_s": self.preprocess_time_s,
+            "customize_time_s": self.customize_time_s,
         }
 
     def __repr__(self) -> str:

@@ -55,6 +55,7 @@ from repro.core.estimators import Estimator
 from repro.core.planner import RoutePlanner
 from repro.core.result import PathResult
 from repro.exceptions import FaultError, UnknownAlgorithmError
+from repro.kernel import accel as _accel
 from repro.engine.tracing import RequestTrace
 from repro.graphs.graph import CostDelta, Graph, NodeId
 from repro.service.cache import (
@@ -116,6 +117,7 @@ class RouteService:
         degradation: Sequence[str] = ("memory", "last-good"),
         wal=None,
         recover_on_start: bool = False,
+        accelerator: Optional[str] = None,
     ) -> None:
         if invalidation not in ("edge", "graph"):
             raise ValueError(
@@ -132,6 +134,11 @@ class RouteService:
             raise ValueError(
                 f"unknown backend {default_backend!r}; "
                 f"expected one of {', '.join(_BACKENDS)}"
+            )
+        if accelerator is not None and accelerator not in _accel.ACCELERATORS:
+            raise ValueError(
+                f"unknown accelerator {accelerator!r}; expected one of "
+                f"{', '.join(_accel.ACCELERATORS)} (or None to disable)"
             )
         self.pool = estimator_pool if estimator_pool is not None else EstimatorPool()
         if planner is None:
@@ -189,6 +196,18 @@ class RouteService:
         self.recover_on_start = recover_on_start
         self._recovered_uids: set = set()
         self.epochs_recovered = 0
+        # Acceleration: with ``accelerator`` set, eligible memory-backend
+        # queries route through a per-graph
+        # :class:`~repro.kernel.accel.Accelerator` (preprocess →
+        # customize → query) instead of the planner registry, and
+        # traffic epochs re-*customize* the accelerated state — the
+        # topology-only preprocess survives every cost update — instead
+        # of dropping it. Instances are keyed by ``Graph.uid``: the
+        # preprocess is valid across versions of the same graph.
+        self.accelerator = accelerator
+        self._accel_lock = threading.Lock()
+        self._accels: Dict[int, _accel.Accelerator] = {}
+        self.accel_queries_served = 0
 
     # ------------------------------------------------------------------
     # single-query API
@@ -291,6 +310,12 @@ class RouteService:
                                 graph, source, destination, algorithm,
                                 estimator_spec, estimator_name, weight, fault,
                             )
+                    elif self._accel_serves(algorithm, backend, weight):
+                        result = self.accelerator_instance(graph).query(
+                            graph, source, destination
+                        )
+                        with self._traffic_lock:
+                            self.accel_queries_served += 1
                     else:
                         result = self.planner.plan(
                             graph, source, destination, algorithm,
@@ -328,6 +353,47 @@ class RouteService:
                 return self._finish(key, result, trace, started, cache_hit=False)
             with self._traffic_lock:
                 self.plan_retries += 1
+
+    # ------------------------------------------------------------------
+    # accelerator plumbing
+    # ------------------------------------------------------------------
+    def accelerator_instance(self, graph: Graph) -> Optional[_accel.Accelerator]:
+        """The service-owned accelerator for ``graph`` (built on demand).
+
+        ``None`` when the service was constructed without an
+        ``accelerator``. Exposed so co-located layers (the fleet's
+        :class:`~repro.fleet.worker.ShardWorker` boundary overlay) can
+        issue point queries against the *same* customized state the
+        serving path uses, instead of building a second instance.
+        """
+        if self.accelerator is None:
+            return None
+        with self._accel_lock:
+            instance = self._accels.get(graph.uid)
+            if instance is None:
+                instance = _accel.make_accelerator(self.accelerator)
+                self._accels[graph.uid] = instance
+            return instance
+
+    def _accel_serves(self, algorithm: str, backend: str, weight: float) -> bool:
+        """Whether the configured accelerator answers this query shape.
+
+        The cch tier serves cost-exact shortest paths, i.e. the
+        ``dijkstra`` contract; a one-stage accelerator serves exactly
+        its own algorithm. A* is excluded even at ``weight == 1``
+        because its estimator resolution (pool checkout, weighting)
+        lives in the planner, and relational queries always take the
+        engine path — acceleration is an in-memory serving tier.
+        """
+        if self.accelerator is None or backend != "memory":
+            return False
+        if self.accelerator == "cch":
+            return algorithm == "dijkstra"
+        return self.accelerator == algorithm and algorithm in (
+            "dijkstra",
+            "iterative",
+            "bidirectional",
+        ) and weight == 1.0
 
     # ------------------------------------------------------------------
     # relational backend plumbing
@@ -759,6 +825,7 @@ class RouteService:
         else:
             report = InvalidationReport(self.cache.invalidate_graph(graph), 0)
         self.pool.refresh(graph)
+        self._customize_accel(graph, epoch)
         with self._rgraph_lock:
             rgraph = self._rgraphs.get(graph.uid)
         if rgraph is not None:
@@ -768,6 +835,24 @@ class RouteService:
             self.traffic_evicted += report.evicted
             self.traffic_retained += report.rekeyed
         return report
+
+    def _customize_accel(self, graph: Graph, epoch) -> None:
+        """Re-price accelerated state for an absorbed epoch.
+
+        This is the customize leg of the pipeline: the topology-only
+        preprocess is untouched, only the metric overlay is re-folded
+        (incrementally, when the epoch chains onto the state the
+        accelerator last customized for). Only an instance that already
+        exists is customized — a graph never accelerated has no overlay
+        to re-price, and building one here would charge preprocess cost
+        to the traffic path instead of the first query.
+        """
+        if self.accelerator is None:
+            return
+        with self._accel_lock:
+            instance = self._accels.get(graph.uid)
+        if instance is not None:
+            instance.customize(graph, epoch=epoch)
 
     def update_edge_cost(
         self, graph: Graph, source: NodeId, target: NodeId, cost: float
@@ -792,37 +877,30 @@ class RouteService:
         )
         with self._traffic_lock:
             self._recovered_uids.add(graph.uid)
-        if self.wal is not None and deltas:
+        epoch = None
+        if deltas:
             from repro.traffic.feed import TrafficEpoch
 
-            self.wal.log_epoch(
-                TrafficEpoch(
-                    number=self.epochs_applied + 1,
-                    graph=graph,
-                    deltas=tuple(deltas),
-                    previous_fingerprint=previous,
-                    fingerprint=graph.fingerprint,
-                )
+            epoch = TrafficEpoch(
+                number=self.epochs_applied + 1,
+                graph=graph,
+                deltas=tuple(deltas),
+                previous_fingerprint=previous,
+                fingerprint=graph.fingerprint,
             )
+        if self.wal is not None and epoch is not None:
+            self.wal.log_epoch(epoch)
         if self.invalidation == "edge":
             report = self.cache.invalidate_edges(graph, deltas, previous)
         else:
             report = InvalidationReport(self.cache.invalidate_graph(graph), 0)
         self.pool.refresh(graph)
+        if epoch is not None:
+            self._customize_accel(graph, epoch)
         with self._rgraph_lock:
             rgraph = self._rgraphs.get(graph.uid)
-        if rgraph is not None and deltas:
-            from repro.traffic.feed import TrafficEpoch
-
-            rgraph.handle_epoch(
-                TrafficEpoch(
-                    number=self.epochs_applied + 1,
-                    graph=graph,
-                    deltas=tuple(deltas),
-                    previous_fingerprint=previous,
-                    fingerprint=graph.fingerprint,
-                )
-            )
+        if rgraph is not None and epoch is not None:
+            rgraph.handle_epoch(epoch)
         with self._traffic_lock:
             self.epochs_applied += 1
             self.traffic_evicted += report.evicted
@@ -910,6 +988,32 @@ class RouteService:
         snap["faults_injected"] = faults_injected
         snap["fault_retries"] = fault_retries
         snap["retries_exhausted"] = retries_exhausted
+        # Accelerator pipeline counters, summed over the per-graph
+        # instances (all zero when no accelerator is configured). The
+        # timing split is the pipeline contract made observable:
+        # ``preprocess_time_s`` is paid per topology,
+        # ``customize_time_s`` per traffic epoch.
+        accel_totals = {
+            "preprocesses": 0,
+            "customizes": 0,
+            "full_customizes": 0,
+            "incremental_customizes": 0,
+            "queries": 0,
+            "preprocess_time_s": 0.0,
+            "customize_time_s": 0.0,
+            "last_customize_s": 0.0,
+        }
+        with self._accel_lock:
+            instances = list(self._accels.values())
+        for instance in instances:
+            for name, value in instance.snapshot().items():
+                if name in accel_totals:
+                    accel_totals[name] += value
+        for name, value in accel_totals.items():
+            snap[f"accel_{name}"] = value
+        with self._traffic_lock:
+            snap["accel_queries_served"] = self.accel_queries_served
+        snap["accel_instances"] = len(instances)
         for name, value in self.cache.snapshot().items():
             snap[f"cache_{name}"] = value
         for name, value in self.pool.snapshot().items():

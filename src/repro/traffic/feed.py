@@ -73,10 +73,15 @@ class TrafficFeed:
         self._base: Dict[EdgeKey, float] = {
             (edge.source, edge.target): edge.cost for edge in graph.edges()
         }
-        self._listeners: List[Callable[[TrafficEpoch], object]] = []
+        #: ``(handler, kind)`` pairs; kind is "customize" or "invalidate".
+        self._listeners: List[Tuple[Callable[[TrafficEpoch], object], str]] = []
+        self._customize_listeners = 0
+        self._invalidate_listeners = 0
         self._lock = threading.Lock()
         self.epoch_count = 0
         self.deltas_applied = 0
+        self.customize_notifications = 0
+        self.invalidate_notifications = 0
         self.last_epoch: Optional[TrafficEpoch] = None
 
     # ------------------------------------------------------------------
@@ -86,18 +91,37 @@ class TrafficFeed:
         """Register a subscriber for future epochs.
 
         ``listener`` is either a callable taking the
-        :class:`TrafficEpoch`, or an object exposing ``handle_epoch``
-        (a ``RouteService`` or ``RelationalGraph`` can be passed
-        directly). Subscribers are notified in registration order,
-        after the batch is fully applied and the fingerprint bumped.
+        :class:`TrafficEpoch`, or an object exposing one of the two
+        epoch verbs — ``customize_epoch`` (preferred when present: the
+        listener *re-prices* precomputed state, e.g. an
+        :class:`~repro.kernel.accel.Accelerator` overlay) or
+        ``handle_epoch`` (the invalidation path: a ``RouteService`` or
+        ``RelationalGraph`` drops/marks state). The two verbs are
+        counted separately in :meth:`snapshot` — the customize path is
+        what distinguishes "the epoch re-weighted the overlay" from
+        "the epoch threw work away". Subscribers are notified in
+        registration order, after the batch is fully applied and the
+        fingerprint bumped.
         """
-        handler = getattr(listener, "handle_epoch", None)
-        if not callable(handler):
-            handler = listener
+        customizer = getattr(listener, "customize_epoch", None)
+        handler = customizer if callable(customizer) else None
+        if handler is None:
+            handler = getattr(listener, "handle_epoch", None)
+            if not callable(handler):
+                handler = listener
+        kind = (
+            "customize"
+            if customizer is not None and handler is customizer
+            else "invalidate"
+        )
         # Idempotent: re-subscribing must not double-invalidate. Bound
         # methods compare equal when __self__ and __func__ match.
-        if handler not in self._listeners:
-            self._listeners.append(handler)
+        if all(existing != handler for existing, _ in self._listeners):
+            self._listeners.append((handler, kind))
+            if kind == "customize":
+                self._customize_listeners += 1
+            else:
+                self._invalidate_listeners += 1
 
     # ------------------------------------------------------------------
     # epochs
@@ -140,7 +164,11 @@ class TrafficFeed:
             # conservatively full-reloads). The first failure is
             # re-raised after the fan-out completes.
             first_failure: Optional[BaseException] = None
-            for listener in self._listeners:
+            for listener, kind in self._listeners:
+                if kind == "customize":
+                    self.customize_notifications += 1
+                else:
+                    self.invalidate_notifications += 1
                 try:
                     listener(epoch)
                 except BaseException as exc:  # noqa: BLE001 - refanned below
@@ -205,6 +233,10 @@ class TrafficFeed:
             "epochs": self.epoch_count,
             "deltas_applied": self.deltas_applied,
             "edges_tracked": len(self._base),
+            "customize_listeners": self._customize_listeners,
+            "invalidate_listeners": self._invalidate_listeners,
+            "customize_notifications": self.customize_notifications,
+            "invalidate_notifications": self.invalidate_notifications,
         }
 
     def __repr__(self) -> str:

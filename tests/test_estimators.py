@@ -163,6 +163,84 @@ class TestLandmark:
             assert h == pytest.approx(distances[node.node_id])
 
 
+class TestFarthestSeeding:
+    """landmarks="farthest:k" — greedy farthest-point selection."""
+
+    def test_selects_k_distinct_landmarks(self):
+        graph = make_grid(8)
+        estimator = LandmarkEstimator("farthest:5")
+        estimator.preprocess(graph)
+        assert len(estimator.landmarks) == 5
+        assert len(set(estimator.landmarks)) == 5
+
+    def test_deterministic(self):
+        graph = make_grid(6)
+        first = LandmarkEstimator("farthest:4")
+        second = LandmarkEstimator("farthest:4")
+        first.preprocess(graph)
+        second.preprocess(graph)
+        assert first.landmarks == second.landmarks
+
+    def test_spreads_to_far_corners(self):
+        """On a uniform grid the sweep lands on mutually distant nodes."""
+        graph = make_grid(7)
+        estimator = LandmarkEstimator("farthest:3")
+        estimator.preprocess(graph)
+        marks = estimator.landmarks
+        for i, a in enumerate(marks):
+            for b in marks[i + 1 :]:
+                # Grid L1 distance between any two chosen landmarks is
+                # at least the grid side: no two picks are neighbors.
+                assert abs(a[0] - b[0]) + abs(a[1] - b[1]) >= 6
+
+    def test_admissible_bounds(self):
+        graph = make_grid(6)
+        destination = (5, 5)
+        estimator = LandmarkEstimator("farthest:4")
+        estimator.prepare(graph, destination)
+        distances = dijkstra_sssp(graph.reversed(), destination)
+        for node in graph.nodes():
+            h = estimator.estimate(graph, node.node_id, destination)
+            assert h <= distances[node.node_id] + 1e-9
+
+    def test_reseeds_after_cost_change(self):
+        graph = make_grid(5)
+        estimator = LandmarkEstimator("farthest:3")
+        estimator.preprocess(graph)
+        before = graph.fingerprint
+        graph.update_edge_cost((0, 0), (0, 1), 40.0)
+        assert graph.fingerprint != before
+        destination = (4, 4)
+        estimator.prepare(graph, destination)
+        distances = dijkstra_sssp(graph.reversed(), destination)
+        for node in graph.nodes():
+            h = estimator.estimate(graph, node.node_id, destination)
+            assert h <= distances[node.node_id] + 1e-9
+
+    def test_explicit_lists_keep_working(self):
+        estimator = LandmarkEstimator([(0, 0), (3, 3)])
+        assert estimator.landmarks == [(0, 0), (3, 3)]
+
+    def test_count_capped_at_node_count(self):
+        graph = make_grid(2)
+        estimator = LandmarkEstimator("farthest:50")
+        estimator.preprocess(graph)
+        assert 1 <= len(estimator.landmarks) <= 4
+
+    @pytest.mark.parametrize(
+        "spec", ["farthest:", "farthest:0", "farthest:-2", "farthest:x", "nearest:3"]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            LandmarkEstimator(spec)
+
+    def test_factory_accepts_spec(self):
+        graph = make_grid(4)
+        estimator = make_estimator("landmark", landmarks="farthest:2")
+        estimator.preprocess(graph)
+        assert len(estimator.landmarks) == 2
+
+
 class TestFactory:
     @pytest.mark.parametrize("name", ["zero", "euclidean", "manhattan"])
     def test_known(self, name):

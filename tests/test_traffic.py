@@ -210,7 +210,15 @@ class TestTrafficFeed:
         feed = TrafficFeed(graph)
         feed.apply([("a", "b", 2.0), ("b", "c", 9.0)])
         snap = feed.snapshot()
-        assert snap == {"epochs": 1, "deltas_applied": 2, "edges_tracked": 3}
+        assert snap == {
+            "epochs": 1,
+            "deltas_applied": 2,
+            "edges_tracked": 3,
+            "customize_listeners": 0,
+            "invalidate_listeners": 0,
+            "customize_notifications": 0,
+            "invalidate_notifications": 0,
+        }
 
 
 # ----------------------------------------------------------------------
