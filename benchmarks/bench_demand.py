@@ -1,0 +1,127 @@
+"""Pinned batch-OD trajectory: skim amortization, select-link, assignment.
+
+Runs the :mod:`repro.experiments.demandbench` harness piece by piece
+(fixed grid, seed, zone sets, demand matrix, and epoch sweeps — see
+``DemandBenchConfig``) and writes the full report to
+``BENCH_demand.json`` at the repo root, so successive commits can be
+compared on skim amortization *and* assignment convergence.
+
+Each test contributes its pieces to the shared report; the emitter
+only writes when every scenario ran, every epoch was audited, the
+assignment converged, and the exactness audit found zero
+disagreements with dict-tier Dijkstra — an interrupted, filtered, or
+*wrong* run can never overwrite a complete report. The amortization
+test asserts the floor CI enforces: skimming the matrix must beat
+answering it as independent point queries.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.demandbench import (
+    EXPECTED_SCENARIOS,
+    DemandBenchConfig,
+    DemandBenchReport,
+    run_demand_bench,
+)
+
+pytestmark = pytest.mark.demand
+
+_CONFIG = DemandBenchConfig()
+_REPORT = DemandBenchReport(config=_CONFIG)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report_json():
+    yield
+    if _REPORT.complete and _REPORT.clean:
+        path = Path(__file__).resolve().parent.parent / "BENCH_demand.json"
+        path.write_text(_REPORT.to_json() + "\n")
+
+
+def test_demand_skim_scenarios():
+    """dict vs CSR skims vs pointwise queries, audited bit-exact.
+
+    Asserts the amortization floor: one SSSP per origin must beat
+    |O| x |D| independent point Dijkstras on the same tier, and every
+    cell, path, and select-link flow must agree exactly with the
+    independent dict-tier loops.
+    """
+    partial = run_demand_bench(
+        _CONFIG, with_epochs=False, with_assignment=False
+    )
+    _REPORT.timings.update(partial.timings)
+    _REPORT.cells_checked = partial.cells_checked
+    _REPORT.inexact_cells = partial.inexact_cells
+    _REPORT.paths_checked = partial.paths_checked
+    _REPORT.inexact_paths = partial.inexact_paths
+    _REPORT.links_checked = partial.links_checked
+    _REPORT.link_mismatches = partial.link_mismatches
+    _REPORT.unreachable_cells = partial.unreachable_cells
+    assert partial.inexact_cells == 0
+    assert partial.inexact_paths == 0
+    assert partial.link_mismatches == 0
+    assert partial.cells_checked == _CONFIG.origins * _CONFIG.destinations
+    assert partial.links_checked == _CONFIG.links
+    speedup = _REPORT.speedup("pointwise/csr", "skim/csr")
+    print()
+    print(f"pinned OD matrix: skim is {speedup:.2f}x the pointwise batch")
+    assert speedup > 1.0
+
+
+def test_demand_epoch_audit():
+    """Re-skim and re-audit after every pinned traffic epoch.
+
+    Every cell must re-agree (``==``) with a fresh whole-graph
+    dict-tier SSSP per origin on the updated costs, every retained
+    path must re-price to its cell, and every select-link flow table
+    must match brute-force per-pair path membership.
+    """
+    partial = run_demand_bench(
+        _CONFIG, scenarios=(), with_epochs=True, with_assignment=False
+    )
+    _REPORT.epochs.extend(partial.epochs)
+    assert len(partial.epochs) == _CONFIG.epochs
+    for epoch in partial.epochs:
+        assert epoch.deltas > 0
+        assert epoch.inexact_cells == 0
+        assert epoch.inexact_paths == 0
+        assert epoch.link_mismatches == 0
+
+
+def test_demand_assignment_convergence():
+    """The pinned Frank-Wolfe run: converged, audited, conserving.
+
+    Every iteration's prices are audited against dict-tier Dijkstra
+    and every iteration's volumes against node-level demand
+    conservation; the run must reach the relative-gap criterion within
+    the pinned iteration cap.
+    """
+    partial = run_demand_bench(
+        _CONFIG, scenarios=(), with_epochs=False, with_assignment=True
+    )
+    a = partial.assignment
+    _REPORT.assignment = a
+    assert a.ran
+    assert a.converged, (
+        f"gap {a.relative_gap:.3e} after {a.iterations} iterations"
+    )
+    assert a.relative_gap < _CONFIG.tolerance
+    assert a.audited_iterations == a.iterations
+    assert a.inexact_cells == 0
+    assert a.max_conservation_residual < 1e-6 * max(1.0, a.demand_total)
+    assert a.epochs_applied >= a.iterations - 1
+
+
+def test_demand_report_complete():
+    """Runs last: the module produced every piece and valid JSON."""
+    assert _REPORT.complete, _REPORT.missing
+    assert _REPORT.clean
+    payload = json.loads(_REPORT.to_json())
+    assert set(payload["scenarios"]) == set(EXPECTED_SCENARIOS)
+    assert payload["speedups"]["skim_vs_pointwise"] > 1.0
+    assert payload["assignment"]["converged"] is True
+    assert payload["assignment"]["relative_gap"] < _CONFIG.tolerance
+    assert payload["audit"]["inexact"] == 0

@@ -47,6 +47,7 @@ from repro.graphs import (
 from repro.faults import ChaosConfig, FaultInjector, FaultPlan, run_chaos
 from repro.service import EstimatorPool, RouteCache, RouteService
 from repro.traffic import TrafficFeed, run_replay
+from repro.demand import assign, select_link, skim  # after traffic: assign needs it
 
 __version__ = "1.0.0"
 
@@ -78,6 +79,9 @@ __all__ = [
     "EstimatorPool",
     "TrafficFeed",
     "run_replay",
+    "skim",
+    "select_link",
+    "assign",
     "ChaosConfig",
     "FaultInjector",
     "FaultPlan",

@@ -38,7 +38,14 @@ Commands
                seeded Zipf-skewed concurrent OD stream through the
                stitching FleetRouter for each ``--layouts`` entry, and
                audit every answer against whole-graph Dijkstra — exits
-               non-zero (and refuses ``--out``) on any inexact answer.
+               non-zero (and refuses ``--out``) on any inexact answer;
+``bench-demand`` run the pinned batch-OD workload: skim the OD matrix
+               on the dict/CSR tiers vs per-pair point queries, audit
+               every cell/path/select-link flow bit-exact against
+               dict-tier Dijkstra across traffic epochs, and run the
+               Frank-Wolfe assignment to its relative-gap criterion —
+               exits non-zero (and refuses ``--out``) on any inexact
+               answer or a non-converged assignment.
 
 Graphs are specified with ``--graph``: ``grid:K[:costmodel[:seed]]``
 (e.g. ``grid:30:variance``), ``minneapolis[:seed]``, or ``json:PATH``
@@ -422,6 +429,55 @@ def _cmd_bench_accel(args) -> int:
     return 0
 
 
+def _cmd_bench_demand(args) -> int:
+    from repro.experiments.demandbench import (
+        DemandBenchConfig,
+        run_demand_bench,
+    )
+
+    config = DemandBenchConfig(
+        grid=args.grid,
+        cost_model=args.cost_model,
+        seed=args.seed,
+        repetitions=args.reps,
+        origins=args.origins,
+        destinations=args.destinations,
+        links=args.links,
+        epochs=args.epochs,
+        epoch_edges=args.epoch_edges,
+        tolerance=args.tolerance,
+        max_iterations=args.max_iterations,
+    )
+    report = run_demand_bench(config)
+    if not args.json:
+        for line in report.summary_lines():
+            print(line)
+    if report.total_inexact != 0:
+        # An inexact skim cell or select-link flow means the batch tier
+        # disagrees with Dijkstra — refuse to emit JSON and fail.
+        print(
+            f"FAIL: demand audit found {report.total_inexact} inexact "
+            "answers (see summary above)",
+            file=sys.stderr,
+        )
+        return 1
+    if not report.assignment.converged:
+        print(
+            "FAIL: assignment did not reach relative gap "
+            f"{config.tolerance:.1e} within {config.max_iterations} "
+            f"iterations (final gap {report.assignment.relative_gap:.3e})",
+            file=sys.stderr,
+        )
+        return 1
+    payload = report.to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    return 0
+
+
 def _cmd_bench_fleet(args) -> int:
     from repro.experiments.fleetload import FleetBenchConfig, run_fleet_bench
 
@@ -717,6 +773,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench_accel.add_argument("--out", metavar="PATH", default="",
                              help="also write the JSON report to PATH")
     bench_accel.set_defaults(func=_cmd_bench_accel)
+
+    bench_demand = commands.add_parser(
+        "bench-demand",
+        help="run the pinned batch-OD workload (skim matrices, "
+             "select-link, Frank-Wolfe assignment), auditing every "
+             "answer bit-exact against dict-tier Dijkstra",
+    )
+    bench_demand.add_argument("--grid", type=int, default=30,
+                              help="pinned grid size K (default 30)")
+    bench_demand.add_argument("--cost-model", default="variance")
+    bench_demand.add_argument("--seed", type=int, default=1993)
+    bench_demand.add_argument("--reps", type=int, default=3,
+                              help="timed runs of the full skim per "
+                                   "scenario (best-of-N is reported)")
+    bench_demand.add_argument("--origins", type=int, default=12,
+                              help="origin zones in the skim")
+    bench_demand.add_argument("--destinations", type=int, default=12,
+                              help="destination zones in the skim")
+    bench_demand.add_argument("--links", type=int, default=8,
+                              help="links under select-link analysis")
+    bench_demand.add_argument("--epochs", type=int, default=3,
+                              help="traffic epochs re-audited after "
+                                   "the timed scenarios")
+    bench_demand.add_argument("--epoch-edges", type=int, default=12,
+                              help="edges re-priced per epoch")
+    bench_demand.add_argument("--tolerance", type=float, default=1e-4,
+                              help="assignment relative-gap criterion")
+    bench_demand.add_argument("--max-iterations", type=int, default=150,
+                              help="assignment iteration cap")
+    bench_demand.add_argument("--json", action="store_true",
+                              help="print the full report as JSON")
+    bench_demand.add_argument("--out", metavar="PATH", default="",
+                              help="also write the JSON report to PATH")
+    bench_demand.set_defaults(func=_cmd_bench_demand)
 
     bench_fleet = commands.add_parser(
         "bench-fleet",

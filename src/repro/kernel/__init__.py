@@ -71,6 +71,8 @@ IN_MEMORY_ALGORITHMS = ("dijkstra", "astar", "iterative", "bidirectional")
 FASTPATH_TIERS = ("csr", "dict", "cch")
 
 sssp = fastpath.sssp
+sssp_tree = csr.sssp_tree
+sssp_tree_dict = fastpath.sssp_tree_dict
 
 
 def search(
@@ -234,4 +236,6 @@ __all__ = [
     "run_search",
     "search",
     "sssp",
+    "sssp_tree",
+    "sssp_tree_dict",
 ]

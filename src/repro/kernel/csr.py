@@ -43,7 +43,7 @@ import math
 import threading
 from array import array
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import NodeNotFoundError
 from repro.graphs.graph import Graph, NodeId
@@ -595,6 +595,58 @@ def sssp(
             node_ids[i]: d for i, d in enumerate(dist) if d <= cutoff
         }
     return {node_ids[i]: d for i, d in enumerate(dist) if d != _INF}
+
+
+def sssp_tree(
+    graph: Graph, source: NodeId
+) -> "Tuple[CSRGraph, List[float], List[int]]":
+    """One-to-all Dijkstra with predecessor retention on the CSR tier.
+
+    Returns ``(csr, dist, pred)`` over dense node indexes: ``dist[i]``
+    is the shortest-path cost from ``source`` to ``csr.node_ids[i]``
+    (``inf`` when unreachable) and ``pred[i]`` the dense index of the
+    predecessor on that path (``-1`` for the source and unreached
+    nodes). Relaxations run in exactly the order :func:`sssp` uses, so
+    the distances are bit-identical to the cutoff-free :func:`sssp`
+    mapping and the tree path to any settled node is the same route
+    :func:`uniform_cost` returns for the pair — the property the skim
+    subsystem's exactness audit leans on.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+
+    csr = csr_for(graph)
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    weights = csr.weights_list
+    s = csr.index_of[source]
+    n = csr.node_count
+
+    dist = [_INF] * n
+    pred = [-1] * n
+    settled = bytearray(n)
+    dist[s] = 0.0
+    heap = [(0.0, 0, s)]
+    counter = 1
+    pop = heapq.heappop
+    push = heapq.heappush
+
+    while heap:
+        d, _, u = pop(heap)
+        if settled[u]:
+            continue
+        settled[u] = 1
+        start = indptr[u]
+        for k in range(start, indptr[u + 1]):
+            v = indices[k]
+            nd = d + weights[k]
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = u
+                counter += 1
+                push(heap, (nd, counter, v))
+
+    return csr, dist, pred
 
 
 def bidirectional(

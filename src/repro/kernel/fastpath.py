@@ -436,3 +436,39 @@ def sssp_dict(
     if cutoff is not None:
         return {node: d for node, d in dist.items() if d <= cutoff}
     return dist
+
+
+def sssp_tree_dict(
+    graph: Graph, source: NodeId
+) -> "tuple[Dict[NodeId, float], Dict[NodeId, Optional[NodeId]]]":
+    """One-to-all Dijkstra with predecessors over dict adjacency.
+
+    Returns ``(dist, pred)``: only reached nodes appear in ``dist``,
+    and ``pred`` maps each reached node to its predecessor on the
+    shortest path from ``source`` (``None`` for the source itself).
+    Relaxations run in the same order as :func:`sssp_dict`, so the
+    distances are identical to it and the tree path to any node is the
+    route ``uniform_cost_dict`` returns for the pair. This is the
+    independent reference the demand subsystem's exactness harness
+    audits the CSR skim tier against.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    dist: Dict[NodeId, float] = {source: 0.0}
+    pred: Dict[NodeId, Optional[NodeId]] = {source: None}
+    heap = [(0.0, 0, source)]
+    counter = 1
+    settled = set()
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, edge_cost in graph.neighbors(u):
+            nd = d + edge_cost
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                pred[v] = u
+                counter += 1
+                heapq.heappush(heap, (nd, counter, v))
+    return dist, pred

@@ -228,20 +228,34 @@ class RouteCache:
         graph: Graph,
         deltas: Iterable[CostDelta],
         previous_fingerprint: Optional[Tuple[int, int]] = None,
+        new_fingerprint: Optional[Tuple[int, int]] = None,
     ) -> InvalidationReport:
         """Apply one traffic epoch's deltas to the cached answers.
 
         ``previous_fingerprint`` is the graph fingerprint the epoch was
         applied *from* (defaults to ``(uid, version - 1)``, the single
         bump the epoch guard publishes). Only entries cached at exactly
-        that state can be proven unaffected and re-keyed to the current
-        fingerprint; entries from older states are evicted — nothing is
-        known about the updates they missed.
+        that state can be proven unaffected and re-keyed; entries from
+        older states are evicted — nothing is known about the updates
+        they missed.
+
+        ``new_fingerprint`` is the fingerprint the epoch produced and
+        the one survivors are re-keyed to. Callers holding a
+        :class:`~repro.traffic.feed.TrafficEpoch` must pass
+        ``epoch.fingerprint``: defaulting to the *live*
+        ``graph.fingerprint`` is only sound when epochs are processed
+        strictly in order with no updates racing ahead — if the graph
+        has already moved on to a later version, the default would
+        re-key this epoch's survivors straight past the intervening
+        epochs' deltas without ever analysing them, leaving provably
+        stale answers live at the newest fingerprint.
         """
         deltas = list(deltas)
         with self._lock:
             uid = graph.uid
-            new_fp = graph.fingerprint
+            new_fp = (
+                new_fingerprint if new_fingerprint is not None else graph.fingerprint
+            )
             if previous_fingerprint is None:
                 previous_fingerprint = (uid, new_fp[1] - 1)
             keys = self._by_uid.get(uid)
@@ -343,6 +357,91 @@ class RouteCache:
             self._entries.clear()
             self._edge_index.clear()
             self._by_uid.clear()
+
+    # ------------------------------------------------------------------
+    # select-link: the inverted index read forwards
+    # ------------------------------------------------------------------
+    def routes_crossing(
+        self, graph: Graph, links: Iterable[EdgeKey]
+    ) -> List[Tuple[NodeId, NodeId, FrozenSet[EdgeKey]]]:
+        """Cached routes (at the current fingerprint) crossing any link.
+
+        The invalidator uses the edge index to find answers a cost
+        change kills; select-link analysis asks the same index the
+        forward question — which cached OD answers traverse this link.
+        Returns ``(source, destination, edges)`` triples, one per
+        distinct OD pair, considering **only** entries keyed at
+        ``graph.fingerprint``: the index legitimately holds entries at
+        older fingerprints between epochs (consistency-checked puts
+        land there), and those describe routes priced under costs that
+        no longer hold. Lookups here do not touch hit/miss counters or
+        LRU recency — analysis must not distort serving behaviour.
+        """
+        fingerprint = graph.fingerprint
+        uid = graph.uid
+        seen: Set[Tuple[NodeId, NodeId]] = set()
+        out: List[Tuple[NodeId, NodeId, FrozenSet[EdgeKey]]] = []
+        with self._lock:
+            for u, v in links:
+                for key in self._edge_index.get((uid, u, v), ()):
+                    if key[0] != fingerprint:
+                        continue
+                    pair = (key[1], key[2])
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    entry = self._entries.get(key)
+                    if entry is not None and entry.edges:
+                        out.append((pair[0], pair[1], entry.edges))
+        return out
+
+    def audit_index(self) -> List[str]:
+        """Cross-check entries against both indexes; return violations.
+
+        Select-link correctness rides on the inverted edge index being
+        an exact mirror of the live entries, so this audit is wired
+        into the regression tests: every entry's provenance edges must
+        appear in the edge index (and nowhere else), every index slot
+        must point at a live entry that lists the edge, and the uid
+        index must partition exactly the live key set. An empty list
+        means the mirror is exact.
+        """
+        problems: List[str] = []
+        with self._lock:
+            for key, entry in self._entries.items():
+                uid = key[0][0]
+                if key not in self._by_uid.get(uid, ()):
+                    problems.append(f"entry {key!r} missing from uid index")
+                for u, v in entry.edges or ():
+                    if key not in self._edge_index.get((uid, u, v), ()):
+                        problems.append(
+                            f"entry {key!r} missing from edge index at "
+                            f"({u!r}, {v!r})"
+                        )
+            for (uid, u, v), keys in self._edge_index.items():
+                if not keys:
+                    problems.append(f"empty edge-index slot ({uid}, {u!r}, {v!r})")
+                for key in keys:
+                    entry = self._entries.get(key)
+                    if entry is None:
+                        problems.append(
+                            f"edge index ({uid}, {u!r}, {v!r}) points at "
+                            f"dead key {key!r}"
+                        )
+                    elif entry.edges is None or (u, v) not in entry.edges:
+                        problems.append(
+                            f"edge index ({uid}, {u!r}, {v!r}) points at "
+                            f"{key!r} whose provenance lacks the edge"
+                        )
+                    elif key[0][0] != uid:
+                        problems.append(
+                            f"edge index ({uid}, {u!r}, {v!r}) holds "
+                            f"foreign-uid key {key!r}"
+                        )
+            indexed = {k for keys in self._by_uid.values() for k in keys}
+            for key in indexed - set(self._entries):
+                problems.append(f"uid index holds dead key {key!r}")
+        return problems
 
     # ------------------------------------------------------------------
     # observability

@@ -49,7 +49,21 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # circular at runtime (traffic.replay imports us)
+    from repro.demand.selectlink import SelectLinkResult
+    from repro.demand.skim import SkimMatrix
 
 from repro.core.estimators import Estimator
 from repro.core.planner import RoutePlanner
@@ -208,6 +222,19 @@ class RouteService:
         self._accel_lock = threading.Lock()
         self._accels: Dict[int, _accel.Accelerator] = {}
         self.accel_queries_served = 0
+        # Batch OD serving: completed skim matrices are kept per
+        # ``(fingerprint, origins, destinations, tier)`` so repeated
+        # skims of the same zone sets between epochs are free, the same
+        # way the route cache serves repeated point queries. Matrices
+        # are whole-epoch artifacts, so epoch handling drops them for
+        # the graph rather than patching cells.
+        self._skim_lock = threading.Lock()
+        self._skims: "Dict[Tuple, SkimMatrix]" = {}
+        self._skim_capacity = 8
+        self.skims_computed = 0
+        self.skim_hits = 0
+        self.skim_cells = 0
+        self.select_link_runs = 0
 
     # ------------------------------------------------------------------
     # single-query API
@@ -726,6 +753,143 @@ class RouteService:
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # batch OD API (skim / select-link)
+    # ------------------------------------------------------------------
+    def skim(
+        self,
+        graph: Graph,
+        origins: Sequence[NodeId],
+        destinations: Optional[Sequence[NodeId]] = None,
+        tier: str = "csr",
+        retain_paths: bool = False,
+    ) -> "SkimMatrix":
+        """The dense OD cost matrix, served through the skim cache.
+
+        Same contract as :func:`repro.demand.skim.skim` — single-epoch
+        guaranteed, ``inf`` for unreachable pairs — plus reuse: a
+        matrix already computed for the same zone sets at the current
+        fingerprint is returned as-is (a path-retaining matrix also
+        serves cost-only requests). Every cell agrees with
+        :meth:`plan_many` over the same pairs with a cost-optimal
+        algorithm — both price shortest paths at one fingerprint.
+        """
+        # Imported here, not at module top: repro.demand sits above the
+        # traffic package, which imports this module for the replay
+        # driver — a top-level import would be circular.
+        from repro.demand.skim import skim as _skim
+
+        origin_key = tuple(origins)
+        dest_key = tuple(destinations) if destinations is not None else None
+        while True:
+            while graph.cost_update_in_progress:
+                time.sleep(0)
+            fingerprint = graph.fingerprint
+            base = (graph.uid, fingerprint, origin_key, dest_key, tier)
+            with self._skim_lock:
+                hit = self._skims.get(base + (retain_paths,))
+                if hit is None and not retain_paths:
+                    # A path-retaining matrix answers cost-only asks.
+                    hit = self._skims.get(base + (True,))
+                if hit is not None:
+                    self.skim_hits += 1
+                    return hit
+            matrix = _skim(
+                graph, origin_key,
+                destinations=dest_key,
+                tier=tier,
+                retain_paths=retain_paths,
+            )
+            if matrix.fingerprint != fingerprint:
+                # An epoch landed between the lookup and the compute;
+                # key the stored matrix by what it actually priced.
+                continue
+            rows, cols = matrix.shape
+            with self._skim_lock:
+                self._skims[base + (retain_paths,)] = matrix
+                while len(self._skims) > self._skim_capacity:
+                    self._skims.pop(next(iter(self._skims)))
+                self.skims_computed += 1
+                self.skim_cells += rows * cols
+            return matrix
+
+    def select_link(
+        self,
+        graph: Graph,
+        links: Sequence[EdgeKey],
+        demand: Optional[Dict[Tuple[NodeId, NodeId], float]] = None,
+        origins: Optional[Sequence[NodeId]] = None,
+        destinations: Optional[Sequence[NodeId]] = None,
+        source: str = "skim",
+        tier: str = "csr",
+    ) -> "SelectLinkResult":
+        """Which OD pairs traverse each link, and with what volume.
+
+        ``source="skim"`` computes (or reuses) a path-retaining skim
+        over ``origins`` × ``destinations`` — defaulting to the zones
+        named by ``demand`` — and inverts its tree paths.
+        ``source="cache"`` inverts the route cache's edge index
+        instead: the OD pairs already *served* whose cached routes (at
+        the current fingerprint) cross the links — the same index the
+        invalidator walks, read forwards. Both feed one
+        :func:`~repro.demand.selectlink.link_flows` inversion, so the
+        two sources differ only in which route set they describe.
+        """
+        from repro.demand.selectlink import SelectLinkResult, link_flows
+
+        if source not in ("skim", "cache"):
+            raise ValueError(
+                f"unknown select-link source {source!r}; expected "
+                "'skim' or 'cache'"
+            )
+        link_list = [tuple(link) for link in links]
+        if source == "cache":
+            routes = self.cache.routes_crossing(graph, link_list)
+            flows = link_flows(routes, link_list, demand)
+            with self._skim_lock:
+                self.select_link_runs += 1
+            return SelectLinkResult(
+                fingerprint=graph.fingerprint,
+                source="cache",
+                flows=flows,
+                routes_seen=len(routes),
+            )
+        if origins is None:
+            if demand is None:
+                raise ValueError(
+                    "select_link needs origins (or a demand matrix to "
+                    "derive them from) when source='skim'"
+                )
+            origins = sorted({o for o, _ in demand})
+        if destinations is None and demand is not None:
+            destinations = sorted({d for _, d in demand})
+        matrix = self.skim(
+            graph, origins, destinations, tier=tier, retain_paths=True
+        )
+        routes_seen = 0
+
+        def counted():
+            nonlocal routes_seen
+            for triple in matrix.routes():
+                routes_seen += 1
+                yield triple
+
+        flows = link_flows(counted(), link_list, demand)
+        with self._skim_lock:
+            self.select_link_runs += 1
+        return SelectLinkResult(
+            fingerprint=matrix.fingerprint,
+            source="skim",
+            flows=flows,
+            routes_seen=routes_seen,
+        )
+
+    def _drop_skims(self, uid: int) -> None:
+        """Forget skim matrices for a graph whose costs just moved."""
+        with self._skim_lock:
+            for key in [k for k in self._skims if k[0] == uid]:
+                del self._skims[key]
+
+    # ------------------------------------------------------------------
     # relational-engine tier
     # ------------------------------------------------------------------
     def plan_engine(
@@ -791,6 +955,7 @@ class RouteService:
     # ------------------------------------------------------------------
     def invalidate(self, graph: Graph) -> int:
         """Evict every cached answer computed on any version of ``graph``."""
+        self._drop_skims(graph.uid)
         return self.cache.invalidate_graph(graph)
 
     def handle_epoch(self, epoch) -> InvalidationReport:
@@ -819,11 +984,19 @@ class RouteService:
             # never replay the journal on top of it.
             self._recovered_uids.add(graph.uid)
         if self.invalidation == "edge":
+            # Survivors re-key to the fingerprint *this* epoch produced
+            # (not the live one, which may already be several epochs
+            # ahead): see ``invalidate_edges`` on why defaulting would
+            # let survivors leapfrog unanalysed deltas.
             report = self.cache.invalidate_edges(
-                graph, epoch.deltas, epoch.previous_fingerprint
+                graph,
+                epoch.deltas,
+                epoch.previous_fingerprint,
+                new_fingerprint=epoch.fingerprint,
             )
         else:
             report = InvalidationReport(self.cache.invalidate_graph(graph), 0)
+        self._drop_skims(graph.uid)
         self.pool.refresh(graph)
         self._customize_accel(graph, epoch)
         with self._rgraph_lock:
@@ -869,6 +1042,7 @@ class RouteService:
         old_cost = graph.edge_cost(source, target)
         previous = graph.fingerprint
         graph.update_edge_cost(source, target, cost)
+        applied = graph.fingerprint
         new_cost = graph.edge_cost(source, target)
         deltas = (
             [CostDelta(source, target, old_cost, new_cost)]
@@ -886,14 +1060,17 @@ class RouteService:
                 graph=graph,
                 deltas=tuple(deltas),
                 previous_fingerprint=previous,
-                fingerprint=graph.fingerprint,
+                fingerprint=applied,
             )
         if self.wal is not None and epoch is not None:
             self.wal.log_epoch(epoch)
         if self.invalidation == "edge":
-            report = self.cache.invalidate_edges(graph, deltas, previous)
+            report = self.cache.invalidate_edges(
+                graph, deltas, previous, new_fingerprint=applied
+            )
         else:
             report = InvalidationReport(self.cache.invalidate_graph(graph), 0)
+        self._drop_skims(graph.uid)
         self.pool.refresh(graph)
         if epoch is not None:
             self._customize_accel(graph, epoch)
@@ -1014,6 +1191,12 @@ class RouteService:
         with self._traffic_lock:
             snap["accel_queries_served"] = self.accel_queries_served
         snap["accel_instances"] = len(instances)
+        with self._skim_lock:
+            snap["skims_computed"] = self.skims_computed
+            snap["skim_hits"] = self.skim_hits
+            snap["skim_cells"] = self.skim_cells
+            snap["skim_matrices_held"] = len(self._skims)
+            snap["select_link_runs"] = self.select_link_runs
         for name, value in self.cache.snapshot().items():
             snap[f"cache_{name}"] = value
         for name, value in self.pool.snapshot().items():

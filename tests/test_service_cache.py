@@ -90,7 +90,127 @@ class TestRouteCache:
         assert all(isinstance(value, (int, float)) for value in snap.values())
 
 
-class TestEstimatorPool:
+class TestInvalidateEdgesRekeyTarget:
+    """Regression tests for the survivor re-key fingerprint.
+
+    ``invalidate_edges`` used to re-key survivors to the *live*
+    ``graph.fingerprint``. When updates race ahead of epoch handling
+    (the graph is already at v3 while the subscriber processes the
+    v1->v2 epoch), that default leapfrogged survivors straight past the
+    intervening epoch's delta analysis, leaving provably stale answers
+    live at the newest fingerprint. Survivors must land at the epoch's
+    *own* produced fingerprint instead.
+    """
+
+    def _seed_entry(self, graph, cache):
+        """Cache one provenance-bearing answer at the current state."""
+        key = _key(graph, source=(0, 0), destination=(0, 1))
+        cache.put(key, "route", edges=[((0, 0), (0, 1))], cost=1.0)
+        return key
+
+    def _bump(self, graph, source, target, cost):
+        """Raise one far-away edge cost; return the delta + new print."""
+        from repro.graphs.graph import CostDelta
+
+        old = graph.edge_cost(source, target)
+        assert cost > old  # increases keep the decrease bound out of play
+        graph.update_edge_cost(source, target, cost)
+        return CostDelta(source, target, old, cost), graph.fingerprint
+
+    def test_survivor_rekeys_to_epoch_fingerprint_not_live(self):
+        graph = make_grid(4)
+        cache = RouteCache(capacity=8)
+        key1 = self._seed_entry(graph, cache)
+        fp1 = graph.fingerprint
+        delta1, fp2 = self._bump(graph, (3, 3), (2, 3), 90.0)
+        delta2, fp3 = self._bump(graph, (3, 3), (3, 2), 91.0)
+        assert fp1 != fp2 != fp3
+
+        # Process epoch 1 while the graph is already at fp3.
+        report = cache.invalidate_edges(
+            graph, [delta1], previous_fingerprint=fp1, new_fingerprint=fp2
+        )
+        assert report.rekeyed == 1 and report.evicted == 0
+        assert cache.get((fp2,) + key1[1:]) == "route"
+        # The old behaviour would make this a (stale) hit at fp3.
+        assert cache.get((fp3,) + key1[1:]) is None
+        assert cache.audit_index() == []
+
+        # Processing epoch 2 in order brings the survivor up to fp3.
+        report = cache.invalidate_edges(
+            graph, [delta2], previous_fingerprint=fp2, new_fingerprint=fp3
+        )
+        assert report.rekeyed == 1 and report.evicted == 0
+        assert cache.get((fp3,) + key1[1:]) == "route"
+        assert cache.audit_index() == []
+
+    def test_leapfrog_would_have_served_a_stale_answer(self):
+        """The concrete hazard: epoch 2 re-prices the cached route's
+        own edge. A survivor leapfrogged to fp3 during epoch-1 handling
+        would serve that re-priced route as current; pinning the re-key
+        to fp2 lets epoch-2 handling evict it before fp3 lookups hit."""
+        graph = make_grid(4)
+        cache = RouteCache(capacity=8)
+        key1 = self._seed_entry(graph, cache)
+        fp1 = graph.fingerprint
+        delta1, fp2 = self._bump(graph, (3, 3), (2, 3), 90.0)
+        delta2, fp3 = self._bump(graph, (0, 0), (0, 1), 91.0)  # the route!
+
+        cache.invalidate_edges(
+            graph, [delta1], previous_fingerprint=fp1, new_fingerprint=fp2
+        )
+        cache.invalidate_edges(
+            graph, [delta2], previous_fingerprint=fp2, new_fingerprint=fp3
+        )
+        assert cache.get((fp3,) + key1[1:]) is None
+        assert len(cache) == 0
+        assert cache.audit_index() == []
+
+    def test_default_rekey_target_is_still_the_live_fingerprint(self):
+        """Quiesced, strictly-in-order callers that pass no
+        ``new_fingerprint`` keep the old (sound, in that regime)
+        behaviour: survivors land at the live fingerprint."""
+        graph = make_grid(4)
+        cache = RouteCache(capacity=8)
+        key1 = self._seed_entry(graph, cache)
+        fp1 = graph.fingerprint
+        delta1, fp2 = self._bump(graph, (3, 3), (2, 3), 90.0)
+        report = cache.invalidate_edges(
+            graph, [delta1], previous_fingerprint=fp1
+        )
+        assert report.rekeyed == 1
+        assert cache.get((fp2,) + key1[1:]) == "route"
+        assert cache.audit_index() == []
+
+
+class TestRoutesCrossing:
+    def test_reads_the_inverted_index_forwards(self):
+        graph = make_grid(4)
+        cache = RouteCache(capacity=8)
+        edges_a = [((0, 0), (0, 1)), ((0, 1), (0, 2))]
+        edges_b = [((1, 0), (1, 1))]
+        cache.put(_key(graph, source=(0, 0), destination=(0, 2)),
+                  "a", edges=edges_a, cost=2.0)
+        cache.put(_key(graph, source=(1, 0), destination=(1, 1)),
+                  "b", edges=edges_b, cost=1.0)
+        hits = cache.routes_crossing(graph, [((0, 1), (0, 2))])
+        assert [(s, d) for s, d, _ in hits] == [((0, 0), (0, 2))]
+        assert hits[0][2] == frozenset(edges_a)
+        # An un-crossed link yields nothing; serving counters untouched.
+        assert cache.routes_crossing(graph, [((3, 3), (3, 2))]) == []
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_stale_fingerprint_entries_are_filtered(self):
+        """Between epochs the index legally holds old-fingerprint
+        entries; select-link must never report their routes."""
+        graph = make_grid(4)
+        cache = RouteCache(capacity=8)
+        cache.put(_key(graph, source=(0, 0), destination=(0, 1)),
+                  "old", edges=[((0, 0), (0, 1))], cost=1.0)
+        graph.update_edge_cost((3, 3), (2, 3), 90.0)
+        assert cache.routes_crossing(graph, [((0, 0), (0, 1))]) == []
+        assert len(cache) == 1  # the entry itself is still cached
+        assert cache.audit_index() == []
     def test_acquire_release_reuses_instance(self):
         graph = make_grid(5)
         pool = EstimatorPool()
