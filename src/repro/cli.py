@@ -39,6 +39,12 @@ Commands
                stitching FleetRouter for each ``--layouts`` entry, and
                audit every answer against whole-graph Dijkstra — exits
                non-zero (and refuses ``--out``) on any inexact answer;
+``bench-fleet-chaos`` replay the seeded Zipf stream against a
+               replicated fleet under injected worker faults, replica
+               kills, and traffic epochs, then against a same-seed
+               replicas=1 baseline — exits non-zero (and refuses
+               ``--out``) on any inexact answer, stale serve, silent
+               drop, or if replication bought no availability;
 ``bench-demand`` run the pinned batch-OD workload: skim the OD matrix
                on the dict/CSR tiers vs per-pair point queries, audit
                every cell/path/select-link flow bit-exact against
@@ -523,6 +529,65 @@ def _cmd_bench_fleet(args) -> int:
     return 0
 
 
+def _cmd_bench_fleet_chaos(args) -> int:
+    from repro.experiments.fleetchaos import FleetChaosConfig, run_fleet_chaos
+
+    kills = []
+    if args.kills.strip():
+        for spec in args.kills.split(","):
+            spec = spec.strip()
+            if not spec:
+                continue
+            try:
+                round_index, shard_id = spec.split(":")
+                kills.append((int(round_index), int(shard_id)))
+            except ValueError:
+                print(
+                    f"FAIL: bad --kills entry {spec!r} "
+                    "(expected ROUND:SHARD)",
+                    file=sys.stderr,
+                )
+                return 1
+    config = FleetChaosConfig(
+        grid=args.grid,
+        cost_model=args.cost_model,
+        seed=args.seed,
+        layout=args.layout,
+        replicas=args.replicas,
+        queries=args.queries,
+        rounds=args.rounds,
+        alpha=args.alpha,
+        epoch_edges=args.epoch_edges,
+        fault_seed=args.fault_seed,
+        error_rate=args.error_rate,
+        latency_rate=args.latency_rate,
+        hang_rate=args.hang_rate,
+        kills=tuple(kills),
+        max_queue=args.max_queue,
+        worker_threads=args.threads,
+    )
+    report = run_fleet_chaos(config)
+    if not args.json:
+        for line in report.summary_lines():
+            print(line)
+    if not report.clean:
+        # Refuse to emit JSON for an unclean run — and fail loudly: an
+        # inexact or stale answer under chaos means the degradation
+        # ladder is broken, not that the fleet is merely slow.
+        print(
+            "FAIL: fleet chaos audit not clean (see summary above)",
+            file=sys.stderr,
+        )
+        return 1
+    payload = report.to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.graphs.analysis import (
         degree_statistics,
@@ -840,6 +905,50 @@ def build_parser() -> argparse.ArgumentParser:
     bench_fleet.add_argument("--out", metavar="PATH", default="",
                              help="also write the JSON report to PATH")
     bench_fleet.set_defaults(func=_cmd_bench_fleet)
+
+    bench_chaos = commands.add_parser(
+        "bench-fleet-chaos",
+        help="replicated fleet under injected faults, kills, and epochs, "
+             "audited exact-or-flagged against whole-graph Dijkstra",
+    )
+    bench_chaos.add_argument("--grid", type=int, default=10,
+                             help="paper grid side (default 10)")
+    bench_chaos.add_argument("--cost-model", default="variance")
+    bench_chaos.add_argument("--seed", type=int, default=1993)
+    bench_chaos.add_argument("--layout", default="2x2",
+                             help="shard layout RxC (default 2x2)")
+    bench_chaos.add_argument("--replicas", type=int, default=2,
+                             help="workers per shard in the replicated run "
+                                  "(default 2)")
+    bench_chaos.add_argument("--queries", type=int, default=240,
+                             help="Zipf OD queries (default 240)")
+    bench_chaos.add_argument("--rounds", type=int, default=4,
+                             help="rounds; one epoch before each round "
+                                  "after the first (default 4)")
+    bench_chaos.add_argument("--alpha", type=float, default=1.1,
+                             help="Zipf skew exponent (default 1.1)")
+    bench_chaos.add_argument("--epoch-edges", type=int, default=24,
+                             help="edges perturbed per epoch (default 24)")
+    bench_chaos.add_argument("--fault-seed", type=int, default=7,
+                             help="worker fault-plan seed (default 7)")
+    bench_chaos.add_argument("--error-rate", type=float, default=0.06,
+                             help="transient task-error rate (default 0.06)")
+    bench_chaos.add_argument("--latency-rate", type=float, default=0.03,
+                             help="injected-latency rate (default 0.03)")
+    bench_chaos.add_argument("--hang-rate", type=float, default=0.01,
+                             help="hung-task rate (default 0.01)")
+    bench_chaos.add_argument("--kills", default="2:0",
+                             help="comma-separated ROUND:SHARD replica "
+                                  "kills (default '2:0'; '' for none)")
+    bench_chaos.add_argument("--max-queue", type=int, default=128,
+                             help="per-worker admission bound (default 128)")
+    bench_chaos.add_argument("--threads", type=int, default=6,
+                             help="executor threads per replica (default 6)")
+    bench_chaos.add_argument("--json", action="store_true",
+                             help="print the report as JSON")
+    bench_chaos.add_argument("--out", metavar="PATH", default="",
+                             help="also write the JSON report to PATH")
+    bench_chaos.set_defaults(func=_cmd_bench_fleet_chaos)
 
     return parser
 

@@ -138,10 +138,13 @@ class IndexError_(StorageError):
 
 
 class FaultError(StorageError):
-    """Base class for injected storage faults (the chaos subsystem).
+    """Base class for injected *transient* faults (the chaos subsystem).
 
-    Raised only when a :class:`repro.faults.FaultInjector` is attached;
-    a database without an injector can never raise these.
+    Originally storage-only (raised when a
+    :class:`repro.faults.FaultInjector` is attached); the fleet tier
+    reuses the family for injected worker faults so one ``except``
+    clause still catches everything a bounded retry may absorb. A
+    stack without an injector or fault plan can never raise these.
     """
 
 
@@ -191,6 +194,60 @@ class SimulatedCrash(StorageError):
         )
         self.site = site
         self.op_index = op_index
+
+
+class TransientWorkerError(FaultError):
+    """A shard-worker task failed transiently (injected fleet fault).
+
+    Raised inside the worker task *before* any computation ran, so a
+    retry — on the same replica or a peer — starts from clean state.
+    """
+
+    def __init__(self, site: str, op_index: int) -> None:
+        super().__init__(
+            f"transient worker error at {site} (op {op_index}, injected fault)"
+        )
+        self.site = site
+        self.op_index = op_index
+
+
+class WorkerCrash(ReproError):
+    """A shard worker (replica) died at a task boundary.
+
+    The fleet analogue of :class:`SimulatedCrash`, and deliberately
+    *not* a :class:`FaultError` for the same reason: a dead replica is
+    not a transient condition a same-replica retry can absorb — the
+    error must propagate through the retry wrapper so the router fails
+    over to a healthy replica and the health checker marks this one
+    dead. Raised before the task body runs, so the killed task never
+    computed or mutated anything.
+    """
+
+    def __init__(self, shard_id: int, replica_index: int, op_index: int) -> None:
+        super().__init__(
+            f"worker shard {shard_id} replica {replica_index} crashed "
+            f"at task op {op_index} (injected kill)"
+        )
+        self.shard_id = shard_id
+        self.replica_index = replica_index
+        self.op_index = op_index
+
+
+class ShardUnavailableError(ReproError):
+    """No serving replica is available for a shard (the shard is dark).
+
+    Raised when a fleet operation needs a shard whose replicas are all
+    crashed, lagging an epoch, or shut down. The router converts this
+    into an explicit shed — a dark shard degrades availability, never
+    correctness.
+    """
+
+    def __init__(self, shard_id: int, detail: str = "") -> None:
+        message = f"shard {shard_id} is dark: no serving replica"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.shard_id = shard_id
 
 
 class RecoveryError(StorageError):

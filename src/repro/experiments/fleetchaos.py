@@ -1,0 +1,509 @@
+"""The fleet chaos proof: faults × epochs × replica kills, audited.
+
+:func:`run_fleet_chaos` replays one seeded Zipf OD stream against a
+replicated fleet while a :class:`~repro.faults.WorkerFaultPlan` injects
+transient errors, latency, and hung tasks into every shard replica, a
+kill schedule hard-kills replicas between rounds, and traffic epochs
+keep mutating the map underneath. Every non-shed answer is audited
+against whole-graph Dijkstra on the *current* parent state — and every
+inexact answer is additionally checked against the *previous* epoch's
+state, so a stale serve (right answer, wrong epoch) is distinguished
+from a plain wrong answer. The serving contract under chaos is the
+same exact-or-flagged contract PR 4 proved for storage:
+
+* zero inexact answers,
+* zero silent drops (``answered + shed == queries``),
+* zero stale serves across epochs.
+
+The same stream then replays against a ``replicas=1`` baseline built
+from the *same* seeds (baseline replica 0 runs the identical fault
+schedule as the replicated run's replica 0, and the kill schedule
+kills each run's highest replica index — the same physical failure).
+Replication must buy strictly higher availability under that identical
+failure pattern, or the report is not clean.
+
+Determinism: queries replay serially and every fault decision depends
+only on ``(seed, op_index)``, so the per-query outcome records — and
+the CRC32 **determinism key** over them — are byte-identical across
+same-seed runs, and a rate-0 plan produces the identical key as a
+fleet with no plans attached at all. Wall-clock timings (hedge counts,
+latencies) are deliberately excluded from the key: replicas compute
+identical answers, so *which* replica won a race never changes a
+record.
+
+Emission follows the PR 6 convention: :meth:`FleetChaosReport.to_json`
+refuses a report that is not clean, so a committed
+``BENCH_fleet_chaos.json`` always describes a complete chaos run whose
+every answer was exact or explicitly flagged.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.workerplan import WorkerFaultPlan
+from repro.fleet.loadgen import (
+    ABS_TOL,
+    REL_TOL,
+    _audit_one,
+    _perturbation,
+    zipf_pairs,
+)
+from repro.fleet.partition import parse_layout, partition_graph
+from repro.fleet.replica import DeadlinePolicy, HealthPolicy
+from repro.fleet.router import FleetRouter
+from repro.graphs.graph import Graph, NodeId
+from repro.kernel import csr
+from repro.service.metrics import Snapshot
+from repro.traffic.feed import TrafficFeed
+
+
+@dataclass
+class FleetChaosConfig:
+    """One pinned chaos workload. Changing any field changes what the
+    committed number means — bump deliberately, never casually."""
+
+    grid: int = 10
+    cost_model: str = "variance"
+    seed: int = 1993
+    layout: str = "2x2"
+    replicas: int = 2
+    queries: int = 240
+    rounds: int = 4
+    alpha: float = 1.1
+    #: Edges perturbed per inter-round epoch.
+    epoch_edges: int = 24
+    #: Seed for the worker fault plans (per-replica schedules derive
+    #: from it via a stable hash; see ``WorkerFaultPlan.derive``).
+    fault_seed: int = 7
+    #: Injected fault mix; the acceptance bar is a clean audit at a
+    #: 10% total rate with 2 replicas.
+    error_rate: float = 0.06
+    latency_rate: float = 0.03
+    hang_rate: float = 0.01
+    latency_s: float = 0.002
+    #: A hang must dwarf the stage budget so only hedged dispatch (or
+    #: an explicit deadline shed) can resolve it.
+    hang_s: float = 0.9
+    #: ``(round_index, shard_id)``: before that round starts, the
+    #: shard's highest replica index is hard-killed. The baseline run
+    #: kills *its* highest index — replica 0 — so both runs suffer the
+    #: same failure and differ only in having a spare.
+    kills: Tuple[Tuple[int, int], ...] = ((2, 0),)
+    # Deadline policy, tightened so the injected tail actually hits it.
+    total_s: float = 1.6
+    stage_s: float = 0.45
+    hedge_s: float = 0.05
+    max_attempts: int = 3
+    backoff_s: float = 0.001
+    max_queue: int = 128
+    #: Generous so abandoned hung tasks never starve live dispatch (a
+    #: zombie occupies a thread for ``hang_s``).
+    worker_threads: int = 6
+
+    @property
+    def total_fault_rate(self) -> float:
+        return self.error_rate + self.latency_rate + self.hang_rate
+
+    def deadline_policy(self) -> DeadlinePolicy:
+        return DeadlinePolicy(
+            total_s=self.total_s,
+            local_s=self.stage_s,
+            boundary_s=self.stage_s,
+            overlay_s=self.stage_s,
+            materialize_s=self.stage_s,
+            hedge_s=self.hedge_s,
+            max_attempts=self.max_attempts,
+            backoff_s=self.backoff_s,
+        )
+
+    def parent_plan(self) -> WorkerFaultPlan:
+        return WorkerFaultPlan(
+            seed=self.fault_seed,
+            error_rate=self.error_rate,
+            latency_rate=self.latency_rate,
+            hang_rate=self.hang_rate,
+            latency_s=self.latency_s,
+            hang_s=self.hang_s,
+        )
+
+
+@dataclass
+class FleetChaosRun:
+    """One audited replay (replicated or baseline)."""
+
+    replicas: int = 1
+    queries: int = 0
+    answered: int = 0
+    shed: int = 0
+    found: int = 0
+    not_found: int = 0
+    cross_shard: int = 0
+    stitched: int = 0
+    audited: int = 0
+    inexact: int = 0
+    #: Answers matching the previous epoch's cost but not the current
+    #: one — the failure mode version-pinned fan-out must prevent.
+    stale_serves: int = 0
+    hedged: int = 0
+    failovers: int = 0
+    retries: int = 0
+    kills: int = 0
+    epochs_applied: int = 0
+    wall_s: float = 0.0
+    #: CRC32 over the per-query outcome records; timing-independent.
+    determinism_key: int = 0
+    snapshot: Dict[str, Snapshot] = field(default_factory=dict)
+    inexact_samples: List[str] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        return self.answered / self.queries if self.queries else 0.0
+
+    @property
+    def clean(self) -> bool:
+        """Exact-or-flagged held: nothing wrong, stale, or dropped."""
+        return (
+            self.inexact == 0
+            and self.stale_serves == 0
+            and self.answered + self.shed == self.queries
+        )
+
+    def to_snapshot(self) -> Snapshot:
+        return {
+            "replicas": self.replicas,
+            "queries": self.queries,
+            "answered": self.answered,
+            "shed": self.shed,
+            "found": self.found,
+            "not_found": self.not_found,
+            "cross_shard": self.cross_shard,
+            "stitched": self.stitched,
+            "audited": self.audited,
+            "inexact": self.inexact,
+            "stale_serves": self.stale_serves,
+            "hedged": self.hedged,
+            "failovers": self.failovers,
+            "retries": self.retries,
+            "kills": self.kills,
+            "epochs_applied": self.epochs_applied,
+            "availability": self.availability,
+            "wall_s": self.wall_s,
+            "determinism_key": self.determinism_key,
+            "clean": int(self.clean),
+        }
+
+
+@dataclass
+class FleetChaosReport:
+    """Replicated run vs same-seed baseline, with the clean verdict."""
+
+    config: FleetChaosConfig
+    replicated: Optional[FleetChaosRun] = None
+    baseline: Optional[FleetChaosRun] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.replicated is not None and self.baseline is not None
+
+    @property
+    def availability_gain(self) -> float:
+        if not self.complete:
+            return 0.0
+        return self.replicated.availability - self.baseline.availability
+
+    @property
+    def clean(self) -> bool:
+        """Both runs exact-or-flagged, and replication paid for itself.
+
+        The availability comparison is only meaningful when the kill
+        schedule actually removed capacity; a kill-free config (e.g.
+        the rate-0 determinism check) skips it.
+        """
+        if not self.complete:
+            return False
+        if not (self.replicated.clean and self.baseline.clean):
+            return False
+        if self.config.kills:
+            return self.replicated.availability > self.baseline.availability
+        return True
+
+    def summary_lines(self) -> List[str]:
+        cfg = self.config
+        lines = [
+            f"workload: grid {cfg.grid}x{cfg.grid} {cfg.cost_model} "
+            f"seed={cfg.seed}, layout {cfg.layout}, {cfg.queries} "
+            f"Zipf(alpha={cfg.alpha}) queries over {cfg.rounds} rounds",
+            f"faults: seed={cfg.fault_seed} error={cfg.error_rate} "
+            f"latency={cfg.latency_rate} hang={cfg.hang_rate} "
+            f"(total {cfg.total_fault_rate:.0%}), kills={list(cfg.kills)}",
+            f"deadlines: total {cfg.total_s}s, stage {cfg.stage_s}s, "
+            f"hedge {cfg.hedge_s}s, attempts {cfg.max_attempts}",
+        ]
+        for name, run in (
+            ("replicated", self.replicated),
+            ("baseline", self.baseline),
+        ):
+            if run is None:
+                lines.append(f"{name:10s} MISSING")
+                continue
+            lines.append(
+                f"{name:10s} replicas={run.replicas} "
+                f"availability={run.availability:7.2%} "
+                f"answered={run.answered} shed={run.shed} "
+                f"hedged={run.hedged} failovers={run.failovers} "
+                f"retries={run.retries} inexact={run.inexact} "
+                f"stale={run.stale_serves} key={run.determinism_key}"
+            )
+            for sample in run.inexact_samples:
+                lines.append(f"           INEXACT {sample}")
+        if self.complete:
+            lines.append(
+                f"availability gain from replication: "
+                f"{self.availability_gain:+.2%}"
+            )
+        lines.append(
+            "audit: clean" if self.clean else "audit: NOT CLEAN"
+        )
+        return lines
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize — refusing partial, inexact, stale, or
+        no-gain reports, so a committed ``BENCH_fleet_chaos.json``
+        always describes a clean complete chaos run."""
+        if not self.complete:
+            raise ValueError(
+                "refusing to serialise a partial fleet chaos report"
+            )
+        if not self.clean:
+            problems = []
+            for name, run in (
+                ("replicated", self.replicated),
+                ("baseline", self.baseline),
+            ):
+                if run.inexact:
+                    problems.append(f"{name}: {run.inexact} inexact")
+                if run.stale_serves:
+                    problems.append(f"{name}: {run.stale_serves} stale")
+                if run.answered + run.shed != run.queries:
+                    problems.append(f"{name}: silent drops")
+            if self.config.kills and self.availability_gain <= 0:
+                problems.append(
+                    "replication bought no availability over baseline"
+                )
+            raise ValueError(
+                "refusing to serialise an unclean fleet chaos report: "
+                + "; ".join(problems)
+            )
+        cfg = self.config
+        return json.dumps(
+            {
+                "workload": {
+                    "grid": cfg.grid,
+                    "cost_model": cfg.cost_model,
+                    "seed": cfg.seed,
+                    "layout": cfg.layout,
+                    "replicas": cfg.replicas,
+                    "queries": cfg.queries,
+                    "rounds": cfg.rounds,
+                    "alpha": cfg.alpha,
+                    "epoch_edges": cfg.epoch_edges,
+                },
+                "faults": {
+                    "fault_seed": cfg.fault_seed,
+                    "error_rate": cfg.error_rate,
+                    "latency_rate": cfg.latency_rate,
+                    "hang_rate": cfg.hang_rate,
+                    "total_rate": cfg.total_fault_rate,
+                    "latency_s": cfg.latency_s,
+                    "hang_s": cfg.hang_s,
+                    "kills": [list(kill) for kill in cfg.kills],
+                },
+                "deadlines": {
+                    "total_s": cfg.total_s,
+                    "stage_s": cfg.stage_s,
+                    "hedge_s": cfg.hedge_s,
+                    "max_attempts": cfg.max_attempts,
+                    "backoff_s": cfg.backoff_s,
+                },
+                "availability_gain": round(self.availability_gain, 6),
+                "runs": {
+                    name: {
+                        "summary": {
+                            key: (round(value, 6)
+                                  if isinstance(value, float) else value)
+                            for key, value in run.to_snapshot().items()
+                        },
+                        "fleet": run.snapshot.get("fleet", {}),
+                        "shards": {
+                            key: snap
+                            for key, snap in run.snapshot.items()
+                            if key != "fleet"
+                        },
+                    }
+                    for name, run in (
+                        ("replicated", self.replicated),
+                        ("baseline", self.baseline),
+                    )
+                },
+            },
+            indent=indent,
+        )
+
+
+def chaos_graph(config: FleetChaosConfig) -> Graph:
+    from repro.graphs.grid import make_paper_grid
+
+    return make_paper_grid(config.grid, config.cost_model, seed=config.seed)
+
+
+def run_chaos_replay(
+    config: FleetChaosConfig,
+    replicas: int,
+    attach_plans: bool = True,
+) -> FleetChaosRun:
+    """One serial audited replay with ``replicas`` workers per shard.
+
+    ``attach_plans=False`` builds the fleet with **no** fault plans at
+    all (not even rate-0 ones) — the determinism tests compare its key
+    against a rate-0 run to prove the noop path is byte-identical.
+    """
+    rows, cols = parse_layout(config.layout)
+    graph = chaos_graph(config)
+    partition = partition_graph(graph, rows, cols)
+    fault_plans = None
+    if attach_plans:
+        parent = config.parent_plan()
+        fault_plans = {
+            (spec.shard_id, index): parent.derive(spec.shard_id, index)
+            for spec in partition.shards
+            for index in range(replicas)
+        }
+    router = FleetRouter(
+        partition,
+        max_queue=config.max_queue,
+        threads=config.worker_threads,
+        replicas=replicas,
+        fault_plans=fault_plans,
+        deadline=config.deadline_policy(),
+        health=HealthPolicy(),
+    )
+    feed = TrafficFeed(graph)
+    feed.subscribe(router)
+    run = FleetChaosRun(replicas=replicas)
+    kills_by_round: Dict[int, List[int]] = {}
+    for round_index, shard_id in config.kills:
+        kills_by_round.setdefault(round_index, []).append(shard_id)
+
+    pairs = zipf_pairs(graph, config.queries, config.alpha, config.seed)
+    epoch_rng = random.Random(config.seed + 1)
+    base_costs = {
+        (edge.source, edge.target): edge.cost for edge in graph.edges()
+    }
+    rounds = max(1, config.rounds)
+    per_round = [pairs[index::rounds] for index in range(rounds)]
+    records: List[Tuple] = []
+    previous_graph: Optional[Graph] = None
+
+    started = time.perf_counter()
+    try:
+        for round_index, round_pairs in enumerate(per_round):
+            if round_index > 0 and config.epoch_edges > 0:
+                # Snapshot the pre-epoch state first: it is the only
+                # state a stale serve could have been computed against.
+                previous_graph = graph.copy()
+                feed.apply(
+                    _perturbation(
+                        graph, base_costs, config.epoch_edges, epoch_rng
+                    )
+                )
+                run.epochs_applied += 1
+            for shard_id in kills_by_round.get(round_index, ()):
+                # Kill the highest replica index this run has — the
+                # replicated run loses a spare, the baseline loses its
+                # only copy; same failure, different redundancy.
+                router.kill_replica(shard_id, replicas - 1)
+                run.kills += 1
+
+            reference_cache: Dict[
+                Tuple[NodeId, NodeId], Tuple[bool, float]
+            ] = {}
+            for source, destination in round_pairs:
+                result = router.plan(source, destination)
+                run.queries += 1
+                if result.hedged:
+                    run.hedged += 1
+                run.failovers += result.failovers
+                run.retries += result.retries
+                if result.shed:
+                    run.shed += 1
+                    records.append(
+                        (round_index, source, destination, 1, 0, -1.0)
+                    )
+                    continue
+                run.answered += 1
+                if result.found:
+                    run.found += 1
+                else:
+                    run.not_found += 1
+                if result.cross_shard:
+                    run.cross_shard += 1
+                if result.stitched:
+                    run.stitched += 1
+                records.append(
+                    (
+                        round_index,
+                        source,
+                        destination,
+                        0,
+                        1 if result.found else 0,
+                        round(result.cost, 9) if result.found else -1.0,
+                    )
+                )
+                run.audited += 1
+                complaint = _audit_one(graph, result, reference_cache)
+                if complaint is not None:
+                    run.inexact += 1
+                    if _is_stale(previous_graph, result):
+                        run.stale_serves += 1
+                        complaint = f"STALE {complaint}"
+                    if len(run.inexact_samples) < 8:
+                        run.inexact_samples.append(
+                            f"round {round_index}: {complaint}"
+                        )
+    finally:
+        router.shutdown()
+    run.wall_s = time.perf_counter() - started
+    run.determinism_key = zlib.crc32(repr(tuple(records)).encode("utf-8"))
+    run.snapshot = router.snapshot()
+    return run
+
+
+def _is_stale(previous_graph: Optional[Graph], result) -> bool:
+    """True when an inexact answer matches the *previous* epoch's
+    optimum — i.e. it was served from pre-epoch state."""
+    if previous_graph is None or not result.found:
+        return False
+    reference = csr.uniform_cost(
+        previous_graph, result.source, result.destination
+    )
+    return reference.found and math.isclose(
+        result.cost, reference.cost, rel_tol=REL_TOL, abs_tol=ABS_TOL
+    )
+
+
+def run_fleet_chaos(
+    config: Optional[FleetChaosConfig] = None,
+) -> FleetChaosReport:
+    """The full chaos proof: replicated run, then same-seed baseline."""
+    config = config or FleetChaosConfig()
+    report = FleetChaosReport(config=config)
+    report.replicated = run_chaos_replay(config, replicas=config.replicas)
+    report.baseline = run_chaos_replay(config, replicas=1)
+    return report

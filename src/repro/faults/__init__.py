@@ -15,13 +15,19 @@ The subsystem has three pieces:
   and distils the run into a single determinism key;
 * :func:`run_crash_matrix` — the *durability* proof: kill the process
   at operation N for a sweep of N, recover from the write-ahead log,
-  and audit committed-state survival (:mod:`repro.faults.crashmatrix`).
+  and audit committed-state survival (:mod:`repro.faults.crashmatrix`);
+* :class:`WorkerFaultPlan` — the same seedable one-draw-per-operation
+  discipline applied at the fleet's ``ShardWorker.submit`` boundary
+  (transient task errors, injected latency, hung tasks, and
+  no-extra-draw replica kills mirroring ``crash_at_op``), consumed by
+  :mod:`repro.fleet` and proven by
+  :mod:`repro.experiments.fleetchaos`.
 
 A database without an injector — or with a rate-0 plan — runs the
 exact seed code path: zero extra charges, zero behaviour change.
 """
 
-from repro.exceptions import SimulatedCrash
+from repro.exceptions import SimulatedCrash, TransientWorkerError, WorkerCrash
 from repro.faults.chaos import ChaosConfig, ChaosReport, run_chaos
 from repro.faults.crashmatrix import (
     CrashMatrixConfig,
@@ -30,6 +36,7 @@ from repro.faults.crashmatrix import (
 )
 from repro.faults.injector import DEFAULT_BACKOFF_UNITS, FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.faults.workerplan import WorkerFaultPlan
 
 __all__ = [
     "ChaosConfig",
@@ -40,6 +47,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "SimulatedCrash",
+    "TransientWorkerError",
+    "WorkerCrash",
+    "WorkerFaultPlan",
     "run_chaos",
     "run_crash_matrix",
 ]

@@ -1,0 +1,165 @@
+"""Deterministic fault schedules for fleet shard workers.
+
+:class:`WorkerFaultPlan` carries the PR 4 fault-injection discipline
+(:mod:`repro.faults.plan`) across the storage boundary into the serving
+tier: one cheap RNG draw per *worker task*, under a lock, against a
+monotonically increasing operation counter, decides whether the task
+faults and how. Decisions depend only on ``(seed, op_index)`` — never
+on wall-clock time or thread identity — so two runs that admit the
+same task sequence on a replica see the *same* fault schedule.
+
+The fault kinds match what actually goes wrong in a serving fleet:
+
+* ``error``   — the task raises
+  :class:`~repro.exceptions.TransientWorkerError` before computing
+  anything; a bounded retry (same replica or a peer) may succeed;
+* ``latency`` — the task stalls for :attr:`latency_s` before running,
+  feeding the tail the router's hedge threshold is tuned against;
+* ``hang``    — the task stalls for :attr:`hang_s`, chosen to exceed
+  every stage budget, so only deadlines + hedged dispatch can save the
+  query;
+* ``crash``   — the replica dies (:class:`~repro.exceptions.WorkerCrash`)
+  at exactly :attr:`kill_at_op`. Mirroring
+  :attr:`~repro.faults.plan.FaultPlan.crash_at_op`, the kill point
+  pre-empts any rate draw and consumes **no RNG draw**, so arming a
+  kill never shifts the transient-fault schedule of the ops around it.
+
+Every decision is recorded (`schedule`) for cross-run comparison, and
+``is_noop`` lets a rate-0 plan short-circuit to exactly the seed code
+path — a worker with a rate-0 plan is byte-identical to a worker with
+no plan at all.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: One recorded decision: (operation index, site label, fault kind).
+#: Kind is one of "error", "latency", "hang", "crash".
+WorkerScheduleEntry = Tuple[int, str, str]
+
+
+@dataclass
+class WorkerFaultPlan:
+    """Seedable fault policy for one shard worker (replica).
+
+    Rates are independent per-task probabilities in ``[0, 1]`` drawn
+    from one stream; their sum must stay ``<= 1`` (one draw selects at
+    most one fault). They are plain mutable attributes on purpose —
+    chaos tests warm a fleet up fault-free, then raise a rate mid-run.
+    """
+
+    seed: int = 0
+    error_rate: float = 0.0
+    latency_rate: float = 0.0
+    hang_rate: float = 0.0
+    #: Stall charged when a latency fault fires (wall clock, through
+    #: the worker's injectable sleeper).
+    latency_s: float = 0.002
+    #: Stall for a hung task; pick it larger than every router stage
+    #: budget so a hang can only be survived by hedged dispatch.
+    hang_s: float = 1.2
+    #: Task index at which the worker raises
+    #: :class:`~repro.exceptions.WorkerCrash` and dies. -1 disarms.
+    #: Like ``crash_at_op``, the kill is not a random draw: chaos
+    #: schedules sweep it deterministically, so it must hit exactly
+    #: the chosen task and consume no RNG draw.
+    kill_at_op: int = -1
+
+    op_index: int = field(default=0, init=False, repr=False)
+    schedule: List[WorkerScheduleEntry] = field(
+        default_factory=list, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for name in ("error_rate", "latency_rate", "hang_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.error_rate + self.latency_rate + self.hang_rate > 1.0:
+            raise ValueError(
+                "error_rate + latency_rate + hang_rate must be <= 1"
+            )
+        if self.latency_s < 0 or self.hang_s < 0:
+            raise ValueError("latency_s and hang_s must be non-negative")
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_noop(self) -> bool:
+        """True when no fault can ever fire (all rates zero, no kill).
+
+        The worker checks this on every task so a rate-0 plan never
+        draws from the RNG, never takes the schedule lock, and leaves
+        the worker byte-identical to one with no plan attached.
+        """
+        return (
+            self.error_rate == 0.0
+            and self.latency_rate == 0.0
+            and self.hang_rate == 0.0
+            and self.kill_at_op < 0
+        )
+
+    def decide(self, site: str) -> str:
+        """Draw one decision for an admitted worker task.
+
+        Returns "" for no fault, or one of "error" / "latency" /
+        "hang" / "crash". The kill point pre-empts the rate draw and
+        consumes no RNG draw — the replica dies here, so the stream
+        beyond this op is moot, and disarming the kill replays the
+        identical transient schedule.
+        """
+        with self._lock:
+            index = self.op_index
+            self.op_index += 1
+            if index == self.kill_at_op:
+                self.schedule.append((index, site, "crash"))
+                return "crash"
+            draw = self._rng.random()
+            fault = ""
+            if draw < self.error_rate:
+                fault = "error"
+            elif draw < self.error_rate + self.latency_rate:
+                fault = "latency"
+            elif draw < self.error_rate + self.latency_rate + self.hang_rate:
+                fault = "hang"
+            if fault:
+                self.schedule.append((index, site, fault))
+            return fault
+
+    def derive(self, shard_id: int, replica_index: int) -> "WorkerFaultPlan":
+        """An independent per-replica plan with the same rates.
+
+        The child seed is a stable hash of ``(seed, shard, replica)``,
+        so a fleet built twice from one parent plan gives every replica
+        the identical independent schedule — the fleet-wide fault
+        pattern is a pure function of one seed. Kills are never
+        inherited: a chaos schedule arms ``kill_at_op`` on the one
+        replica it targets.
+        """
+        child_seed = zlib.crc32(
+            f"{self.seed}/{shard_id}/{replica_index}".encode("utf-8")
+        )
+        return WorkerFaultPlan(
+            seed=child_seed,
+            error_rate=self.error_rate,
+            latency_rate=self.latency_rate,
+            hang_rate=self.hang_rate,
+            latency_s=self.latency_s,
+            hang_s=self.hang_s,
+        )
+
+    def schedule_digest(self) -> int:
+        """Stable CRC32 over the recorded schedule, for equality tests."""
+        return zlib.crc32(repr(self.schedule).encode("utf-8"))
+
+    def reset(self) -> None:
+        """Rewind to the initial state: same seed ⇒ same schedule again."""
+        self._rng = random.Random(self.seed)
+        self.op_index = 0
+        self.schedule.clear()

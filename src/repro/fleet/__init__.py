@@ -11,6 +11,9 @@ The fleet serves one roadmap from many regional shards:
 * :mod:`repro.fleet.router` answers any OD query exactly — direct
   dispatch inside one shard, boundary stitching across shards — and
   fans parent traffic epochs out to the fleet;
+* :mod:`repro.fleet.replica` replicates each shard behind a
+  health-checked :class:`ReplicaSet` with deadline-governed hedged
+  dispatch and version-pinned epoch fan-out (no stale serves);
 * :mod:`repro.fleet.loadgen` replays seeded Zipf-skewed OD streams
   concurrently and audits every answer against whole-graph Dijkstra.
 """
@@ -29,18 +32,28 @@ from repro.fleet.partition import (
     partition_graph,
     partition_layouts,
 )
+from repro.fleet.replica import (
+    DeadlinePolicy,
+    HealthPolicy,
+    ReplicaSet,
+    StageOutcome,
+)
 from repro.fleet.router import FleetResult, FleetRouter
 from repro.fleet.worker import ShardWorker
 
 __all__ = [
     "CutEdge",
+    "DeadlinePolicy",
     "FleetLoadConfig",
     "FleetLoadReport",
     "FleetResult",
     "FleetRouter",
+    "HealthPolicy",
     "Partition",
+    "ReplicaSet",
     "ShardSpec",
     "ShardWorker",
+    "StageOutcome",
     "parse_layout",
     "partition_graph",
     "partition_layouts",

@@ -83,6 +83,12 @@ class FleetLoadReport:
     stitched: int = 0
     audited: int = 0
     inexact: int = 0
+    #: Queries where at least one stage raced a second replica.
+    hedged: int = 0
+    #: Replica failovers and same-replica retries across all queries
+    #: (shed queries included — the ladder was climbed either way).
+    failovers: int = 0
+    retries: int = 0
     epochs_applied: int = 0
     wall_s: float = 0.0
     throughput_qps: float = 0.0
@@ -97,6 +103,11 @@ class FleetLoadReport:
         """Zero inexact answers and every query answered or shed."""
         return self.inexact == 0 and self.answered + self.shed == self.queries
 
+    @property
+    def availability(self) -> float:
+        """Fraction of queries answered (the rest were explicit sheds)."""
+        return self.answered / self.queries if self.queries else 0.0
+
     def to_snapshot(self) -> Snapshot:
         """Flat numeric summary (for benchmark JSON emission)."""
         return {
@@ -109,6 +120,10 @@ class FleetLoadReport:
             "stitched": self.stitched,
             "audited": self.audited,
             "inexact": self.inexact,
+            "hedged": self.hedged,
+            "failovers": self.failovers,
+            "retries": self.retries,
+            "availability": self.availability,
             "epochs_applied": self.epochs_applied,
             "shard_count": self.shard_count,
             "cut_edges": self.cut_edges,
@@ -249,6 +264,10 @@ def run_fleet_load(
             reference_cache: Dict[Tuple[NodeId, NodeId], Tuple[bool, float]] = {}
             for result in results:
                 report.queries += 1
+                if result.hedged:
+                    report.hedged += 1
+                report.failovers += result.failovers
+                report.retries += result.retries
                 if result.shed:
                     report.shed += 1
                     continue

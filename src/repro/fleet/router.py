@@ -60,6 +60,26 @@ Every query admits exactly one task on each involved worker through
 :meth:`ShardWorker.submit`. A full queue sheds the *query* — the
 returned :class:`FleetResult` carries ``shed=True`` and the refusing
 shard — never a stale or silently dropped answer.
+
+Fault tolerance (PR 10)
+-----------------------
+With ``replicas=N`` each shard is served by a
+:class:`~repro.fleet.replica.ReplicaSet` of N full worker stacks, and
+every worker-stage dispatch (local bundle, boundary SSSPs) runs under
+the :class:`~repro.fleet.replica.DeadlinePolicy`: a per-query budget
+carved into per-stage budgets, hedged dispatch to the next replica
+when a stage exceeds the hedge threshold, bounded same-replica retry
+with backoff on injected transient errors, and immediate failover on
+a replica crash. Epochs fan out to every live replica under the same
+epoch lock, and the set's epoch-target/epoch-version accounting keeps
+any replica that missed a fan-out out of the serving order — the
+degradation ladder is healthy replica → hedged/retried replica →
+shed-with-flag, and a lagging replica can never serve a cross-epoch
+answer. When a whole shard goes dark its clique drops out of the
+overlay; the overlay is then *degraded* and every answer that would
+need stitching is shed explicitly, while same-shard answers that pass
+the pruning bound keep serving (the bound needs only cut costs, so it
+stays exact with dark shards).
 """
 
 from __future__ import annotations
@@ -71,13 +91,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.exceptions import PartitionError
+from repro.exceptions import PartitionError, ShardUnavailableError
+from repro.faults.workerplan import WorkerFaultPlan
 from repro.graphs.graph import NodeId
 from repro.service.metrics import Snapshot
 from repro.traffic.feed import TrafficEpoch
 
 from repro.fleet.partition import Partition
-from repro.fleet.worker import ShardWorker
+from repro.fleet.replica import (
+    DeadlinePolicy,
+    HealthPolicy,
+    ReplicaSet,
+    StageOutcome,
+)
 
 EdgeKey = Tuple[NodeId, NodeId]
 
@@ -111,6 +137,12 @@ class FleetResult:
     #: Fleet version the answer is consistent with.
     fleet_version: int = 0
     latency_s: float = 0.0
+    #: At least one stage raced a second replica (hedged dispatch).
+    hedged: bool = False
+    #: Replica-to-replica failovers spent answering this query.
+    failovers: int = 0
+    #: Same-replica transient-error retries spent on this query.
+    retries: int = 0
 
     @property
     def path_length(self) -> int:
@@ -125,6 +157,14 @@ class _Overlay:
         #: node -> [(neighbor, cost, via_shard-or-CUT)]
         self.adjacency: Dict[NodeId, List[Tuple[NodeId, float, int]]] = {}
         self.edge_count = 0
+        #: Shards whose clique could not be collected (dark). A
+        #: degraded overlay cannot prove stitched optimality, so the
+        #: router sheds every answer that would need it.
+        self.dark_shards: List[int] = []
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.dark_shards)
 
     def add_edge(self, source: NodeId, target: NodeId, cost: float, via: int) -> None:
         self.adjacency.setdefault(source, []).append((target, cost, via))
@@ -144,19 +184,36 @@ class FleetRouter:
         max_retries: int = 8,
         clock=time.perf_counter,
         accelerator: Optional[str] = None,
+        replicas: int = 1,
+        fault_plans: Optional[Dict[Tuple[int, int], WorkerFaultPlan]] = None,
+        deadline: Optional[DeadlinePolicy] = None,
+        health: Optional[HealthPolicy] = None,
+        sleeper=time.sleep,
     ) -> None:
         self.partition = partition
         self._clock = clock
         self._max_retries = max_retries
         self.accelerator = accelerator
-        self.workers: Dict[int, ShardWorker] = {
-            spec.shard_id: ShardWorker(
+        self.deadline = deadline if deadline is not None else DeadlinePolicy()
+        #: ``fault_plans`` is keyed by ``(shard_id, replica_index)``;
+        #: a worker without an entry runs fault-free.
+        plans = fault_plans or {}
+        self.workers: Dict[int, ReplicaSet] = {
+            spec.shard_id: ReplicaSet(
                 spec,
+                replicas=replicas,
                 max_queue=max_queue,
                 threads=threads,
                 cache_capacity=cache_capacity,
                 clock=clock,
                 accelerator=accelerator,
+                fault_plans={
+                    replica: plan
+                    for (shard, replica), plan in plans.items()
+                    if shard == spec.shard_id
+                },
+                health=health,
+                sleeper=sleeper,
             )
             for spec in partition.shards
         }
@@ -178,6 +235,7 @@ class FleetRouter:
         #: pruning-bound floors; derived from cut costs alone, so far
         #: cheaper to rebuild than the overlay.
         self._floors: Optional[Tuple[int, Dict[int, float], Dict[int, float]]] = None
+        self._shutdown = False
         # fleet-level counters
         self.queries = 0
         self.cross_shard_queries = 0
@@ -187,6 +245,14 @@ class FleetRouter:
         self.plan_retries = 0
         self.epochs_applied = 0
         self.overlay_builds = 0
+        # degradation-ladder counters (PR 10)
+        self.hedged_queries = 0
+        self.stage_failovers = 0
+        self.worker_retries = 0
+        self.deadline_sheds = 0
+        self.dark_sheds = 0
+        self.queue_sheds = 0
+        self.replica_kills = 0
 
     # ------------------------------------------------------------------
     # traffic epochs (parent-feed subscriber)
@@ -250,8 +316,16 @@ class FleetRouter:
             built = _Overlay(current)
             for key, cost in self._cut_costs.items():
                 built.add_edge(key[0], key[1], cost, CUT)
-            for shard_id, worker in self.workers.items():
-                for b1, b2, cost in worker.boundary_clique():
+            for shard_id, replica_set in self.workers.items():
+                try:
+                    clique = replica_set.boundary_clique()
+                except ShardUnavailableError:
+                    # A dark shard's interior is unpriceable: record
+                    # the degradation instead of building an overlay
+                    # that silently lost routes through this shard.
+                    built.dark_shards.append(shard_id)
+                    continue
+                for b1, b2, cost in clique:
                     built.add_edge(b1, b2, cost, shard_id)
             with self._state_lock:
                 self._overlay = built
@@ -351,14 +425,18 @@ class FleetRouter:
             node = previous
         hops.reverse()
         entry_node = node
-        path = list(self.workers[source_shard].plan(source, entry_node).path)
+        path = list(
+            self.workers[source_shard].plan_direct(source, entry_node).path
+        )
         for segment_source, segment_target, via in hops:
             if via == CUT:
                 path.append(segment_target)
             else:
-                segment = self.workers[via].plan(segment_source, segment_target)
+                segment = self.workers[via].plan_direct(
+                    segment_source, segment_target
+                )
                 path.extend(segment.path[1:])
-        tail = self.workers[target_shard].plan(exit_, destination)
+        tail = self.workers[target_shard].plan_direct(exit_, destination)
         path.extend(tail.path[1:])
         return path
 
@@ -373,6 +451,7 @@ class FleetRouter:
         involved worker's queue is full.
         """
         started = self._clock()
+        deadline = started + self.deadline.total_s
         source_shard = self.partition.shard_of(source)
         target_shard = self.partition.shard_of(destination)
         with self._state_lock:
@@ -390,7 +469,8 @@ class FleetRouter:
                 time.sleep(0.0005)
                 continue
             result = self._plan_at(
-                source, destination, source_shard, target_shard, version
+                source, destination, source_shard, target_shard, version,
+                deadline,
             )
             if result is None:
                 with self._state_lock:
@@ -405,12 +485,50 @@ class FleetRouter:
             with self._state_lock:
                 version = self._version
             result = self._plan_at(
-                source, destination, source_shard, target_shard, version
+                source, destination, source_shard, target_shard, version,
+                deadline,
             )
         if result is None:  # pragma: no cover - epoch lock held
             raise PartitionError("fleet plan raced an epoch under the epoch lock")
         result.latency_s = self._clock() - started
         return result
+
+    def _stage(
+        self,
+        replica_set: ReplicaSet,
+        method: str,
+        args: Tuple,
+        stage_budget_s: float,
+        deadline: float,
+        result: FleetResult,
+    ) -> StageOutcome:
+        """One deadline-clipped hedged dispatch, stats folded into
+        ``result`` and the fleet counters."""
+        budget = min(stage_budget_s, deadline - self._clock())
+        if budget <= 0:
+            outcome = StageOutcome(
+                timed_out=True,
+                shed_reason=f"query deadline exceeded before '{method}'",
+            )
+        else:
+            outcome = replica_set.call(
+                method,
+                args,
+                budget_s=budget,
+                hedge_s=self.deadline.hedge_s,
+                max_attempts=self.deadline.max_attempts,
+                backoff_s=self.deadline.backoff_s,
+            )
+        result.retries += outcome.retries
+        result.failovers += outcome.failovers
+        if outcome.hedges:
+            result.hedged = True
+        with self._state_lock:
+            self.worker_retries += outcome.retries
+            self.stage_failovers += outcome.failovers
+            if outcome.hedges:
+                self.hedged_queries += 1
+        return outcome
 
     def _plan_at(
         self,
@@ -419,6 +537,7 @@ class FleetRouter:
         source_shard: int,
         target_shard: int,
         version: int,
+        deadline: float,
     ) -> Optional[FleetResult]:
         """One optimistic attempt pinned to ``version``; None on a race."""
         result = FleetResult(
@@ -436,33 +555,45 @@ class FleetRouter:
             return result
 
         same_shard = source_shard == target_shard
-        source_worker = self.workers[source_shard]
-        target_worker = self.workers[target_shard]
+        source_set = self.workers[source_shard]
+        target_set = self.workers[target_shard]
 
         if same_shard:
-            future = source_worker.submit(
-                self._local_and_boundaries, source_worker, source, destination
+            outcome = self._stage(
+                source_set,
+                "local_and_boundaries",
+                (source, destination),
+                self.deadline.local_s,
+                deadline,
+                result,
             )
-            if future is None:
-                return self._shed(result, source_shard)
-            local, seeds, tails = future.result()
+            if not outcome.ok:
+                return self._shed(result, outcome)
+            local, seeds, tails = outcome.value
         else:
             local = None
-            source_future = source_worker.submit(
-                source_worker.distances_to_boundary, source
+            outcome = self._stage(
+                source_set,
+                "distances_to_boundary",
+                (source,),
+                self.deadline.boundary_s,
+                deadline,
+                result,
             )
-            if source_future is None:
-                return self._shed(result, source_shard)
-            target_future = target_worker.submit(
-                target_worker.distances_from_boundary, destination
+            if not outcome.ok:
+                return self._shed(result, outcome)
+            seeds = outcome.value
+            outcome = self._stage(
+                target_set,
+                "distances_from_boundary",
+                (destination,),
+                self.deadline.boundary_s,
+                deadline,
+                result,
             )
-            if target_future is None:
-                # The source-side task still runs to completion; only
-                # the query is refused.
-                source_future.result()
-                return self._shed(result, target_shard)
-            seeds = source_future.result()
-            tails = target_future.result()
+            if not outcome.ok:
+                return self._shed(result, outcome)
+            tails = outcome.value
 
         if local is not None and local.found:
             result.found = True
@@ -473,15 +604,31 @@ class FleetRouter:
             result, seeds, tails, source_shard, target_shard, version
         )
         if stitched_needed and seeds and tails:
+            if deadline - self._clock() <= 0:
+                return self._shed_deadline(result, "overlay")
             overlay = self._overlay_for(version)
             if overlay.version != version:
                 return None
+            if overlay.degraded:
+                # A dark shard's interior is missing from the overlay:
+                # a stitched answer could silently undershoot coverage,
+                # so any query that *needs* stitching sheds instead.
+                # (Pruned same-shard answers never reach this branch
+                # and stay exact — the bound needs only cut costs.)
+                return self._shed_dark(result, overlay.dark_shards)
             best, exit_node, pred = self._overlay_search(overlay, seeds, tails)
             if exit_node is not None and best < result.cost:
-                path = self._materialize(
-                    source, destination, exit_node, seeds, pred,
-                    source_shard, target_shard,
-                )
+                if deadline - self._clock() <= 0:
+                    return self._shed_deadline(result, "materialize")
+                try:
+                    path = self._materialize(
+                        source, destination, exit_node, seeds, pred,
+                        source_shard, target_shard,
+                    )
+                except ShardUnavailableError as error:
+                    # A shard on the winning chain died between the
+                    # overlay build and expansion.
+                    return self._shed_dark(result, [error.shard_id])
                 result.found = True
                 result.cost = best
                 result.path = path
@@ -493,14 +640,6 @@ class FleetRouter:
             if self._version != version or self._epoch_in_progress:
                 return None
         return result
-
-    @staticmethod
-    def _local_and_boundaries(worker: ShardWorker, source, destination):
-        """Same-shard bundle: one admitted task computes all three."""
-        local = worker.plan(source, destination)
-        seeds = worker.distances_to_boundary(source)
-        tails = worker.distances_from_boundary(destination)
-        return local, seeds, tails
 
     def _pruned(
         self,
@@ -536,15 +675,41 @@ class FleetRouter:
             return True
         return False
 
-    def _shed(self, result: FleetResult, shard_id: int) -> FleetResult:
+    def _mark_shed(self, result: FleetResult, reason: str) -> FleetResult:
         result.shed = True
         result.found = False
         result.cost = _INF
         result.path = []
-        result.shed_reason = f"shard {shard_id} queue full"
+        result.shed_reason = reason
         with self._state_lock:
             self.sheds += 1
         return result
+
+    def _shed(self, result: FleetResult, outcome: StageOutcome) -> FleetResult:
+        """Shed on a failed stage, classifying the rung of the ladder."""
+        with self._state_lock:
+            if outcome.timed_out:
+                self.deadline_sheds += 1
+            elif "dark" in outcome.shed_reason:
+                self.dark_sheds += 1
+            elif "queue full" in outcome.shed_reason:
+                self.queue_sheds += 1
+        return self._mark_shed(result, outcome.shed_reason)
+
+    def _shed_deadline(self, result: FleetResult, stage: str) -> FleetResult:
+        with self._state_lock:
+            self.deadline_sheds += 1
+        return self._mark_shed(
+            result, f"query deadline exceeded before '{stage}'"
+        )
+
+    def _shed_dark(self, result: FleetResult, shards: List[int]) -> FleetResult:
+        with self._state_lock:
+            self.dark_sheds += 1
+        labels = ", ".join(str(shard) for shard in sorted(shards))
+        return self._mark_shed(
+            result, f"stitching needs dark shard(s) {labels}"
+        )
 
     # ------------------------------------------------------------------
     # observability / lifecycle
@@ -576,16 +741,46 @@ class FleetRouter:
                 "epochs_applied": self.epochs_applied,
                 "overlay_builds": self.overlay_builds,
                 "overlay_edges": overlay.edge_count if overlay is not None else 0,
+                "overlay_degraded": (
+                    1 if overlay is not None and overlay.degraded else 0
+                ),
                 "accelerated": 1 if self.accelerator is not None else 0,
+                "replicas_per_shard": next(
+                    iter(self.workers.values())
+                ).replica_count,
+                "hedged_queries": self.hedged_queries,
+                "stage_failovers": self.stage_failovers,
+                "worker_retries": self.worker_retries,
+                "deadline_sheds": self.deadline_sheds,
+                "dark_sheds": self.dark_sheds,
+                "queue_sheds": self.queue_sheds,
+                "replica_kills": self.replica_kills,
             }
         out: Dict[str, Snapshot] = {"fleet": fleet}
         for shard_id in sorted(self.workers):
             out[f"shard_{shard_id}"] = self.workers[shard_id].slo_snapshot()
         return out
 
+    def kill_replica(self, shard_id: int, replica_index: int) -> None:
+        """Hard-kill one replica (chaos). The overlay is invalidated so
+        the next stitched query rebuilds it from surviving replicas —
+        or observes the shard dark and sheds."""
+        self.workers[shard_id].kill(replica_index)
+        with self._state_lock:
+            self._overlay = None
+            self.replica_kills += 1
+
     def shutdown(self) -> None:
-        for worker in self.workers.values():
-            worker.shutdown()
+        """Stop every replica of every shard. Idempotent: a second
+        call (or a shutdown racing in-flight queries) is a no-op, and
+        queries arriving afterwards shed with a flag rather than
+        raising out of the executor."""
+        with self._state_lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for replica_set in self.workers.values():
+            replica_set.shutdown()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,189 @@
+"""WorkerFaultPlan determinism and ShardWorker fault/lifecycle paths."""
+
+import pytest
+
+from repro.exceptions import TransientWorkerError, WorkerCrash
+from repro.faults.workerplan import WorkerFaultPlan
+from repro.fleet.partition import partition_graph
+from repro.fleet.worker import ShardWorker
+from repro.graphs.grid import make_paper_grid
+
+pytestmark = [pytest.mark.fleet, pytest.mark.fleetchaos]
+
+
+def one_shard_spec(side=4, seed=3):
+    graph = make_paper_grid(side, "variance", seed=seed)
+    return partition_graph(graph, 1, 1).shards[0]
+
+
+class TestWorkerFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = WorkerFaultPlan(seed=11, error_rate=0.3, latency_rate=0.2)
+        b = WorkerFaultPlan(seed=11, error_rate=0.3, latency_rate=0.2)
+        decisions_a = [a.decide(f"site{i}") for i in range(40)]
+        decisions_b = [b.decide(f"site{i}") for i in range(40)]
+        assert decisions_a == decisions_b
+        assert a.schedule_digest() == b.schedule_digest()
+        assert any(decisions_a), "rates this high must fire at least once"
+
+    def test_reset_replays_identical_schedule(self):
+        plan = WorkerFaultPlan(seed=5, error_rate=0.4)
+        first = [plan.decide("s") for _ in range(20)]
+        digest = plan.schedule_digest()
+        plan.reset()
+        assert [plan.decide("s") for _ in range(20)] == first
+        assert plan.schedule_digest() == digest
+
+    def test_kill_point_preempts_and_consumes_no_draw(self):
+        plain = WorkerFaultPlan(seed=3, error_rate=0.25, latency_rate=0.25)
+        armed = WorkerFaultPlan(
+            seed=3, error_rate=0.25, latency_rate=0.25, kill_at_op=5
+        )
+        before_plain = [plain.decide("op") for _ in range(5)]
+        before_armed = [armed.decide("op") for _ in range(5)]
+        # Ops before the kill see the identical transient schedule.
+        assert before_armed == before_plain
+        assert armed.decide("op") == "crash"
+        assert (5, "op", "crash") in armed.schedule
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            WorkerFaultPlan(error_rate=1.5)
+        with pytest.raises(ValueError):
+            WorkerFaultPlan(error_rate=0.6, latency_rate=0.6)
+        with pytest.raises(ValueError):
+            WorkerFaultPlan(latency_s=-1.0)
+
+    def test_is_noop(self):
+        assert WorkerFaultPlan().is_noop
+        assert not WorkerFaultPlan(error_rate=0.1).is_noop
+        assert not WorkerFaultPlan(kill_at_op=0).is_noop
+
+    def test_derive_is_stable_and_never_inherits_kills(self):
+        parent = WorkerFaultPlan(
+            seed=9, error_rate=0.1, hang_rate=0.05, kill_at_op=3
+        )
+        child_a = parent.derive(1, 0)
+        child_b = parent.derive(1, 0)
+        assert child_a.seed == child_b.seed
+        assert child_a.seed != parent.derive(1, 1).seed
+        assert child_a.seed != parent.derive(2, 0).seed
+        assert child_a.error_rate == 0.1 and child_a.hang_rate == 0.05
+        assert child_a.kill_at_op == -1
+        # Same child seed => same schedule.
+        assert [child_a.decide("s") for _ in range(15)] == [
+            child_b.decide("s") for _ in range(15)
+        ]
+
+
+class TestWorkerInjection:
+    def test_transient_error_raised_before_compute(self):
+        worker = ShardWorker(
+            one_shard_spec(), fault_plan=WorkerFaultPlan(error_rate=1.0)
+        )
+        try:
+            future = worker.submit(worker.plan, (0, 0), (3, 3))
+            with pytest.raises(TransientWorkerError):
+                future.result()
+            assert worker.faults_by_kind["error"] == 1
+            # The task never reached the RouteService.
+            assert worker.service.metrics.queries == 0
+        finally:
+            worker.shutdown()
+
+    def test_latency_and_hang_stall_through_sleeper(self):
+        for kind, plan in (
+            ("latency", WorkerFaultPlan(latency_rate=1.0, latency_s=0.007)),
+            ("hang", WorkerFaultPlan(hang_rate=1.0, hang_s=0.3)),
+        ):
+            sleeps = []
+            worker = ShardWorker(
+                one_shard_spec(), fault_plan=plan, sleeper=sleeps.append
+            )
+            try:
+                result = worker.submit(worker.plan, (0, 0), (3, 3)).result()
+                assert result.found
+                expected = plan.latency_s if kind == "latency" else plan.hang_s
+                assert sleeps == [expected]
+                assert worker.faults_by_kind[kind] == 1
+            finally:
+                worker.shutdown()
+
+    def test_injected_kill_crashes_worker_and_sheds_after(self):
+        worker = ShardWorker(
+            one_shard_spec(), fault_plan=WorkerFaultPlan(kill_at_op=0)
+        )
+        future = worker.submit(worker.plan, (0, 0), (3, 3))
+        with pytest.raises(WorkerCrash) as exc:
+            future.result()
+        assert exc.value.shard_id == worker.spec.shard_id
+        assert worker.crashed and not worker.alive
+        # A dead replica refuses, explicitly — never raises, never drops.
+        assert worker.submit(worker.plan, (0, 0), (1, 1)) is None
+        assert worker.shed_unavailable == 1
+        snap = worker.slo_snapshot()
+        assert snap["alive"] == 0 and snap["crashed"] == 1
+
+    def test_rate_zero_plan_is_byte_identical_to_no_plan(self):
+        spec = one_shard_spec()
+        quiet = ShardWorker(spec, fault_plan=WorkerFaultPlan())
+        bare = ShardWorker(spec, graph=spec.graph.copy())
+        try:
+            a = quiet.submit(quiet.plan, (0, 0), (3, 3)).result()
+            b = bare.submit(bare.plan, (0, 0), (3, 3)).result()
+            assert a.found and a.cost == b.cost and a.path == b.path
+            assert quiet.faults_injected == 0
+            # The noop plan was never even consulted for a draw.
+            assert quiet.fault_plan.op_index == 0
+        finally:
+            quiet.shutdown()
+            bare.shutdown()
+
+
+class TestWorkerLifecycle:
+    def test_submit_after_shutdown_sheds_with_flag(self):
+        worker = ShardWorker(one_shard_spec())
+        worker.shutdown()
+        assert worker.submit(worker.plan, (0, 0), (1, 1)) is None
+        assert worker.shed_count == 1 and worker.shed_unavailable == 1
+        assert worker.accepted == 0
+
+    def test_submit_racing_executor_shutdown_sheds_not_raises(self):
+        # Simulate the race: the executor is already down but the
+        # worker's flag was not yet observed by the submitter.
+        worker = ShardWorker(one_shard_spec())
+        worker._executor.shutdown(wait=True)
+        future = worker.submit(worker.plan, (0, 0), (1, 1))
+        assert future is None
+        assert worker.shed_count == 1 and worker.shed_unavailable == 1
+        # Admission was rolled back: nothing accepted, nothing queued.
+        assert worker.accepted == 0 and worker.queue_depth == 0
+
+    def test_shutdown_and_kill_are_idempotent(self):
+        worker = ShardWorker(one_shard_spec())
+        worker.shutdown()
+        worker.shutdown()
+        killed = ShardWorker(one_shard_spec())
+        killed.kill()
+        killed.kill()
+        assert not killed.alive
+        killed.shutdown()
+
+    def test_slo_snapshot_empty_latency_sample_is_zero(self, monkeypatch):
+        import repro.fleet.worker as worker_module
+
+        real = worker_module.percentile
+
+        def strict_percentile(samples, q):
+            # The guard must never lean on percentile([]) behaviour.
+            assert samples, "percentile called with an empty sample"
+            return real(samples, q)
+
+        monkeypatch.setattr(worker_module, "percentile", strict_percentile)
+        worker = ShardWorker(one_shard_spec())
+        try:
+            snap = worker.slo_snapshot()
+            assert snap["p50_latency_ms"] == 0.0
+            assert snap["p99_latency_ms"] == 0.0
+        finally:
+            worker.shutdown()

@@ -1,0 +1,143 @@
+"""Property tests: fleet partition invariants on generated graphs.
+
+tests/test_fleet_partition.py proves the cut invariants on fixed
+grids; this module widens the net with Hypothesis-generated inputs —
+both paper grids (the geometry the cut was designed for) and arbitrary
+directed graphs with float coordinates, where cells can land empty and
+the dense shard renumbering has to hold the invariants together:
+
+* repeating a cut on unchanged graph state reproduces the identical
+  partition (same ``signature``, same assignment, same cut);
+* every parent node lands in exactly one shard;
+* every parent edge is internal to exactly one shard XOR a cut edge.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.partition import partition_graph
+from repro.graphs.graph import Graph
+from repro.graphs.grid import make_paper_grid
+
+pytestmark = [pytest.mark.fleet, pytest.mark.fleetchaos]
+
+_COSTS = st.floats(
+    min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+_COORDS = st.floats(min_value=-10, max_value=10, allow_nan=False)
+_LAYOUTS = st.tuples(
+    st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3)
+)
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_digraphs(draw, max_nodes=16):
+    """Arbitrary directed graphs; coordinate clumping leaves cells empty."""
+    node_count = draw(st.integers(min_value=1, max_value=max_nodes))
+    graph = Graph(name="hypothesis-fleet")
+    for index in range(node_count):
+        graph.add_node(index, draw(_COORDS), draw(_COORDS))
+    possible = [
+        (u, v) for u in range(node_count) for v in range(node_count) if u != v
+    ]
+    chosen = (
+        draw(
+            st.lists(
+                st.sampled_from(possible),
+                max_size=3 * node_count,
+                unique=True,
+            )
+        )
+        if possible
+        else []
+    )
+    for u, v in chosen:
+        graph.add_edge(u, v, draw(_COSTS))
+    return graph
+
+
+@st.composite
+def random_grids(draw):
+    side = draw(st.integers(min_value=2, max_value=6))
+    model = draw(st.sampled_from(["uniform", "variance"]))
+    seed = draw(st.integers(min_value=0, max_value=999))
+    return make_paper_grid(side, model, seed=seed)
+
+
+def assert_partition_invariants(graph, rows, cols):
+    partition = partition_graph(graph, rows, cols)
+    # validate() re-checks the full structural contract internally.
+    partition.validate()
+
+    # Every node in exactly one shard.
+    assigned = {}
+    for shard in partition.shards:
+        for node_id in shard.nodes:
+            assert node_id not in assigned, (
+                f"node {node_id!r} in shards {assigned[node_id]} "
+                f"and {shard.shard_id}"
+            )
+            assigned[node_id] = shard.shard_id
+    assert set(assigned) == set(graph.node_ids())
+
+    # Dense shard ids 0..n-1 even when cells came up empty.
+    assert [s.shard_id for s in partition.shards] == list(
+        range(len(partition.shards))
+    )
+
+    # Every parent edge internal to exactly one shard XOR in the cut.
+    cut = {(c.source, c.target) for c in partition.cut_edges}
+    shard_by_id = {s.shard_id: s for s in partition.shards}
+    for edge in graph.edges():
+        key = (edge.source, edge.target)
+        same_shard = assigned[edge.source] == assigned[edge.target]
+        assert same_shard != (key in cut)
+        if same_shard:
+            owner = shard_by_id[assigned[edge.source]]
+            assert owner.graph.edge_cost(edge.source, edge.target) == edge.cost
+    return partition
+
+
+class TestPartitionProperties:
+    @_SETTINGS
+    @given(graph=random_digraphs(), layout=_LAYOUTS)
+    def test_invariants_on_random_digraphs(self, graph, layout):
+        assert_partition_invariants(graph, *layout)
+
+    @_SETTINGS
+    @given(graph=random_grids(), layout=_LAYOUTS)
+    def test_invariants_on_random_grids(self, graph, layout):
+        assert_partition_invariants(graph, *layout)
+
+    @_SETTINGS
+    @given(graph=random_digraphs(), layout=_LAYOUTS)
+    def test_signature_stable_across_repeated_cuts(self, graph, layout):
+        rows, cols = layout
+        first = partition_graph(graph, rows, cols)
+        second = partition_graph(graph, rows, cols)
+        assert first.signature == second.signature
+        assert [s.nodes for s in first.shards] == [
+            s.nodes for s in second.shards
+        ]
+        assert [
+            (c.source, c.target) for c in first.cut_edges
+        ] == [(c.source, c.target) for c in second.cut_edges]
+
+    @_SETTINGS
+    @given(graph=random_grids(), layout=_LAYOUTS)
+    def test_signature_tracks_graph_state(self, graph, layout):
+        rows, cols = layout
+        before = partition_graph(graph, rows, cols).signature
+        edge = next(iter(graph.edges()))
+        graph.apply_cost_updates([(edge.source, edge.target, edge.cost + 1.0)])
+        after = partition_graph(graph, rows, cols).signature
+        assert before != after
